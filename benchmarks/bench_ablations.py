@@ -1,0 +1,142 @@
+"""Ablations of the optimizer's run-time decisions (DESIGN.md §4.2 choices).
+
+The paper's optimizer makes three decisions per module (Section 4.2): join
+order / index selection, and "whether to refine the basic nested-loops join
+with intelligent backtracking".  These benchmarks measure what each buys by
+turning it off via the ablation annotations:
+
+* ``@no_index_selection.`` — joins fall back to full scans;
+* ``@no_backjumping.`` — failures backtrack chronologically.
+
+Also ablated: the hash-consing ground fast path's effect end-to-end, by
+running the Figure 3 program whose tuples carry large list terms.
+"""
+
+import time
+
+import pytest
+
+from repro import Session
+from workloads import (
+    SHORTEST_PATH_FIGURE_3,
+    chain_edges,
+    edge_facts,
+    random_edges,
+    report,
+    session_with,
+    weighted_edge_facts,
+    weighted_random_edges,
+)
+
+TC = """
+module tc.
+export path(bf).
+{flags}
+path(X, Y) :- edge(X, Y).
+path(X, Y) :- edge(X, Z), path(Z, Y).
+end_module.
+"""
+
+
+def _run_tc(edges, flags):
+    session = session_with(edge_facts(edges), TC.format(flags=flags))
+    started = time.perf_counter()
+    answers = len(session.query("path(0, Y)").all())
+    return time.perf_counter() - started, answers, session
+
+
+class TestIndexSelectionAblation:
+    def test_join_cost_without_indexes(self):
+        edges = random_edges(nodes=60, count=240, seed=13)
+        with_time, with_answers, _s1 = _run_tc(edges, "")
+        without_time, without_answers, _s2 = _run_tc(
+            edges, "@no_index_selection."
+        )
+        report(
+            "ablation: optimizer index selection (dense 60-node graph)",
+            ["variant", "seconds", "answers"],
+            [
+                ("indexes selected", round(with_time, 3), with_answers),
+                ("no indexes", round(without_time, 3), without_answers),
+            ],
+        )
+        assert with_answers == without_answers
+        assert with_time < without_time  # indexed probes beat scans
+
+    def test_indexed_speed(self, benchmark):
+        edges = random_edges(nodes=50, count=200, seed=13)
+        benchmark.pedantic(lambda: _run_tc(edges, ""), rounds=3, iterations=1)
+
+    def test_unindexed_speed(self, benchmark):
+        edges = random_edges(nodes=50, count=200, seed=13)
+        benchmark.pedantic(
+            lambda: _run_tc(edges, "@no_index_selection."), rounds=3, iterations=1
+        )
+
+
+MULTIJOIN = """
+module m.
+export four(b).
+{flags}
+four(X) :- a(X, A), b(B), c(C), d(X, A).
+end_module.
+"""
+
+
+class TestBackjumpingAblation:
+    def _program(self, flags):
+        # a(X, A) binds A; b and c are irrelevant wide relations; d(X, A)
+        # fails for most A — backjumping skips b x c retries
+        facts = []
+        for i in range(40):
+            facts.append(f"a(1, {i}).")
+        for i in range(25):
+            facts.append(f"b({i}). c({i}).")
+        facts.append("d(1, 39).")
+        return " ".join(facts) + MULTIJOIN.format(flags=flags)
+
+    def test_same_answers_different_work(self):
+        with_session = Session()
+        with_session.consult_string(self._program(""))
+        with_answers = len(with_session.query("four(1)").all())
+
+        without_session = Session()
+        without_session.consult_string(self._program("@no_backjumping."))
+        without_answers = len(without_session.query("four(1)").all())
+        assert with_answers == without_answers == 1
+
+    def test_backjumping_speed(self, benchmark):
+        program = self._program("")
+
+        def run():
+            session = Session()
+            session.consult_string(program)
+            return session.query("four(1)").all()
+
+        benchmark.pedantic(run, rounds=3, iterations=1)
+
+    def test_chronological_speed(self, benchmark):
+        program = self._program("@no_backjumping.")
+
+        def run():
+            session = Session()
+            session.consult_string(program)
+            return session.query("four(1)").all()
+
+        benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+class TestStructureSharingEndToEnd:
+    def test_figure_3_with_long_paths(self, benchmark):
+        """End-to-end check that big list-valued tuples (paths) stay cheap:
+        duplicate checks and joins hash interned terms, not structures."""
+        edges = [(i, i + 1, 1) for i in range(60)]  # 60-hop paths
+
+        def run():
+            session = session_with(
+                weighted_edge_facts(edges), SHORTEST_PATH_FIGURE_3
+            )
+            return len(session.query("s_p(0, Y, P, C)").all())
+
+        answers = benchmark.pedantic(run, rounds=3, iterations=1)
+        assert answers == 60

@@ -1,0 +1,183 @@
+"""The classic deductive-database benchmark shapes (Bancilhon et al.), as
+exercised by the CORAL-era literature: transitive closure and
+same-generation over standard data shapes.
+
+These complement E1–E14: they measure the *combinations* — magic on
+same-generation (the workload magic sets were invented for), left- vs
+right-linear transitive closure under each rewriting, and scaling across
+the canonical data generators (chains, cycles, trees, grids).
+"""
+
+import pytest
+
+from repro import Session
+from workloads import (
+    chain_edges,
+    cycle_edges,
+    grid_edges,
+    edge_facts,
+    report,
+    session_with,
+)
+
+SG = """
+module sg.
+export sg(bf).
+sg(X, X) :- person(X).
+sg(X, Y) :- par(X, PX), sg(PX, PY), par(Y, PY).
+end_module.
+"""
+
+
+def _balanced_tree(depth: int):
+    """par(child, parent) facts for a complete binary tree."""
+    facts = []
+    people = [0]
+    node = 0
+    frontier = [0]
+    for _level in range(depth):
+        next_frontier = []
+        for parent in frontier:
+            for _ in range(2):
+                node += 1
+                facts.append((node, parent))
+                people.append(node)
+                next_frontier.append(node)
+        frontier = next_frontier
+    return facts, people
+
+
+def _sg_session(depth: int, flags: str = "") -> Session:
+    facts, people = _balanced_tree(depth)
+    source = (
+        " ".join(f"par({c}, {p})." for c, p in facts)
+        + " "
+        + " ".join(f"person({p})." for p in people)
+        + SG.replace("export sg(bf).", f"export sg(bf).\n{flags}")
+    )
+    session = Session()
+    session.consult_string(source)
+    return session
+
+
+class TestSameGeneration:
+    def test_magic_beats_bottom_up_on_point_query(self):
+        rows = []
+        for depth in (4, 6):
+            leaf = 2**depth  # some leaf node id
+            magic_session = _sg_session(depth)
+            magic_answers = len(magic_session.query(f"sg({leaf}, Y)").all())
+            plain_session = _sg_session(depth, "@no_rewriting.")
+            plain_answers = len(plain_session.query(f"sg({leaf}, Y)").all())
+            assert magic_answers == plain_answers
+            rows.append(
+                (
+                    depth,
+                    magic_answers,
+                    magic_session.stats.facts_inserted,
+                    plain_session.stats.facts_inserted,
+                )
+            )
+        report(
+            "classic: same-generation point query on a binary tree",
+            ["depth", "answers", "magic facts", "bottom-up facts"],
+            rows,
+        )
+        # bottom-up computes the full quadratic-in-level sg relation;
+        # magic stays near the query's own generation
+        for _d, _a, magic_facts, plain_facts in rows:
+            assert magic_facts < plain_facts
+
+    def test_sg_answers_are_the_leaf_generation(self):
+        session = _sg_session(4)
+        leaf = 2**4
+        answers = sorted(a["Y"] for a in session.query(f"sg({leaf}, Y)"))
+        # all 16 leaves of a depth-4 tree are in the same generation
+        assert len(answers) == 16
+
+    def test_sg_speed(self, benchmark):
+        session = _sg_session(6)
+        leaf = 2**6
+        benchmark.pedantic(
+            lambda: session.query(f"sg({leaf + 1}, Y)").all(),
+            rounds=3,
+            iterations=1,
+        )
+
+
+TC_LEFT = """
+module tc.
+export path(bf).
+path(X, Y) :- edge(X, Y).
+path(X, Y) :- path(X, Z), edge(Z, Y).
+end_module.
+"""
+TC_RIGHT = """
+module tc.
+export path(bf).
+path(X, Y) :- edge(X, Y).
+path(X, Y) :- edge(X, Z), path(Z, Y).
+end_module.
+"""
+
+
+class TestLinearityVsData:
+    @pytest.mark.parametrize(
+        "shape,edges",
+        [
+            ("chain", chain_edges(64)),
+            ("cycle", cycle_edges(48)),
+            ("grid", grid_edges(7)),
+        ],
+        ids=["chain", "cycle", "grid"],
+    )
+    def test_left_and_right_linear_agree(self, shape, edges):
+        left = session_with(edge_facts(edges), TC_LEFT)
+        right = session_with(edge_facts(edges), TC_RIGHT)
+        left_answers = sorted(a["Y"] for a in left.query("path(0, Y)"))
+        right_answers = sorted(a["Y"] for a in right.query("path(0, Y)"))
+        assert left_answers == right_answers
+
+    def test_linearity_work_comparison(self):
+        rows = []
+        for shape, edges in (
+            ("chain-64", chain_edges(64)),
+            ("grid-7", grid_edges(7)),
+        ):
+            left = session_with(edge_facts(edges), TC_LEFT)
+            left.query("path(0, Y)").all()
+            right = session_with(edge_facts(edges), TC_RIGHT)
+            right.query("path(0, Y)").all()
+            rows.append(
+                (
+                    shape,
+                    left.stats.inferences,
+                    right.stats.inferences,
+                )
+            )
+        report(
+            "classic: bound-source TC, left- vs right-linear (magic default)",
+            ["data", "left-linear inferences", "right-linear inferences"],
+            rows,
+        )
+        # left-linear with a bound source needs no subgoal propagation at
+        # all (the magic set is the singleton source); right-linear pays
+        # for the reachable-subgoal frontier
+        for _shape, left_work, right_work in rows:
+            assert left_work <= right_work
+
+    def test_left_linear_speed(self, benchmark):
+        source = edge_facts(grid_edges(6)) + TC_LEFT
+        benchmark.pedantic(
+            lambda: session_with(source).query("path(0, Y)").all(),
+            rounds=3,
+            iterations=1,
+        )
+
+    def test_right_linear_speed(self, benchmark):
+        source = edge_facts(grid_edges(6)) + TC_RIGHT
+        benchmark.pedantic(
+            lambda: session_with(source).query("path(0, Y)").all(),
+            rounds=3,
+            iterations=1,
+        )

@@ -1,0 +1,108 @@
+"""E5 — Sections 5, 5.2, 5.6: pipelining vs materialization.
+
+Paper claims: *"Pipelining uses facts 'on-the-fly' and does not store them,
+at the potential cost of recomputation.  Materialization stores facts and
+looks them up to avoid recomputation."*  And for pipelined callees, *"an
+answer is returned as soon as it is found, and the computation of the called
+module is suspended until another answer is requested."*
+
+Measured on bound-source reachability over a chain:
+
+* first-answer work: pipelining performs O(1) inferences before its first
+  answer; materialized evaluation runs at least one fixpoint iteration;
+* shared-subgoal workload (a DAG where many paths reuse suffixes):
+  pipelining recomputes (inference count blows up), materialization
+  memoizes;
+* identical answer sets either way (duplicates aside — pipelining returns
+  one answer per proof).
+"""
+
+import pytest
+
+from workloads import TC_RIGHT, chain_edges, edge_facts, report, session_with
+
+PIPELINED = TC_RIGHT.format(flags="@pipelining.")
+MATERIALIZED = TC_RIGHT.format(flags="")
+
+
+def _diamond_chain(sections: int):
+    """A chain of diamonds: 2 paths per section, suffixes shared — the
+    recomputation trap for pipelined evaluation."""
+    edges = []
+    for section in range(sections):
+        base = section * 3
+        edges += [
+            (base, base + 1),
+            (base, base + 2),
+            (base + 1, base + 3),
+            (base + 2, base + 3),
+        ]
+    return edges
+
+
+class TestE5PipeliningVsMaterialization:
+    def test_first_answer_work(self):
+        edges = chain_edges(200)
+        rows = []
+        for label, program in (("pipelined", PIPELINED), ("materialized", MATERIALIZED)):
+            session = session_with(edge_facts(edges), program)
+            result = session.query("path(0, Y)")
+            first = result.get_next()
+            assert first is not None
+            rows.append((label, session.stats.inferences))
+        report(
+            "E5: inferences before the first answer (200-chain, bound source)",
+            ["strategy", "inferences to first answer"],
+            rows,
+        )
+        pipelined_work = rows[0][1]
+        materialized_work = rows[1][1]
+        assert pipelined_work <= 5  # one proof, on demand
+
+    def test_recomputation_on_shared_subgoals(self):
+        edges = _diamond_chain(7)  # 2^7 proofs of the farthest node
+        rows = []
+        counts = {}
+        for label, program in (("pipelined", PIPELINED), ("materialized", MATERIALIZED)):
+            session = session_with(edge_facts(edges), program)
+            answers = [a["Y"] for a in session.query("path(0, Y)")]
+            counts[label] = session.stats.inferences
+            rows.append((label, len(answers), len(set(answers)), session.stats.inferences))
+        report(
+            "E5: all answers on a diamond chain (shared suffixes, 128 proofs)",
+            ["strategy", "answers returned", "distinct", "inferences"],
+            rows,
+        )
+        # one answer per *proof* for pipelining; per *fact* for materialization
+        assert rows[0][1] > rows[0][2]
+        assert rows[1][1] == rows[1][2]
+        # materialization avoids the exponential recomputation
+        assert counts["materialized"] < counts["pipelined"] / 4
+
+    def test_same_distinct_answers(self):
+        edges = _diamond_chain(4)
+        answer_sets = []
+        for program in (PIPELINED, MATERIALIZED):
+            session = session_with(edge_facts(edges), program)
+            answer_sets.append(
+                sorted(set(a["Y"] for a in session.query("path(0, Y)")))
+            )
+        assert answer_sets[0] == answer_sets[1]
+
+    def test_pipelined_first_answer_speed(self, benchmark):
+        edges = edge_facts(chain_edges(200))
+
+        def run():
+            session = session_with(edges, PIPELINED)
+            return session.query("path(0, Y)").get_next()
+
+        benchmark.pedantic(run, rounds=5, iterations=1)
+
+    def test_materialized_first_answer_speed(self, benchmark):
+        edges = edge_facts(chain_edges(200))
+
+        def run():
+            session = session_with(edges, MATERIALIZED)
+            return session.query("path(0, Y)").get_next()
+
+        benchmark.pedantic(run, rounds=5, iterations=1)

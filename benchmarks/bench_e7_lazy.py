@@ -1,0 +1,90 @@
+"""E7 — Section 5.4.3: lazy evaluation.
+
+Paper claim: *"Lazy evaluation tries to return the answers at the end of
+every iteration, instead of at the end of computation ... the whole process
+is repeated until an iteration over the rules produces no new tuples."*  And
+Section 5.6: at the top level *"this results in answers being available at
+the end of each iteration."*
+
+Measured on left-linear bound-source reachability over a long chain (one new
+answer per iteration): work done before the first answer and before the
+first K answers, lazy vs eager, plus identical totals.
+"""
+
+import pytest
+
+from repro import Session
+from workloads import chain_edges, edge_facts, report, session_with
+
+#: left-linear TC: the answer SCC produces one new path fact per iteration,
+#: so laziness is visible answer by answer
+TC_LEFT_LAZY = """
+module tc.
+export path(bf).
+{flags}
+path(X, Y) :- edge(X, Y).
+path(X, Y) :- path(X, Z), edge(Z, Y).
+end_module.
+"""
+
+LAZY = TC_LEFT_LAZY.format(flags="")  # lazy is the materialized default
+EAGER = TC_LEFT_LAZY.format(flags="@eager_eval.")
+
+CHAIN = chain_edges(150)
+
+
+def _work_to_first_k(program: str, k: int) -> int:
+    session = session_with(edge_facts(CHAIN), program)
+    result = session.query("path(0, Y)")
+    for _ in range(k):
+        answer = result.get_next()
+        assert answer is not None
+    return session.stats.inferences
+
+
+class TestE7LazyEvaluation:
+    def test_work_to_first_answers(self):
+        rows = []
+        for k in (1, 10, 50):
+            lazy_work = _work_to_first_k(LAZY, k)
+            eager_work = _work_to_first_k(EAGER, k)
+            rows.append((k, lazy_work, eager_work))
+        report(
+            "E7: inferences before the first K answers (150-chain, "
+            "lazy = materialized default vs @eager_eval)",
+            ["K", "lazy", "eager"],
+            rows,
+        )
+        # eager always pays the full fixpoint; lazy pays roughly K iterations
+        full = rows[0][2]
+        assert rows[0][1] < full / 10
+        assert rows[1][1] < full / 2
+        for _k, _lazy, eager in rows:
+            assert eager == full
+
+    def test_totals_identical(self):
+        lazy_session = session_with(edge_facts(CHAIN), LAZY)
+        eager_session = session_with(edge_facts(CHAIN), EAGER)
+        lazy_answers = sorted(a["Y"] for a in lazy_session.query("path(0, Y)"))
+        eager_answers = sorted(a["Y"] for a in eager_session.query("path(0, Y)"))
+        assert lazy_answers == eager_answers
+        assert len(lazy_answers) == len(CHAIN)
+
+    def test_abandoned_lazy_cursor_stops_paying(self):
+        """Pull three answers and walk away: the fixpoint must not have run
+        to completion behind the consumer's back."""
+        session = session_with(edge_facts(CHAIN), LAZY)
+        result = session.query("path(0, Y)")
+        for _ in range(3):
+            result.get_next()
+        assert session.stats.inferences < len(CHAIN)
+
+    def test_lazy_first_answer_speed(self, benchmark):
+        benchmark.pedantic(
+            lambda: _work_to_first_k(LAZY, 1), rounds=5, iterations=1
+        )
+
+    def test_eager_first_answer_speed(self, benchmark):
+        benchmark.pedantic(
+            lambda: _work_to_first_k(EAGER, 1), rounds=5, iterations=1
+        )

@@ -1,0 +1,6 @@
+"""Benchmark harness configuration: make workloads.py importable."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))

@@ -1,0 +1,69 @@
+"""Andersen-style points-to analysis — program analysis as deductive
+database queries.
+
+The paper's introduction motivates CORAL with "applications in which large
+amounts of data must be extensively analyzed"; static program analysis
+became the canonical such workload for deductive databases.  This example
+encodes a small imperative program's statements as facts and the classic
+inclusion-based (Andersen) points-to analysis as four recursive rules, then
+asks both global and demand-driven (magic-rewritten) queries.
+
+Statement encoding:
+
+    addr(x, o)    —  x = &o
+    assign(x, y)  —  x = y
+    load(x, y)    —  x = *y
+    store(x, y)   —  *x = y
+
+Run:  python examples/pointer_analysis.py
+"""
+
+from repro import Session
+
+#: the analysed program:
+#:   a = &obj1;  b = &obj2;  p = &a;
+#:   c = b;      *p = c;     d = *p;  q = p;  e = *q;
+PROGRAM_FACTS = """
+addr(a, obj1). addr(b, obj2). addr(p, a).
+assign(c, b).
+store(p, c).
+load(d, p).
+assign(q, p).
+load(e, q).
+"""
+
+ANALYSIS = """
+module andersen.
+export pts(bf, ff).
+export alias(bf).
+pts(V, O) :- addr(V, O).
+pts(V, O) :- assign(V, W), pts(W, O).
+pts(V, O) :- load(V, W), pts(W, X), pts(X, O).
+pts(X, O) :- store(V, W), pts(V, X), pts(W, O).
+alias(X, Y) :- pts(X, O), pts(Y, O), X != Y.
+end_module.
+"""
+
+
+def main() -> None:
+    session = Session()
+    session.consult_string(PROGRAM_FACTS + ANALYSIS)
+
+    print("Full points-to relation (bottom-up, ff form):")
+    for var, obj in sorted(session.query("pts(V, O)").tuples()):
+        print(f"    {var} -> {obj}")
+
+    print("\nDemand-driven query pts(e, O) — magic sets explore only what")
+    print("the 'e = *q' chain needs:")
+    for answer in session.query("pts(e, O)"):
+        print(f"    e may point to {answer['O']}")
+
+    print("\nAliases of d:")
+    for answer in sorted(session.query("alias(d, Y)").all(), key=lambda a: a["Y"]):
+        print(f"    d ~ {answer['Y']}")
+
+    print("\nEvaluator statistics:", session.stats.snapshot())
+
+
+if __name__ == "__main__":
+    main()

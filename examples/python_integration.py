@@ -1,0 +1,134 @@
+"""Python plays C++: the imperative interface and extensibility hooks.
+
+Reproduces Section 6 (the CORAL/C++ interface) and Section 7
+(extensibility) with Python as the host language:
+
+* relations built imperatively and scanned with a ScanDescriptor (the
+  paper's C_ScanDesc);
+* a declarative module embedded in host code and driven from it;
+* a new predicate defined in the host language with ``coral_export``
+  (the paper's ``_coral_export``), used inside declarative rules;
+* a user abstract data type (a 2-D point) registered so consulted text
+  re-creates instances, with distance computed by a host predicate;
+* a relation computed entirely by a host function (Section 7.2).
+
+Run:  python examples/python_integration.py
+"""
+
+from repro import Arg, Int, Session, coral_export
+from repro.api import ScanDescriptor
+from repro.extensibility import FunctionRelation
+
+
+class Point(Arg):
+    """A user ADT implementing the Section 7.1 virtual-method contract."""
+
+    __slots__ = ("x", "y")
+    kind = "point"
+
+    def __init__(self, x: float, y: float) -> None:
+        object.__setattr__(self, "x", float(x))
+        object.__setattr__(self, "y", float(y))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Point is immutable")
+
+    def equals(self, other) -> bool:
+        return isinstance(other, Point) and (other.x, other.y) == (self.x, self.y)
+
+    def __eq__(self, other):
+        return self.equals(other) if isinstance(other, Arg) else NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("point", self.x, self.y))
+
+    def hash_value(self) -> int:
+        return hash(self)
+
+    def ground_key(self):
+        return ("point", self.x, self.y)
+
+    @classmethod
+    def construct(cls, x, y):
+        return cls(
+            x.value if isinstance(x, Arg) else x,
+            y.value if isinstance(y, Arg) else y,
+        )
+
+    def __str__(self) -> str:
+        return f"pt({self.x:g}, {self.y:g})"
+
+
+def main() -> None:
+    session = Session()
+
+    # -- imperative relation construction (Section 6.1) ------------------
+    stops = session.relation("stop", 2)
+    for name, zone in [("depot", 1), ("market", 1), ("museum", 2), ("pier", 3)]:
+        stops.insert_values(name, zone)
+
+    print("Scan with a selection (C_ScanDesc equivalent): zone-1 stops")
+    with ScanDescriptor(stops, [None, 1]) as scan:
+        for name, zone in scan:
+            print("   ", name)
+
+    # -- a host-language predicate usable from rules (Section 6.2) -------
+    @coral_export(session.ctx.builtins, "fare", 2)
+    def fare(zone, price):
+        """fare(Zone, Price): zone-based pricing computed in Python."""
+        if zone is not None:
+            yield (zone, 250 + 75 * (zone - 1))
+
+    # -- a relation computed by a host function (Section 7.2) ------------
+    def neighbours(a, b):
+        adjacency = {
+            "depot": ["market"], "market": ["depot", "museum"],
+            "museum": ["market", "pier"], "pier": ["museum"],
+        }
+        if a is not None:
+            for other in adjacency.get(a.value, []):
+                yield (a.value, other)
+        else:
+            for src, targets in adjacency.items():
+                for other in targets:
+                    yield (src, other)
+
+    session.register_relation(FunctionRelation("adjacent", 2, neighbours))
+
+    # -- the user ADT, consulted from text (Section 7.1) -----------------
+    # (note: host predicates registered with coral_export accept primitive
+    # types only — the paper's Section 6.2 restriction; ADTs flow through
+    # the declarative language and the generic Arg interface instead)
+    session.register_type("pt", Point)
+
+    session.consult_string(
+        """
+        located(depot, pt(0, 0)).
+        located(market, pt(3, 4)).
+        located(museum, pt(6, 8)).
+        located(pier, pt(6, 12)).
+
+        module trips.
+        export ticket(bf).
+        export hop(bf).
+        ticket(Stop, Price) :- stop(Stop, Zone), fare(Zone, Price).
+        hop(A, B) :- adjacent(A, B).
+        end_module.
+        """
+    )
+
+    print("\nTicket prices (declarative rules calling the Python fare/2):")
+    for answer in sorted(session.query("ticket(S, P)").all(), key=lambda a: a["P"]):
+        print(f"    {answer['S']:>7}: {answer['P']} cents")
+
+    print("\nHops from market (a function-computed relation):")
+    for answer in session.query("hop(market, B)"):
+        print("   ", answer["B"])
+
+    print("\nStops with their ADT coordinates (consulted from text):")
+    for answer in session.query("located(S, P)"):
+        print(f"    {answer['S']:>7} at {answer.term('P')}")
+
+
+if __name__ == "__main__":
+    main()

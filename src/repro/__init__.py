@@ -1,0 +1,79 @@
+"""repro — a from-scratch Python reproduction of the CORAL deductive
+database system (Ramakrishnan, Srivastava, Sudarshan, Seshadri, SIGMOD 1993).
+
+Quick start::
+
+    from repro import Session
+
+    session = Session()
+    session.consult_string('''
+        edge(1, 2). edge(2, 3).
+
+        module tc.
+        export path(bf, ff).
+        path(X, Y) :- edge(X, Y).
+        path(X, Y) :- edge(X, Z), path(Z, Y).
+        end_module.
+    ''')
+    for answer in session.query("path(1, X)"):
+        print(answer["X"])
+
+See README.md for a tour and DESIGN.md for the system inventory.  Subsystem
+packages can also be used directly:
+
+* :mod:`repro.terms` — constants, variables, functor terms, hash-consing,
+  binding environments, unification;
+* :mod:`repro.relations` — tuples, relations, marks, indexes;
+* :mod:`repro.storage` — the page-based storage manager (EXODUS stand-in);
+* :mod:`repro.language` — lexer/parser for the declarative language;
+* :mod:`repro.rewriting` — magic-sets family and semi-naive rewriting;
+* :mod:`repro.eval` — materialized, pipelined, and ordered-search evaluation;
+* :mod:`repro.modules` — modules, exports, inter-module calls;
+* :mod:`repro.api` — the imperative host-language interface (Session,
+  coral_export, ScanDescriptor);
+* :mod:`repro.compilemod` — the compiled-evaluation mode (Section 2);
+* :mod:`repro.shell` — the interactive interface;
+* :mod:`repro.explain` — derivation tracing.
+"""
+
+from .api import Answer, QueryResult, ScanDescriptor, Session, coral_export
+from .errors import (
+    CoralError,
+    EvaluationError,
+    ModuleError,
+    ParseError,
+    RewriteError,
+    StorageError,
+    StratificationError,
+)
+from .relations import Relation, Tuple
+from .terms import Arg, Atom, Double, Functor, Int, Str, Var, from_arg, make_list, to_arg
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Answer",
+    "Arg",
+    "Atom",
+    "CoralError",
+    "Double",
+    "EvaluationError",
+    "Functor",
+    "Int",
+    "ModuleError",
+    "ParseError",
+    "QueryResult",
+    "Relation",
+    "RewriteError",
+    "ScanDescriptor",
+    "Session",
+    "StorageError",
+    "StratificationError",
+    "Str",
+    "Tuple",
+    "Var",
+    "coral_export",
+    "from_arg",
+    "make_list",
+    "to_arg",
+]

@@ -1,0 +1,13 @@
+"""The imperative host-language interface (paper Section 6).
+
+Python plays the role C++ played for CORAL: host programs construct and
+scan relations without breaking the relation abstraction, embed declarative
+modules (:meth:`Session.consult_string`), and define new predicates usable
+from rules (:func:`coral_export`, the ``_coral_export`` mechanism of
+Section 6.2).
+"""
+
+from .session import Answer, QueryResult, Session
+from .export import coral_export, ScanDescriptor
+
+__all__ = ["Answer", "QueryResult", "ScanDescriptor", "Session", "coral_export"]

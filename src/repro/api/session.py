@@ -1,0 +1,353 @@
+"""The session: the top-level handle a user (or the interactive shell, or an
+embedding Python program) drives the system through.
+
+Section 2: a CORAL process consults programs and data from text files into
+the single-user client, then answers queries typed at the interface or
+issued by host-language code.  :class:`Session` is that process state:
+an evaluation context (base relations + builtins), a module manager, and
+optionally a storage server for persistent relations.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
+
+from ..builtins import BuiltinRegistry
+from ..errors import CoralError, EvaluationError
+from ..eval.context import EvalContext
+from ..language import Literal, Program, Query, parse_program, parse_query
+from ..modules import ModuleManager
+from ..optimizer import index_spec_from_annotation
+from ..relations import HashRelation, Relation, Tuple
+from ..storage import BufferPool, PersistentRelation, StorageServer
+from ..terms import Arg, BindEnv, Trail, Var, from_arg, resolve, to_arg, unify
+from ..terms.unify import unify_fact
+from ..extensibility import TypeRegistry
+
+
+class Answer:
+    """One query answer: the matched tuple plus the query variables' values."""
+
+    def __init__(self, tup: Tuple, bindings: Dict[str, Arg]) -> None:
+        self.tuple = tup
+        self._bindings = bindings
+
+    def __getitem__(self, name: str) -> Any:
+        """The Python value bound to a query variable, by name."""
+        if name not in self._bindings:
+            raise KeyError(f"no query variable named {name}")
+        return from_arg(self._bindings[name])
+
+    def term(self, name: str) -> Arg:
+        """The raw term bound to a query variable."""
+        return self._bindings[name]
+
+    def variables(self) -> Dict[str, Any]:
+        return {name: from_arg(term) for name, term in self._bindings.items()}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self._bindings.items())
+        return f"Answer({inner})" if inner else f"Answer{self.tuple}"
+
+
+class QueryResult:
+    """A pull-based cursor over a query's answers (get-next-tuple at the
+    top level, Section 5.6): iterate lazily, or call :meth:`all` /
+    ``list(result)`` to materialize."""
+
+    def __init__(self, source: Iterator[Answer]) -> None:
+        self._source = source
+        self._cache: List[Answer] = []
+        self._done = False
+
+    def __iter__(self) -> Iterator[Answer]:
+        for answer in self._cache:
+            yield answer
+        while True:
+            answer = self.get_next()
+            if answer is None:
+                return
+            yield answer
+
+    def get_next(self) -> Optional[Answer]:
+        if self._done:
+            return None
+        answer = next(self._source, None)
+        if answer is None:
+            self._done = True
+            return None
+        self._cache.append(answer)
+        return answer
+
+    def all(self) -> List[Answer]:
+        while self.get_next() is not None:
+            pass
+        return list(self._cache)
+
+    def __len__(self) -> int:
+        return len(self.all())
+
+    def tuples(self) -> List[tuple]:
+        """All answers as plain Python tuples."""
+        return [
+            tuple(from_arg(arg) for arg in answer.tuple.args)
+            for answer in self.all()
+        ]
+
+
+class Session:
+    """A single-user CORAL process (Section 2)."""
+
+    def __init__(
+        self,
+        builtins: Optional[BuiltinRegistry] = None,
+        data_directory: Optional[str] = None,
+        buffer_capacity: int = 64,
+    ) -> None:
+        self.ctx = EvalContext(builtins)
+        self.modules = ModuleManager(self.ctx)
+        #: user-defined abstract data types (Section 7.1)
+        self.types = TypeRegistry()
+        self._server: Optional[StorageServer] = None
+        self._pool: Optional[BufferPool] = None
+        self._buffer_capacity = buffer_capacity
+        self._install_update_builtins()
+        if data_directory is not None:
+            self.open_storage(data_directory, buffer_capacity)
+
+    def _install_update_builtins(self) -> None:
+        """``assertz/1`` and ``retract/1``: updates with side effects, for
+        pipelined modules whose evaluation order is guaranteed (Section 5.2:
+        "programmers can exploit this guarantee and use predicates like
+        updates that involve side-effects")."""
+        from ..errors import EvaluationError as _EvalError
+        from ..terms import Atom, Functor
+
+        def _target(args, env):
+            term = resolve(args[0], env)
+            if isinstance(term, Functor):
+                return term.name, term.args
+            if isinstance(term, Atom):
+                return term.name, ()
+            raise _EvalError(
+                f"assertz/retract need a predicate term, got {term}"
+            )
+
+        def _assert_impl(args, env, trail):
+            name, fact_args = _target(args, env)
+            self.ctx.base_relation(name, len(fact_args)).insert(
+                Tuple(tuple(fact_args))
+            )
+            yield None
+
+        def _retract_impl(args, env, trail):
+            name, fact_args = _target(args, env)
+            relation = self.ctx.base_relations.get((name, len(fact_args)))
+            if relation is not None and relation.delete(
+                Tuple(tuple(fact_args))
+            ):
+                yield None
+
+        self.ctx.builtins.register_function(
+            "assertz", 1, _assert_impl, pure=False
+        )
+        self.ctx.builtins.register_function(
+            "retract", 1, _retract_impl, pure=False
+        )
+
+    # -- storage (the EXODUS client link, Section 2) ----------------------------
+
+    def open_storage(self, directory: str, buffer_capacity: int = 64) -> None:
+        if self._server is not None:
+            raise CoralError("storage is already open for this session")
+        self._server = StorageServer(directory)
+        self._pool = BufferPool(self._server, buffer_capacity)
+
+    @property
+    def storage_pool(self) -> BufferPool:
+        if self._pool is None:
+            raise CoralError(
+                "no storage directory opened (pass data_directory= or call "
+                "open_storage)"
+            )
+        return self._pool
+
+    def persistent_relation(
+        self, name: str, arity: int, unique: bool = True
+    ) -> PersistentRelation:
+        """Create or re-open a persistent relation and register it as a base
+        relation visible to rules."""
+        relation = PersistentRelation(name, arity, self.storage_pool, unique)
+        existing = self.ctx.base_relations.get((name, arity))
+        if existing is None:
+            self.ctx.register_base(relation)
+        elif not isinstance(existing, PersistentRelation):
+            raise CoralError(
+                f"{name}/{arity} already exists as an in-memory relation"
+            )
+        return relation
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.flush_all()
+        if self._server is not None:
+            self._server.close()
+        self._server = None
+        self._pool = None
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- consulting (Section 2) -----------------------------------------------------
+
+    def consult(self, path: str) -> List[QueryResult]:
+        """Consult a program/data file, loading modules and facts and
+        running any queries it contains."""
+        with open(path) as handle:
+            return self.consult_string(
+                handle.read(), base_directory=os.path.dirname(path)
+            )
+
+    def consult_string(
+        self, source: str, base_directory: str = "."
+    ) -> List[QueryResult]:
+        program = parse_program(source)
+        return self.load_program(program, base_directory)
+
+    def load_program(
+        self, program: Program, base_directory: str = "."
+    ) -> List[QueryResult]:
+        for command in program.commands:
+            if command.name == "consult" and command.arguments:
+                nested = command.arguments[0]
+                if not os.path.isabs(nested):
+                    nested = os.path.join(base_directory, nested)
+                self.consult(nested)
+        for module in program.modules:
+            self.modules.load(module)
+        for fact in program.facts:
+            head = fact.head
+            relation = self.ctx.base_relation(head.pred, len(head.args))
+            args = head.args
+            if len(self.types):
+                args = tuple(self.types.reconstruct(arg) for arg in args)
+            relation.insert(Tuple(tuple(args)))
+        for annotation in program.index_annotations:
+            relation = self.ctx.base_relation(annotation.pred, annotation.arity)
+            if isinstance(relation, HashRelation):
+                relation.add_index(index_spec_from_annotation(annotation))
+        return [self.query_literal(query.literal) for query in program.queries]
+
+    # -- queries ----------------------------------------------------------------------
+
+    def query(self, text: str) -> QueryResult:
+        """Answer a textual query, e.g. ``session.query("path(1, X)")``."""
+        return self.query_literal(parse_query(text).literal)
+
+    def query_values(self, pred: str, *values: Any) -> QueryResult:
+        """Programmatic query: Python values bind arguments, None leaves an
+        argument free — ``session.query_values("path", 1, None)``."""
+        args = tuple(
+            Var("_") if value is None else to_arg(value) for value in values
+        )
+        return self.query_literal(Literal(pred, args))
+
+    def query_literal(self, literal: Literal) -> QueryResult:
+        relation = self.ctx.resolve(literal.pred, literal.arity)
+        variable_names: Dict[int, str] = {}
+        for arg in literal.args:
+            for var in arg.variables():
+                variable_names.setdefault(var.vid, var.name)
+
+        def answers() -> Iterator[Answer]:
+            env = BindEnv()
+            trail = Trail()
+            cursor = relation.scan(literal.args, env)
+            try:
+                while True:
+                    candidate = cursor.get_next()
+                    if candidate is None:
+                        return
+                    fact = candidate.renamed()
+                    mark = trail.mark()
+                    if unify_fact(literal.args, env, fact.args, trail):
+                        bindings = {}
+                        for arg in literal.args:
+                            for var in arg.variables():
+                                name = variable_names[var.vid]
+                                if name not in bindings and name != "_":
+                                    bindings[name] = resolve(var, env)
+                        yield Answer(
+                            Tuple(
+                                tuple(
+                                    resolve(arg, env) for arg in literal.args
+                                )
+                            ),
+                            bindings,
+                        )
+                    trail.undo_to(mark)
+            finally:
+                cursor.close()
+
+        return QueryResult(answers())
+
+    # -- imperative fact management (Section 6) -----------------------------------------
+
+    def relation(self, name: str, arity: int) -> Relation:
+        """The base relation handle (creating an in-memory one if new)."""
+        return self.ctx.base_relation(name, arity)
+
+    def register_type(self, name: str, cls) -> None:
+        """Register a user abstract data type under a constructor name
+        (Section 7.1): consulted facts mentioning ``name(...)`` re-create
+        instances via ``cls.construct``."""
+        self.types.register(name, cls)
+
+    def register_relation(self, relation: Relation) -> None:
+        """Install a custom relation implementation (Section 7.2) as a base
+        relation — e.g. a :class:`repro.extensibility.FunctionRelation`."""
+        self.ctx.register_base(relation)
+
+    def dump_relation(self, name: str, arity: int, path: str) -> int:
+        """Write a base relation to a text file as facts, re-consultable by
+        any session (Section 2: "persistent data is stored either in text
+        files, or using the EXODUS storage manager").  Returns the number of
+        facts written; non-ground facts keep their universal variables."""
+        relation = self.ctx.base_relation(name, arity, create=False)
+        count = 0
+        with open(path, "w") as handle:
+            for tup in relation.scan():
+                inner = ", ".join(str(arg) for arg in tup.args)
+                handle.write(f"{name}({inner}).\n" if arity else f"{name}.\n")
+                count += 1
+        return count
+
+    def insert(self, pred: str, *values: Any) -> bool:
+        return self.ctx.base_relation(pred, len(values)).insert_values(*values)
+
+    def delete(self, pred: str, *values: Any) -> bool:
+        relation = self.ctx.base_relation(pred, len(values), create=False)
+        return relation.delete(Tuple(tuple(to_arg(v) for v in values)))
+
+    @property
+    def stats(self):
+        return self.ctx.stats
+
+    # -- explanation (the tracing tool) ------------------------------------------
+
+    def enable_tracing(self, limit: int = 100_000):
+        """Turn on derivation recording for materialized evaluation and
+        return the tracer; ``tracer.why("path(1, 3)")`` then prints a proof
+        tree.  Costs time and memory — leave off in production runs."""
+        from ..explain import DerivationTracer
+
+        tracer = DerivationTracer(limit)
+        self.ctx.tracer = tracer
+        return tracer
+
+    def disable_tracing(self) -> None:
+        self.ctx.tracer = None

@@ -1,0 +1,12 @@
+"""Builtin predicates: comparisons, arithmetic, lists, I/O (Section 6.2)."""
+
+from .core import eval_arith, number_to_arg
+from .registry import Builtin, BuiltinRegistry, default_registry
+
+__all__ = [
+    "Builtin",
+    "BuiltinRegistry",
+    "default_registry",
+    "eval_arith",
+    "number_to_arg",
+]

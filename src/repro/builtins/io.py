@@ -1,0 +1,47 @@
+"""Side-effecting builtins: ``write/1``, ``writeln/1``, ``nl/0``.
+
+Section 5.2: pipelining *"guarantees a particular evaluation strategy, and
+order of execution ... programmers can exploit this guarantee and use
+predicates like updates that involve side-effects."*  These builtins are
+marked impure so the optimizer never reorders or caches around them; they
+are intended for pipelined modules, where evaluation order is defined.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterator, Sequence, TextIO
+
+from ..terms import Arg, BindEnv, Str, Trail, resolve
+from .registry import BuiltinRegistry
+
+#: Where write/1 sends its output; tests rebind this.
+output_stream: TextIO = sys.stdout
+
+
+def _display(term: Arg) -> str:
+    """Strings print raw (no quotes) when written, Prolog-style."""
+    if isinstance(term, Str):
+        return term.value
+    return str(term)
+
+
+def _write_impl(args: Sequence[Arg], env: BindEnv, trail: Trail) -> Iterator[None]:
+    output_stream.write(_display(resolve(args[0], env)))
+    yield None
+
+
+def _writeln_impl(args: Sequence[Arg], env: BindEnv, trail: Trail) -> Iterator[None]:
+    output_stream.write(_display(resolve(args[0], env)) + "\n")
+    yield None
+
+
+def _nl_impl(args: Sequence[Arg], env: BindEnv, trail: Trail) -> Iterator[None]:
+    output_stream.write("\n")
+    yield None
+
+
+def install(registry: BuiltinRegistry) -> None:
+    registry.register_function("write", 1, _write_impl, pure=False)
+    registry.register_function("writeln", 1, _writeln_impl, pure=False)
+    registry.register_function("nl", 0, _nl_impl, pure=False)

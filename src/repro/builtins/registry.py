@@ -1,0 +1,97 @@
+"""The builtin-predicate registry.
+
+Builtins are predicates evaluated by Python code rather than by rules or
+stored facts: comparisons, arithmetic binding (``C1 = C + EC`` in the
+paper's Figure 3), list operations such as ``append``, and I/O.  They share
+the evaluation contract of any other literal — *given the current bindings,
+enumerate the ways the literal can be satisfied, extending the bindings* —
+so both the materialized join loop and the pipelined resolver call them the
+same way they scan a relation.
+
+The registry is also the hook through which host-language (Python) predicate
+definitions are added (Section 6.2's ``_coral_export`` mechanism — see
+:mod:`repro.api.export`), and through which users register predicates over
+their own abstract data types (Section 7.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Optional, Sequence, Tuple as PyTuple
+
+from ..errors import EvaluationError
+from ..terms import Arg, BindEnv, Trail
+
+#: A builtin implementation: given (args, env, trail), yield once per
+#: solution; bindings must be recorded on the trail (the caller undoes them
+#: between solutions and on exhaustion).
+BuiltinImpl = Callable[[Sequence[Arg], BindEnv, Trail], Iterator[None]]
+
+
+@dataclass(frozen=True)
+class Builtin:
+    name: str
+    arity: int
+    impl: BuiltinImpl
+    #: a pure test/generator with no side effects; the optimizer may reorder
+    #: or re-evaluate it freely
+    pure: bool = True
+
+    @property
+    def key(self) -> PyTuple[str, int]:
+        return (self.name, self.arity)
+
+
+class BuiltinRegistry:
+    """Mapping (name, arity) -> :class:`Builtin`."""
+
+    def __init__(self) -> None:
+        self._builtins: Dict[PyTuple[str, int], Builtin] = {}
+
+    def register(self, builtin: Builtin, replace: bool = False) -> None:
+        if builtin.key in self._builtins and not replace:
+            raise EvaluationError(
+                f"builtin {builtin.name}/{builtin.arity} is already registered"
+            )
+        self._builtins[builtin.key] = builtin
+
+    def register_function(
+        self,
+        name: str,
+        arity: int,
+        impl: BuiltinImpl,
+        pure: bool = True,
+        replace: bool = False,
+    ) -> Builtin:
+        builtin = Builtin(name, arity, impl, pure)
+        self.register(builtin, replace=replace)
+        return builtin
+
+    def lookup(self, name: str, arity: int) -> Optional[Builtin]:
+        return self._builtins.get((name, arity))
+
+    def is_builtin(self, name: str, arity: int) -> bool:
+        return (name, arity) in self._builtins
+
+    def names(self) -> Sequence[PyTuple[str, int]]:
+        return sorted(self._builtins)
+
+    def copy(self) -> "BuiltinRegistry":
+        """A shallow copy — sessions extend the default registry without
+        mutating it."""
+        child = BuiltinRegistry()
+        child._builtins.update(self._builtins)
+        return child
+
+
+def default_registry() -> BuiltinRegistry:
+    """A fresh registry with the standard library installed."""
+    from . import core, io, lists, strings, terms_lib
+
+    registry = BuiltinRegistry()
+    core.install(registry)
+    lists.install(registry)
+    strings.install(registry)
+    terms_lib.install(registry)
+    io.install(registry)
+    return registry

@@ -1,0 +1,27 @@
+"""Compiled evaluation mode (paper Section 2).
+
+*"We also developed a fully compiled version of CORAL, in which we generated
+a C++ program from each user program.  (This is the approach taken by LDL.)
+We found that this approach took a significantly longer time to compile
+programs, and the resulting gain in execution speed was minimal.  We have
+therefore focused on the interpreted version."*
+
+This package reproduces that experiment (benchmark E12) in Python terms:
+:class:`RuleCompiler` generates specialized Python source per semi-naive
+rule — nested loops with inline equality guards instead of general
+unification and binding environments — and ``exec``-compiles it.  A module
+annotated ``@compiled.`` evaluates through
+:class:`CompiledSCCEvaluator`; everything else stays interpreted.
+
+The compiled class is deliberately restricted, like any realistic codegen:
+flat argument patterns (variables and primitive constants), positive
+non-builtin literals plus comparisons and arithmetic ``=``, and ground
+facts.  Rules outside the class silently fall back to the interpreter, and
+a non-ground fact encountered at run time raises — compiled mode is for
+ground Datalog, which is where its speed matters.
+"""
+
+from .codegen import CompileStats, RuleCompiler
+from .evaluator import CompiledSCCEvaluator
+
+__all__ = ["CompileStats", "CompiledSCCEvaluator", "RuleCompiler"]

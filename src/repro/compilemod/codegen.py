@@ -1,0 +1,265 @@
+"""Python code generation for semi-naive rules.
+
+Each compilable rule becomes one generator function: nested ``for`` loops
+over relation scans, argument guards as plain ``==`` comparisons on Arg
+objects, comparisons and arithmetic inlined on unwrapped Python values,
+yielding ready-made head argument tuples.  The point (benchmark E12) is to
+measure what specialization buys once unification, bindenvs and the trail
+are out of the inner loop — and what it costs at 'consult' time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple as PyTuple
+
+from ..errors import EvaluationError
+from ..language.ast import Literal
+from ..relations import MarkedRelation
+from ..rewriting.seminaive import ScanKind, SNRule
+from ..terms import Arg, Atom, Double, Int, Str, Var
+
+#: comparison operators the code generator can inline
+_COMPARISONS = {"<": "<", ">": ">", "<=": "<=", ">=": ">=", "==": "==", "!=": "!="}
+#: arithmetic functors the code generator can inline
+_ARITH = {"+": "+", "-": "-", "*": "*", "/": "/"}
+
+_PRIMITIVES = (Int, Double, Str, Atom)
+
+
+class NotCompilable(Exception):
+    """The rule is outside the compiled class; fall back to interpretation."""
+
+
+@dataclass
+class CompileStats:
+    """Consult-time accounting for the compiled-vs-interpreted comparison."""
+
+    rules_compiled: int = 0
+    rules_interpreted: int = 0
+    codegen_seconds: float = 0.0
+    generated_lines: int = 0
+
+
+@dataclass
+class CompiledRule:
+    """A compiled rule body: call ``run(scope, ranges)`` to get an iterator
+    of head argument tuples."""
+
+    source: str
+    run: Callable
+    head_pred: str
+    head_arity: int
+
+
+class _Emitter:
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.indent = 1
+
+    def emit(self, line: str) -> None:
+        self.lines.append("    " * self.indent + line)
+
+    def source(self, name: str) -> str:
+        header = f"def {name}(scope, ranges, consts):\n"
+        body = "\n".join(self.lines) if self.lines else "    pass"
+        return header + body + "\n"
+
+
+class RuleCompiler:
+    """Generates Python for one semi-naive rule at a time."""
+
+    def __init__(self) -> None:
+        self.stats = CompileStats()
+
+    def try_compile(self, rule: SNRule) -> Optional[CompiledRule]:
+        """A :class:`CompiledRule`, or None when the rule falls outside the
+        compiled class (aggregation, negation, functor arguments, builtins
+        beyond comparisons/arithmetic-=)."""
+        started = time.perf_counter()
+        try:
+            compiled = self._compile(rule)
+        except NotCompilable:
+            self.stats.rules_interpreted += 1
+            return None
+        finally:
+            self.stats.codegen_seconds += time.perf_counter() - started
+        self.stats.rules_compiled += 1
+        self.stats.generated_lines += compiled.source.count("\n")
+        return compiled
+
+    # -- the code generator -----------------------------------------------------
+
+    def _compile(self, rule: SNRule) -> CompiledRule:
+        if rule.head_aggregates:
+            raise NotCompilable("aggregation")
+        emitter = _Emitter()
+        consts: List[Arg] = []
+        #: vid -> python variable name, assigned at first binding site
+        names: Dict[int, str] = {}
+        loop_index = 0
+        in_loop = False
+
+        def const_ref(value: Arg) -> str:
+            consts.append(value)
+            return f"consts[{len(consts) - 1}]"
+
+        for item in rule.body:
+            literal = item.literal
+            if literal.negated:
+                raise NotCompilable("negation")
+            if literal.pred in _COMPARISONS and literal.arity == 2:
+                if not in_loop:
+                    raise NotCompilable("guard before the first scan literal")
+                self._emit_comparison(emitter, literal, names, const_ref)
+                continue
+            if literal.pred == "=" and literal.arity == 2:
+                if not in_loop:
+                    raise NotCompilable("assignment before the first scan literal")
+                self._emit_assignment(emitter, literal, names, const_ref)
+                continue
+            if literal.pred in ("+", "-", "*", "/"):
+                raise NotCompilable("bare arithmetic literal")
+            self._emit_scan(
+                emitter, item, loop_index, names, const_ref
+            )
+            loop_index += 1
+            in_loop = True
+
+        head_parts = []
+        for arg in rule.head.args:
+            head_parts.append(self._value_ref(arg, names, const_ref, wrap=True))
+        emitter.emit(f"yield ({', '.join(head_parts)}{',' if head_parts else ''})")
+
+        name = f"_rule_{rule.head.pred}_{rule.source_index}"
+        for bad in "-$.":
+            name = name.replace(bad, "_")
+        source = emitter.source(name)
+        namespace: Dict[str, object] = {
+            "Int": Int,
+            "Double": Double,
+            "MarkedRelation": MarkedRelation,
+            "_nonground_error": _nonground_error,
+            "_KINDS": {kind.value: kind for kind in ScanKind},
+            "_free": Var("_"),
+        }
+        exec(compile(source, f"<compiled {name}>", "exec"), namespace)
+        generated = namespace[name]
+
+        def run(scope, ranges, _fn=generated, _consts=tuple(consts)):
+            return _fn(scope, ranges, _consts)
+
+        return CompiledRule(source, run, rule.head.pred, len(rule.head.args))
+
+    # -- pieces ----------------------------------------------------------------------
+
+    def _emit_scan(self, emitter, item, loop_index, names, const_ref) -> None:
+        literal = item.literal
+        tuple_var = f"_t{loop_index}"
+        probe_parts: List[str] = []
+        for arg in literal.args:
+            if isinstance(arg, Var):
+                if arg.vid in names:
+                    probe_parts.append(names[arg.vid])
+                else:
+                    probe_parts.append("None")
+            elif isinstance(arg, _PRIMITIVES):
+                probe_parts.append(const_ref(arg))
+            else:
+                raise NotCompilable(f"structured argument {arg}")
+        emitter.emit(
+            f"_rel{loop_index} = scope.relation("
+            f"{literal.pred!r}, {literal.arity})"
+        )
+        probe_items = ", ".join(
+            part if part != "None" else "_free" for part in probe_parts
+        )
+        emitter.emit(
+            f"_probe{loop_index} = [{probe_items}{',' if probe_parts else ''}]"
+        )
+        kind = item.kind
+        emitter.emit(
+            f"_rng{loop_index} = ranges(({literal.pred!r}, {literal.arity}), "
+            f"_KINDS[{kind.value!r}]) if ranges is not None else None"
+        )
+        emitter.emit(
+            f"_cursor{loop_index} = (_rel{loop_index}.scan(_probe{loop_index}, "
+            f"None, since=_rng{loop_index}[0], until=_rng{loop_index}[1]) "
+            f"if (_rng{loop_index} is not None and isinstance(_rel{loop_index}, "
+            f"MarkedRelation)) else _rel{loop_index}.scan(_probe{loop_index}, None))"
+        )
+        emitter.emit(f"for {tuple_var} in _cursor{loop_index}:")
+        emitter.indent += 1
+        emitter.emit(f"if not {tuple_var}.is_ground(): _nonground_error({tuple_var})")
+        for position, arg in enumerate(literal.args):
+            access = f"{tuple_var}.args[{position}]"
+            if isinstance(arg, Var):
+                existing = names.get(arg.vid)
+                if existing is None:
+                    fresh = f"v{arg.vid}"
+                    names[arg.vid] = fresh
+                    emitter.emit(f"{fresh} = {access}")
+                else:
+                    emitter.emit(f"if {existing} != {access}: continue")
+            else:
+                emitter.emit(f"if {const_ref(arg)} != {access}: continue")
+
+    def _emit_comparison(self, emitter, literal, names, const_ref) -> None:
+        left = self._numeric_expr(literal.args[0], names, const_ref)
+        right = self._numeric_expr(literal.args[1], names, const_ref)
+        op = _COMPARISONS[literal.pred]
+        emitter.emit(f"if not (({left}) {op} ({right})): continue")
+
+    def _emit_assignment(self, emitter, literal, names, const_ref) -> None:
+        target, expr = literal.args
+        if not isinstance(target, Var):
+            raise NotCompilable("assignment target must be a variable")
+        value = self._numeric_expr(expr, names, const_ref)
+        existing = names.get(target.vid)
+        if existing is not None:
+            emitter.emit(f"if {existing}.value != ({value}): continue")
+            return
+        fresh = f"v{target.vid}"
+        names[target.vid] = fresh
+        emitter.emit(f"_n = {value}")
+        emitter.emit(
+            f"{fresh} = Int(_n) if isinstance(_n, int) else Double(_n)"
+        )
+
+    def _numeric_expr(self, arg: Arg, names, const_ref) -> str:
+        """A Python expression computing the numeric value of an arithmetic
+        term over already-bound variables."""
+        if isinstance(arg, Var):
+            name = names.get(arg.vid)
+            if name is None:
+                raise NotCompilable(f"unbound variable {arg} in expression")
+            return f"{name}.value"
+        if isinstance(arg, (Int, Double)):
+            return repr(arg.value)
+        if isinstance(arg, (Str, Atom)):
+            return repr(arg.value)
+        from ..terms import Functor
+
+        if isinstance(arg, Functor) and arg.name in _ARITH and len(arg.args) == 2:
+            left = self._numeric_expr(arg.args[0], names, const_ref)
+            right = self._numeric_expr(arg.args[1], names, const_ref)
+            return f"(({left}) {_ARITH[arg.name]} ({right}))"
+        raise NotCompilable(f"expression {arg}")
+
+    def _value_ref(self, arg: Arg, names, const_ref, wrap: bool) -> str:
+        if isinstance(arg, Var):
+            name = names.get(arg.vid)
+            if name is None:
+                raise NotCompilable(f"head variable {arg} not bound by the body")
+            return name
+        if isinstance(arg, _PRIMITIVES):
+            return const_ref(arg)
+        raise NotCompilable(f"structured head argument {arg}")
+
+
+def _nonground_error(tup) -> None:
+    raise EvaluationError(
+        f"compiled mode requires ground facts; found {tup} "
+        f"(use the interpreted evaluator for non-ground data)"
+    )

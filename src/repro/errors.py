@@ -1,0 +1,59 @@
+"""Exception hierarchy for the CORAL reproduction.
+
+Every error raised by the library derives from :class:`CoralError`, so host
+applications embedding the system (Section 6 of the paper) can catch a single
+base class.  Subclasses mirror the major subsystems: the language front end,
+the rewriting/optimization stage, run-time evaluation, and the storage
+manager.
+"""
+
+from __future__ import annotations
+
+
+class CoralError(Exception):
+    """Base class for all errors raised by the CORAL reproduction."""
+
+
+class ParseError(CoralError):
+    """A syntax error in a declarative program or query.
+
+    Carries the source position so interactive users (and tests) can point
+    at the offending token.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class RewriteError(CoralError):
+    """The optimizer could not rewrite a program for the given query form."""
+
+
+class StratificationError(RewriteError):
+    """A program uses negation/aggregation in a way no supported evaluation
+    strategy (stratified fixpoint or Ordered Search) can order."""
+
+
+class EvaluationError(CoralError):
+    """A run-time failure during query evaluation (e.g. unbound arithmetic)."""
+
+
+class InstantiationError(EvaluationError):
+    """A builtin required a ground argument that was unbound at call time."""
+
+
+class ModuleError(CoralError):
+    """Misuse of the module system: unknown exports, bad query forms,
+    or a recursive invocation of a ``save_module`` module (Section 5.4.2)."""
+
+
+class StorageError(CoralError):
+    """A failure inside the page-based storage manager (the EXODUS stand-in)."""
+
+
+class ExtensibilityError(CoralError):
+    """Invalid registration of a user-defined type, relation, or index."""

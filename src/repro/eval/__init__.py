@@ -1,0 +1,25 @@
+"""Query evaluation: materialized fixpoints, pipelining, ordered search
+(paper Sections 4, 5)."""
+
+from .aggregates import AggregateConstraint, AggregateFold, fold_aggregate
+from .context import EvalContext, EvalStats, LocalScope
+from .fixpoint import SCCEvaluator, SCCPlan
+from .join import BodyExecutor, backtrack_points, instantiate_head
+from .ordered import OrderedSearchEvaluator
+from .pipeline import PipelinedModule
+
+__all__ = [
+    "AggregateConstraint",
+    "AggregateFold",
+    "BodyExecutor",
+    "EvalContext",
+    "EvalStats",
+    "LocalScope",
+    "OrderedSearchEvaluator",
+    "PipelinedModule",
+    "SCCEvaluator",
+    "SCCPlan",
+    "backtrack_points",
+    "fold_aggregate",
+    "instantiate_head",
+]

@@ -1,0 +1,219 @@
+"""Nested-loops join with indexing, trail-based backtracking, and
+intelligent backjumping.
+
+Section 5.3: *"The basic join mechanism in CORAL is nested-loops with
+indexing.  In a manner similar to Prolog, CORAL maintains a trail of variable
+bindings when a rule is evaluated; this is used to undo variable bindings
+when the nested-loops join considers the next tuple in any loop."*
+
+Section 4.2 lists "deciding whether to refine the basic nested-loops join
+with intelligent backtracking" among the optimizer's duties, and Section 5.1
+notes each semi-naive rule carries "pre-computed backtrack points".  The
+executor here implements that refinement: when a body literal yields *no*
+solution at all under the current bindings, control jumps directly to the
+most recent earlier literal that binds one of its variables — the
+intermediate literals' untried alternatives cannot make it succeed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple as PyTuple
+
+from ..errors import EvaluationError
+from ..language.ast import Literal
+from ..relations import MarkedRelation, Relation, Tuple
+from ..rewriting.seminaive import ScanKind, SNLiteral
+from ..terms import Arg, BindEnv, Trail, resolve, unify
+from ..terms.unify import unify_fact
+from .context import EvalContext, LocalScope
+
+#: resolves a ScanKind to a (since, until) mark range for a literal's relation,
+#: given the predicate key; returns None for an unrestricted scan
+RangeResolver = Callable[[PyTuple[str, int], ScanKind], Optional[PyTuple[int, Optional[int]]]]
+
+
+def positive_solutions(
+    scope: LocalScope,
+    literal: Literal,
+    env: BindEnv,
+    trail: Trail,
+    scan_range: Optional[PyTuple[int, Optional[int]]] = None,
+) -> Iterator[None]:
+    """Enumerate bindings that satisfy a positive, non-builtin literal.
+
+    Opens a scan (indexed when the probe allows) and unifies each candidate
+    tuple against the literal's arguments.  Stored non-ground facts are
+    standardized apart before unification (their variables are universally
+    quantified, Section 3.1).
+    """
+    relation = scope.relation(literal.pred, literal.arity)
+    if scan_range is not None and isinstance(relation, MarkedRelation):
+        cursor = relation.scan(
+            literal.args, env, since=scan_range[0], until=scan_range[1]
+        )
+    else:
+        cursor = relation.scan(literal.args, env)
+    try:
+        while True:
+            candidate = cursor.get_next()
+            if candidate is None:
+                return
+            fact = candidate.renamed()
+            mark = trail.mark()
+            if unify_fact(literal.args, env, fact.args, trail):
+                yield None
+            trail.undo_to(mark)
+    finally:
+        cursor.close()
+
+
+def negative_holds(
+    scope: LocalScope,
+    literal: Literal,
+    env: BindEnv,
+    trail: Trail,
+) -> bool:
+    """Negation as set difference over a *complete* relation (Section 5.4.1):
+    ``not p(args)`` holds when no stored fact unifies with the arguments.
+    Stratification (or Ordered Search's done-markers) guarantees the
+    relation is fully evaluated when this runs."""
+    relation = scope.relation(literal.pred, literal.arity)
+    cursor = relation.scan(literal.args, env)
+    try:
+        while True:
+            candidate = cursor.get_next()
+            if candidate is None:
+                return True
+            fact = candidate.renamed()
+            mark = trail.mark()
+            matched = unify_fact(literal.args, env, fact.args, trail)
+            trail.undo_to(mark)
+            if matched:
+                return False
+    finally:
+        cursor.close()
+
+
+def literal_solutions(
+    scope: LocalScope,
+    sn_literal: SNLiteral,
+    env: BindEnv,
+    trail: Trail,
+    ranges: Optional[RangeResolver],
+) -> Iterator[None]:
+    """Solutions of one body literal of any flavour: builtin, negated, or a
+    (possibly delta-restricted) relation scan."""
+    literal = sn_literal.literal
+    builtin = scope.ctx.builtins.lookup(literal.pred, literal.arity)
+    if builtin is not None:
+        if literal.negated:
+            raise EvaluationError(
+                f"negation of builtin {literal.pred} is not supported"
+            )
+        mark = trail.mark()
+        for _ in builtin.impl(literal.args, env, trail):
+            yield None
+        trail.undo_to(mark)
+        return
+    if literal.negated:
+        if negative_holds(scope, literal, env, trail):
+            yield None
+        return
+    scan_range = None
+    if ranges is not None and sn_literal.kind is not ScanKind.ALL:
+        scan_range = ranges(literal.key, sn_literal.kind)
+    yield from positive_solutions(scope, literal, env, trail, scan_range)
+
+
+def backtrack_points(body: Sequence[SNLiteral]) -> List[int]:
+    """For each body position, the latest earlier position sharing a
+    variable with it (-1 when none) — the pre-computed backjump targets of
+    Section 5.1."""
+    variable_sets = [
+        {var.vid for arg in item.literal.args for var in arg.variables()}
+        for item in body
+    ]
+    points: List[int] = []
+    for index, variables in enumerate(variable_sets):
+        target = -1
+        for earlier in range(index - 1, -1, -1):
+            if variable_sets[earlier] & variables:
+                target = earlier
+                break
+        points.append(target)
+    return points
+
+
+class BodyExecutor:
+    """Iterative nested-loops evaluation of one rule body.
+
+    Built once per semi-naive rule (the 'semi-naive rule structure' of
+    Section 5.1: literal order and backtrack points are pre-computed);
+    :meth:`solutions` is then called once per rule application with a fresh
+    environment.
+    """
+
+    def __init__(
+        self,
+        scope: LocalScope,
+        body: Sequence[SNLiteral],
+        use_backjumping: bool = True,
+    ) -> None:
+        self.scope = scope
+        self.body = list(body)
+        self.points = backtrack_points(self.body)
+        self.use_backjumping = use_backjumping
+
+    def solutions(
+        self,
+        env: BindEnv,
+        trail: Trail,
+        ranges: Optional[RangeResolver] = None,
+    ) -> Iterator[None]:
+        """Yield once per way of satisfying the whole body; bindings are in
+        ``env`` while the consumer holds each solution."""
+        count = len(self.body)
+        if count == 0:
+            yield None
+            return
+        iterators: List[Optional[Iterator[None]]] = [None] * count
+        marks: List[int] = [0] * count
+        produced: List[bool] = [False] * count
+        position = 0
+        while True:
+            if iterators[position] is None:
+                marks[position] = trail.mark()
+                produced[position] = False
+                iterators[position] = literal_solutions(
+                    self.scope, self.body[position], env, trail, ranges
+                )
+            step = next(iterators[position], _EXHAUSTED)
+            if step is not _EXHAUSTED:
+                produced[position] = True
+                if position == count - 1:
+                    yield None
+                    continue  # more solutions of the innermost literal
+                position += 1
+                continue
+            # this literal is exhausted
+            trail.undo_to(marks[position])
+            iterators[position] = None
+            if self.use_backjumping and not produced[position]:
+                target = self.points[position]
+            else:
+                target = position - 1
+            if target < 0:
+                return
+            for intermediate in range(position - 1, target, -1):
+                iterators[intermediate] = None
+                trail.undo_to(marks[intermediate])
+            position = target
+
+
+_EXHAUSTED = object()
+
+
+def instantiate_head(head_args: Sequence[Arg], env: BindEnv) -> Tuple:
+    """Resolve a satisfied rule's head into a standalone fact (remaining free
+    variables stay universally quantified — non-ground facts, Section 3.1)."""
+    return Tuple(tuple(resolve(arg, env) for arg in head_args))

@@ -1,0 +1,113 @@
+"""Derivation tracing — the Explanation tool (paper acknowledgements:
+*"Bill Roth ... implemented the Explanation tool"*).
+
+When tracing is enabled on a session, every successful rule application in
+materialized evaluation records the rule text, the derived fact, and the
+(resolved) body facts that supported it.  :meth:`DerivationTracer.why`
+then reconstructs proof trees: which rule produced a fact, from which
+facts, recursively.
+
+Tracing costs time and memory, so it is off by default and switched on per
+session (``session.enable_tracing()``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple as PyTuple
+
+
+@dataclass
+class Derivation:
+    """One recorded rule application."""
+
+    pred: str
+    fact: str
+    rule: str
+    body_facts: PyTuple[str, ...]
+
+    def __str__(self) -> str:
+        if not self.body_facts:
+            return f"{self.fact}  [fact]"
+        support = ", ".join(self.body_facts)
+        return f"{self.fact}  <=  {support}   via {self.rule}"
+
+
+class DerivationTracer:
+    """Records derivations and answers 'why' questions."""
+
+    def __init__(self, limit: int = 100_000) -> None:
+        self.limit = limit
+        self._by_fact: Dict[str, List[Derivation]] = {}
+        self._count = 0
+
+    # -- recording (called by the evaluator) ----------------------------------
+
+    def record(
+        self,
+        pred: str,
+        fact: str,
+        rule: str,
+        body_facts: Sequence[str],
+    ) -> None:
+        if self._count >= self.limit:
+            return
+        self._count += 1
+        self._by_fact.setdefault(fact, []).append(
+            Derivation(pred, fact, rule, tuple(body_facts))
+        )
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- querying -----------------------------------------------------------------
+
+    def derivations_of(self, fact: str) -> List[Derivation]:
+        """Every recorded way ``fact`` (printed form) was derived."""
+        return list(self._by_fact.get(fact, ()))
+
+    def find(self, substring: str, limit: int = 20) -> List[str]:
+        """Recorded fact texts containing ``substring`` — the discovery aid
+        for ``why`` (rewritten programs rename predicates, e.g. ``path`` to
+        ``path_bf``; find shows what was actually recorded)."""
+        matches = []
+        for fact in self._by_fact:
+            if substring in fact:
+                matches.append(fact)
+                if len(matches) >= limit:
+                    break
+        return matches
+
+    def why(self, fact: str, depth: int = 5) -> str:
+        """A proof tree for ``fact``, one line per derivation step.
+
+        Shows the first recorded derivation at each level (a fact may have
+        many); facts with no recorded derivation are base facts or arrived
+        from outside the traced module."""
+        lines: List[str] = []
+        self._why(fact, 0, depth, lines, set())
+        return "\n".join(lines) if lines else f"{fact}: no derivation recorded"
+
+    def _why(
+        self,
+        fact: str,
+        indent: int,
+        depth: int,
+        lines: List[str],
+        seen: set,
+    ) -> None:
+        prefix = "  " * indent
+        derivations = self._by_fact.get(fact)
+        if not derivations:
+            lines.append(f"{prefix}{fact}  [base]")
+            return
+        derivation = derivations[0]
+        lines.append(f"{prefix}{fact}  via {derivation.rule}")
+        if indent >= depth or fact in seen:
+            return
+        seen = seen | {fact}
+        for body_fact in derivation.body_facts:
+            self._why(body_fact, indent + 1, depth, lines, seen)
+
+
+__all__ = ["Derivation", "DerivationTracer"]

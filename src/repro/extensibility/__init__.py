@@ -1,0 +1,135 @@
+"""Extensibility: user-defined data types, relation implementations, and
+index implementations (paper Section 7).
+
+*"The user can define new abstract data types, new relation implementations,
+or new indexing methods, and use the query evaluation system with no (or in
+a few cases, minor) changes ... 'Locality' refers to the ability to extend
+the type system by adding new code, without modifying existing system
+code."*
+
+Three extension points, each demonstrated in ``tests/test_extensibility.py``
+and ``examples/python_integration.py``:
+
+* **Data types** — subclass :class:`repro.terms.Arg`, implement the
+  virtual-method contract (``equals``, ``hash_value``, ``__str__``,
+  ``construct``), and optionally register a *constructor name* with
+  :class:`TypeRegistry` so consulted text files re-create instances from
+  their printed representation (the paper's ``construct`` path).
+* **Relations** — subclass :class:`repro.relations.Relation`; anything with
+  the cursor interface can sit behind a predicate.  :class:`FunctionRelation`
+  covers the common case the paper calls "relations defined by C++
+  functions" (Section 7.2): a Python generator computes matching tuples on
+  demand.
+* **Indexes** — subclass :class:`repro.relations.IndexSpec`; hash relations
+  accept any spec that maps tuples and probes to bucket keys.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Optional, Sequence, Type
+
+from ..errors import ExtensibilityError
+from ..relations import GeneratorTupleIterator, Relation, Tuple, TupleIterator
+from ..terms import Arg, BindEnv, Functor, resolve
+
+
+class TypeRegistry:
+    """Maps constructor (functor) names to abstract data types.
+
+    After registration, :meth:`reconstruct` rewrites parsed ground functor
+    terms ``name(arg1, ..., argN)`` into ``cls.construct(arg1, ..., argN)``
+    — the paper's mechanism for re-creating objects from printed
+    representations.  The rest of the system needs no change: the new type
+    is an :class:`Arg` and every subsystem manipulates it through the
+    virtual-method contract (Section 7.1).
+    """
+
+    def __init__(self) -> None:
+        self._types: Dict[str, Type[Arg]] = {}
+
+    def register(self, name: str, cls: Type[Arg], replace: bool = False) -> None:
+        if not issubclass(cls, Arg):
+            raise ExtensibilityError(
+                f"{cls.__name__} must subclass Arg to be a CORAL data type"
+            )
+        for required in ("equals", "hash_value", "construct", "__str__"):
+            if not callable(getattr(cls, required, None)):
+                raise ExtensibilityError(
+                    f"{cls.__name__} is missing the {required} method of the "
+                    f"abstract-data-type contract (Section 7.1)"
+                )
+        if name in self._types and not replace:
+            raise ExtensibilityError(f"type constructor {name!r} already registered")
+        self._types[name] = cls
+
+    def lookup(self, name: str) -> Optional[Type[Arg]]:
+        return self._types.get(name)
+
+    def reconstruct(self, term: Arg) -> Arg:
+        """Deeply replace registered constructor terms by ADT instances."""
+        if isinstance(term, Functor):
+            args = tuple(self.reconstruct(arg) for arg in term.args)
+            cls = self._types.get(term.name)
+            if cls is not None and all(arg.is_ground() for arg in args):
+                return cls.construct(*args)
+            if args != term.args:
+                return Functor(term.name, args)
+        return term
+
+    def __len__(self) -> int:
+        return len(self._types)
+
+
+class FunctionRelation(Relation):
+    """A relation computed by a host-language function (Section 7.2).
+
+    The function receives one Python argument per relation argument — the
+    bound :class:`Arg` value, or None when the probe leaves it free — and
+    yields tuples of :class:`Arg` (or values convertible via ``to_arg``).
+    The evaluator scans it exactly like a stored relation.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        arity: int,
+        function: Callable[..., Iterable[Sequence[Any]]],
+    ) -> None:
+        super().__init__(name, arity)
+        self.function = function
+
+    def insert(self, tup: Tuple) -> bool:
+        raise ExtensibilityError(f"{self.name} is computed by a function")
+
+    def delete(self, tup: Tuple) -> bool:
+        raise ExtensibilityError(f"{self.name} is computed by a function")
+
+    def __len__(self) -> int:
+        return 0
+
+    def scan(
+        self,
+        pattern: Optional[Sequence[Arg]] = None,
+        env: Optional[BindEnv] = None,
+    ) -> TupleIterator:
+        from ..terms import to_arg
+
+        if pattern is None:
+            bound = [None] * self.arity
+        else:
+            resolved = [resolve(arg, env) for arg in pattern]
+            bound = [arg if arg.is_ground() else None for arg in resolved]
+
+        def generate():
+            for row in self.function(*bound):
+                if len(row) != self.arity:
+                    raise ExtensibilityError(
+                        f"function relation {self.name}/{self.arity} yielded "
+                        f"a row of length {len(row)}"
+                    )
+                yield Tuple(tuple(to_arg(value) for value in row))
+
+        return GeneratorTupleIterator(generate())
+
+
+__all__ = ["FunctionRelation", "TypeRegistry"]

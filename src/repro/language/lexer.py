@@ -1,0 +1,205 @@
+"""Tokenizer for the CORAL declarative language.
+
+The surface syntax follows the paper's examples (Figure 3, Section 5.5):
+Prolog-style clauses with ``:-``, module brackets ``module m.`` ...
+``end_module.``, ``export`` declarations with adornment strings, ``@``
+annotations, functor terms, lists ``[H|T]``, grouped aggregation arguments
+``min(<C>)``, arithmetic and comparison operators, and ``not`` for negation.
+
+The only lexical subtlety inherited from Prolog is the full stop: ``.`` ends
+a clause when followed by whitespace or end of input, and is a decimal point
+inside a number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from ..errors import ParseError
+
+#: token kinds
+IDENT = "ident"  # lowercase-led identifier: predicate, functor, atom
+VARIABLE = "variable"  # uppercase- or underscore-led identifier
+INTEGER = "integer"
+FLOAT = "float"
+STRING = "string"
+PUNCT = "punct"  # operators and punctuation
+END = "end"  # clause-terminating full stop
+EOF = "eof"
+
+#: multi-character operators, longest first so the scanner is greedy
+_OPERATORS = [
+    ":-",
+    "?-",
+    "<=",
+    ">=",
+    "=<",
+    "==",
+    "!=",
+    "\\=",
+    "<",
+    ">",
+    "=",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    ",",
+    "|",
+    "@",
+    "+",
+    "-",
+    "*",
+    "/",
+    "?",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.text!r})"
+
+
+class Lexer:
+    """A one-pass scanner producing a list of tokens."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.position = 0
+        self.line = 1
+        self.column = 1
+
+    def _error(self, message: str) -> ParseError:
+        return ParseError(message, self.line, self.column)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.position + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        text = self.source[self.position : self.position + count]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.position += count
+        return text
+
+    def _skip_trivia(self) -> None:
+        while self.position < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "%":  # line comment
+                while self._peek() and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":  # block comment
+                self._advance(2)
+                while self.position < len(self.source) and not (
+                    self._peek() == "*" and self._peek(1) == "/"
+                ):
+                    self._advance()
+                if self.position >= len(self.source):
+                    raise self._error("unterminated block comment")
+                self._advance(2)
+            else:
+                return
+
+    def tokens(self) -> List[Token]:
+        result: List[Token] = []
+        while True:
+            token = self._next_token()
+            result.append(token)
+            if token.kind == EOF:
+                return result
+
+    def _next_token(self) -> Token:
+        self._skip_trivia()
+        line, column = self.line, self.column
+        ch = self._peek()
+        if not ch:
+            return Token(EOF, "", line, column)
+
+        if ch.isdigit():
+            return self._number(line, column)
+        if ch.isalpha() or ch == "_":
+            return self._word(line, column)
+        if ch == '"':
+            return self._string(line, column)
+        if ch == ".":
+            nxt = self._peek(1)
+            if nxt.isdigit():
+                return self._number(line, column)
+            self._advance()
+            return Token(END, ".", line, column)
+        for op in _OPERATORS:
+            if self.source.startswith(op, self.position):
+                self._advance(len(op))
+                return Token(PUNCT, op, line, column)
+        raise self._error(f"unexpected character {ch!r}")
+
+    def _number(self, line: int, column: int) -> Token:
+        start = self.position
+        while self._peek().isdigit():
+            self._advance()
+        is_float = False
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in "eE" and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_float = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        text = self.source[start : self.position]
+        return Token(FLOAT if is_float else INTEGER, text, line, column)
+
+    def _word(self, line: int, column: int) -> Token:
+        start = self.position
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.source[start : self.position]
+        kind = VARIABLE if text[0].isupper() or text[0] == "_" else IDENT
+        return Token(kind, text, line, column)
+
+    def _string(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        parts: List[str] = []
+        while True:
+            ch = self._peek()
+            if not ch or ch == "\n":
+                raise self._error("unterminated string literal")
+            if ch == '"':
+                self._advance()
+                return Token(STRING, "".join(parts), line, column)
+            if ch == "\\":
+                self._advance()
+                escape = self._advance()
+                parts.append(
+                    {"n": "\n", "t": "\t", '"': '"', "\\": "\\"}.get(escape, escape)
+                )
+            else:
+                parts.append(self._advance())
+
+
+def tokenize(source: str) -> List[Token]:
+    """Scan ``source`` into tokens (including the trailing EOF token)."""
+    return Lexer(source).tokens()

@@ -1,0 +1,6 @@
+"""The module system: loading, export resolution, inter-module calls
+(paper Sections 5, 5.6)."""
+
+from .manager import ExportedRelation, MaterializedInstance, ModuleManager
+
+__all__ = ["ExportedRelation", "MaterializedInstance", "ModuleManager"]

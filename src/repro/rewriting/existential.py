@@ -1,0 +1,141 @@
+"""Existential query rewriting — projection pushing (Section 4.1).
+
+*"CORAL also supports Existential Query Rewriting [19], which seeks to
+propagate projections.  This is applied by default in conjunction with a
+selection-pushing rewriting."*
+
+An argument position of a derived predicate is *needed* when some use of the
+predicate consumes its value: it reaches a needed head position, joins with
+another literal, feeds a builtin or a negated literal or an aggregate, or is
+a non-variable term.  Positions never needed anywhere are dropped from the
+predicate (and from every rule head and body occurrence), so recursion over
+them — e.g. the ``Y`` in ``reachable(X) :- t(X, Y)`` with transitive
+``t(X, Y) :- e(X, Z), t(Z, Y)`` — disappears entirely, turning a quadratic
+computation into a linear one (benchmark E14).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple as PyTuple
+
+from ..language.ast import Literal, Rule
+from ..terms import Var
+
+PredKey = PyTuple[str, int]
+
+
+def _projected_name(pred: str, kept: PyTuple[int, ...], arity: int) -> str:
+    dropped = [str(i + 1) for i in range(arity) if i not in kept]
+    return f"{pred}_ex{''.join(dropped)}"
+
+
+def existential_rewrite(
+    rules: Sequence[Rule],
+    query_pred: str,
+    query_arity: int,
+    is_builtin: Callable[[str, int], bool],
+    protected: Optional[Set[str]] = None,
+) -> List[Rule]:
+    """Project unneeded argument positions out of derived predicates.
+
+    The query predicate keeps its full arity (its outputs are the answers);
+    other derived predicates shrink where possible.  Predicates in
+    ``protected`` (those carrying aggregate selections, whose annotations
+    reference positions by the original arity) are never projected.
+    Returns the original list unchanged when nothing can be projected.
+    """
+    protected = protected or set()
+    defined: Set[PredKey] = {rule.head.key for rule in rules}
+    needed: Dict[PredKey, Set[int]] = {key: set() for key in defined}
+    if (query_pred, query_arity) in needed:
+        needed[(query_pred, query_arity)] = set(range(query_arity))
+    for key in defined:
+        if key[0] in protected:
+            needed[key] = set(range(key[1]))
+
+    # A head position is needed if ANY caller needs it; propagate demand from
+    # needed head positions down into rule bodies until fixpoint.
+    changed = True
+    while changed:
+        changed = False
+        for rule in rules:
+            head_needed = needed.get(rule.head.key, set())
+            demanded = _demanded_variables(rule, head_needed, is_builtin)
+            for literal in rule.body:
+                if literal.key not in defined or is_builtin(
+                    literal.pred, literal.arity
+                ):
+                    continue
+                target = needed[literal.key]
+                for position, arg in enumerate(literal.args):
+                    if position in target:
+                        continue
+                    if not isinstance(arg, Var):
+                        target.add(position)  # structural selection: needed
+                        changed = True
+                    elif arg.vid in demanded or literal.negated:
+                        target.add(position)
+                        changed = True
+
+    keep: Dict[PredKey, PyTuple[int, ...]] = {}
+    for key, positions in needed.items():
+        kept = tuple(sorted(positions))
+        if len(kept) < key[1]:
+            keep[key] = kept
+    if not keep:
+        return list(rules)
+
+    out: List[Rule] = []
+    for rule in rules:
+        out.append(_project_rule(rule, keep))
+    return out
+
+
+def _demanded_variables(
+    rule: Rule, head_needed: Set[int], is_builtin: Callable[[str, int], bool]
+) -> Set[int]:
+    """Variable ids whose values are consumed somewhere in the rule: needed
+    head positions, aggregate expressions, builtins, negated literals, or a
+    second occurrence anywhere."""
+    demanded: Set[int] = set()
+    for position, arg in enumerate(rule.head.args):
+        if position in head_needed:
+            demanded.update(v.vid for v in arg.variables())
+    for _position, aggregation in rule.head_aggregates:
+        demanded.update(v.vid for v in aggregation.expr.variables())
+
+    occurrences: Counter = Counter()
+    for literal in rule.body:
+        literal_vids = [v.vid for arg in literal.args for v in arg.variables()]
+        if is_builtin(literal.pred, literal.arity) or literal.negated:
+            demanded.update(literal_vids)
+        occurrences.update(set(literal_vids))
+    demanded.update(vid for vid, count in occurrences.items() if count > 1)
+    return demanded
+
+
+def _project_rule(rule: Rule, keep: Dict[PredKey, PyTuple[int, ...]]) -> Rule:
+    head = _project_literal(rule.head, keep)
+    head_aggregates = rule.head_aggregates
+    if rule.head.key in keep and head_aggregates:
+        kept = keep[rule.head.key]
+        remap = {old: new for new, old in enumerate(kept)}
+        head_aggregates = tuple(
+            (remap[position], aggregation)
+            for position, aggregation in head_aggregates
+            if position in remap
+        )
+    body = tuple(_project_literal(literal, keep) for literal in rule.body)
+    return Rule(head, body, head_aggregates)
+
+
+def _project_literal(literal: Literal, keep: Dict[PredKey, PyTuple[int, ...]]) -> Literal:
+    kept = keep.get(literal.key)
+    if kept is None:
+        return literal
+    return Literal(
+        _projected_name(literal.pred, kept, literal.arity),
+        tuple(literal.args[position] for position in kept),
+        literal.negated,
+    )

@@ -1,0 +1,152 @@
+"""Context factoring for right-linear programs (Section 4.1; refs [16, 9]).
+
+For a right-linear recursion queried with its bound/free split aligned to
+the recursion —
+
+    p(X̄, Ȳ) :- exit_body(X̄, Ȳ).
+    p(X̄, Ȳ) :- step_body(X̄, Z̄), p(Z̄, Ȳ).      query form binds X̄, frees Ȳ
+
+magic-style rewritings compute a quadratic set of (subgoal, answer) pairs:
+every reachable context Z̄ re-derives its own copy of the shared answers.
+Context factoring separates the two roles: a *context* relation collects the
+reachable bound-argument combinations, and the answers are produced once
+from contexts and exit bodies:
+
+    ctx(X̄0)  (seed: the query's bound arguments)
+    ctx(Z̄) :- ctx(X̄), step_body(X̄, Z̄).
+    ans(Ȳ) :- ctx(X̄), exit_body(X̄, Ȳ).
+
+Answers to the original query are exactly ``ans`` (the free positions),
+spliced with the query's bound constants.  The transformation applies only
+when the free arguments are passed through the recursive call *unchanged*;
+:func:`factoring_rewrite` detects that and raises
+:class:`FactoringNotApplicable` otherwise — the optimizer then falls back to
+supplementary magic (Section 4.1: "each technique is superior to the rest
+for some programs").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Set, Tuple as PyTuple
+
+from ..errors import RewriteError
+from ..language.ast import Literal, Rule
+from ..terms import Var
+from .magic import RewrittenProgram
+
+
+class FactoringNotApplicable(RewriteError):
+    """The program/query form is outside the factorable class."""
+
+
+def factoring_rewrite(
+    rules: Sequence[Rule],
+    query_pred: str,
+    adornment: str,
+    is_builtin: Callable[[str, int], bool],
+) -> RewrittenProgram:
+    arity = len(adornment)
+    bound_positions = tuple(
+        index for index, flag in enumerate(adornment) if flag == "b"
+    )
+    free_positions = tuple(
+        index for index, flag in enumerate(adornment) if flag == "f"
+    )
+    if not bound_positions or not free_positions:
+        raise FactoringNotApplicable(
+            "factoring needs both bound and free query arguments"
+        )
+
+    own_rules = [rule for rule in rules if rule.head.key == (query_pred, arity)]
+    other_rules = [rule for rule in rules if rule.head.key != (query_pred, arity)]
+    if not own_rules:
+        raise FactoringNotApplicable(f"{query_pred}/{arity} has no rules")
+    if any(
+        any(literal.key == (query_pred, arity) for literal in rule.body)
+        for rule in other_rules
+    ):
+        raise FactoringNotApplicable(
+            "query predicate is used by other predicates; factoring would "
+            "change their meaning"
+        )
+    for rule in rules:
+        if rule.head_aggregates:
+            raise FactoringNotApplicable("aggregation present")
+        for literal in rule.body:
+            if literal.key in {(r.head.pred, len(r.head.args)) for r in other_rules}:
+                # other derived predicates must themselves be non-recursive
+                # through p; we only factor when p is the sole recursion
+                pass
+
+    exit_rules: List[Rule] = []
+    recursive_rules: List[Rule] = []
+    for rule in own_rules:
+        occurrences = [
+            literal
+            for literal in rule.body
+            if literal.key == (query_pred, arity) and not literal.negated
+        ]
+        if not occurrences:
+            exit_rules.append(rule)
+        elif len(occurrences) == 1 and rule.body[-1].key == (query_pred, arity):
+            recursive_rules.append(rule)
+        else:
+            raise FactoringNotApplicable(
+                "recursion is not right-linear (recursive literal must be "
+                "last and unique)"
+            )
+
+    context_name = f"ctx_{query_pred}"
+    answer_name = f"fans_{query_pred}"
+    out_rules: List[Rule] = list(other_rules)
+
+    for rule in recursive_rules:
+        head, body = rule.head, rule.body
+        recursive_literal = body[-1]
+        # the free positions must be passed through untouched: the same
+        # variables, in the same positions, not used anywhere else
+        step_literals = body[:-1]
+        step_vids: Set[int] = set()
+        for literal in step_literals:
+            for arg in literal.args:
+                step_vids.update(v.vid for v in arg.variables())
+        for position in free_positions:
+            head_arg = head.args[position]
+            call_arg = recursive_literal.args[position]
+            if not (
+                isinstance(head_arg, Var)
+                and isinstance(call_arg, Var)
+                and head_arg.vid == call_arg.vid
+                and head_arg.vid not in step_vids
+            ):
+                raise FactoringNotApplicable(
+                    "free arguments are not passed through unchanged"
+                )
+        context_head = Literal(
+            context_name,
+            tuple(recursive_literal.args[p] for p in bound_positions),
+        )
+        context_guard = Literal(
+            context_name, tuple(head.args[p] for p in bound_positions)
+        )
+        out_rules.append(Rule(context_head, (context_guard,) + tuple(step_literals)))
+
+    for rule in exit_rules:
+        context_guard = Literal(
+            context_name, tuple(rule.head.args[p] for p in bound_positions)
+        )
+        answer_head = Literal(
+            answer_name, tuple(rule.head.args[p] for p in free_positions)
+        )
+        out_rules.append(Rule(answer_head, (context_guard,) + rule.body))
+
+    return RewrittenProgram(
+        rules=out_rules,
+        answer_pred=answer_name,
+        answer_arity=len(free_positions),
+        magic_pred=context_name,
+        bound_positions=bound_positions,
+        technique="factoring",
+        origin={},
+        answer_positions=free_positions,
+    )

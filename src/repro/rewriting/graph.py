@@ -1,0 +1,190 @@
+"""Predicate dependency graphs, strongly connected components, and
+stratification.
+
+Section 5.1: *"The compilation of a materialized module generates an internal
+module structure that consists of a list of structures corresponding to the
+strongly connected components (SCCs) of the module"* — an SCC being "a
+maximal set of mutually recursive predicates".  Fixpoint evaluation runs one
+SCC at a time in dependency order, which is also what makes stratified
+negation and aggregation work: a negated or aggregated body predicate must be
+fully evaluated (i.e. in an earlier SCC) before the consuming rule fires.
+
+Edges are labelled *positive* or *strict*: a strict edge (through negation or
+through a grouping/aggregate head) must not close a cycle, or the program is
+not stratified (Section 5.4.1 — such programs need Ordered Search instead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple as PyTuple
+
+from ..errors import StratificationError
+from ..language.ast import Rule
+
+PredKey = PyTuple[str, int]
+
+
+@dataclass
+class DependencyGraph:
+    """Head-to-body dependency edges among the predicates of one module."""
+
+    #: every predicate defined by a rule head in the module
+    defined: Set[PredKey] = field(default_factory=set)
+    #: positive edges: head depends on body predicate
+    positive: Dict[PredKey, Set[PredKey]] = field(default_factory=dict)
+    #: strict edges: dependency through negation or aggregation
+    strict: Dict[PredKey, Set[PredKey]] = field(default_factory=dict)
+
+    def dependencies(self, pred: PredKey) -> Set[PredKey]:
+        return self.positive.get(pred, set()) | self.strict.get(pred, set())
+
+    def all_predicates(self) -> Set[PredKey]:
+        keys = set(self.defined)
+        for edges in (self.positive, self.strict):
+            for source, targets in edges.items():
+                keys.add(source)
+                keys.update(targets)
+        return keys
+
+
+def build_dependency_graph(
+    rules: Sequence[Rule], is_builtin: Callable[[str, int], bool]
+) -> DependencyGraph:
+    """Build the dependency graph of a rule set.
+
+    A rule with head aggregation contributes *strict* edges to every body
+    predicate (the groups must be complete before aggregating), as does a
+    negated body literal.
+    """
+    graph = DependencyGraph()
+    for rule in rules:
+        head = rule.head.key
+        graph.defined.add(head)
+        aggregating = bool(rule.head_aggregates)
+        for literal in rule.body:
+            if is_builtin(literal.pred, literal.arity):
+                continue
+            target = literal.key
+            if literal.negated or aggregating:
+                graph.strict.setdefault(head, set()).add(target)
+            else:
+                graph.positive.setdefault(head, set()).add(target)
+    return graph
+
+
+def strongly_connected_components(
+    graph: DependencyGraph,
+) -> List[FrozenSet[PredKey]]:
+    """Tarjan's algorithm, returning SCCs in *dependency order* (callees
+    before callers) — the order fixpoint evaluation processes them."""
+    index_counter = 0
+    indices: Dict[PredKey, int] = {}
+    lowlinks: Dict[PredKey, int] = {}
+    on_stack: Set[PredKey] = set()
+    stack: List[PredKey] = []
+    result: List[FrozenSet[PredKey]] = []
+
+    # Iterative Tarjan (deep modules must not hit Python's recursion limit).
+    for root in sorted(graph.all_predicates()):
+        if root in indices:
+            continue
+        work: List[PyTuple[PredKey, Iterable[PredKey]]] = [
+            (root, iter(sorted(graph.dependencies(root))))
+        ]
+        indices[root] = lowlinks[root] = index_counter
+        index_counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, edges = work[-1]
+            advanced = False
+            for target in edges:
+                if target not in indices:
+                    indices[target] = lowlinks[target] = index_counter
+                    index_counter += 1
+                    stack.append(target)
+                    on_stack.add(target)
+                    work.append((target, iter(sorted(graph.dependencies(target)))))
+                    advanced = True
+                    break
+                if target in on_stack:
+                    lowlinks[node] = min(lowlinks[node], indices[target])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
+            if lowlinks[node] == indices[node]:
+                component: Set[PredKey] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                result.append(frozenset(component))
+    return result
+
+
+def condensation_order(graph: DependencyGraph) -> List[FrozenSet[PredKey]]:
+    """SCCs restricted to predicates *defined* in the module, callees first.
+
+    Predicates not defined here (base relations, other modules' exports,
+    builtins that slipped through) do not form evaluation units.
+    """
+    return [
+        component
+        for component in strongly_connected_components(graph)
+        if component & graph.defined
+    ]
+
+
+def check_stratified(graph: DependencyGraph) -> Dict[PredKey, int]:
+    """Assign strata; raise :class:`StratificationError` when a strict edge
+    (negation/aggregation) closes a cycle.
+
+    Returns a map predicate -> stratum number (0-based; a predicate's
+    stratum is strictly greater than that of anything it depends on
+    strictly, and >= that of positive dependencies).
+    """
+    components = strongly_connected_components(graph)
+    component_of: Dict[PredKey, int] = {}
+    for number, component in enumerate(components):
+        for pred in component:
+            component_of[pred] = number
+
+    for source, targets in graph.strict.items():
+        for target in targets:
+            if component_of.get(source) == component_of.get(target):
+                raise StratificationError(
+                    f"predicate {source[0]}/{source[1]} depends on "
+                    f"{target[0]}/{target[1]} through negation or aggregation "
+                    f"inside one recursive component; the program is not "
+                    f"stratified (consider @ordered_search)"
+                )
+
+    strata: Dict[PredKey, int] = {}
+    for number, component in enumerate(components):  # callees first
+        level = 0
+        for pred in component:
+            for target in graph.positive.get(pred, set()):
+                if target not in component:
+                    level = max(level, strata.get(target, 0))
+            for target in graph.strict.get(pred, set()):
+                level = max(level, strata.get(target, 0) + 1)
+        for pred in component:
+            strata[pred] = level
+    return strata
+
+
+def recursive_predicates(
+    graph: DependencyGraph, component: FrozenSet[PredKey]
+) -> Set[PredKey]:
+    """The predicates of a component that are genuinely recursive: in a
+    multi-predicate SCC all are; a singleton only if self-dependent."""
+    if len(component) > 1:
+        return set(component)
+    (pred,) = component
+    return {pred} if pred in graph.dependencies(pred) else set()

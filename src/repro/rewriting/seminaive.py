@@ -1,0 +1,209 @@
+"""Semi-naive (delta) rule rewriting.
+
+Section 5.3: *"In order to perform incremental evaluation of rules across
+multiple iterations, CORAL uses the semi-naive evaluation technique.  This
+technique consists of a rule rewriting part performed at compile time, which
+creates versions of rules with delta relations, and an evaluation part."*
+
+For a rule with k body literals recursive in the current SCC, k versions are
+produced; version i scans literal i's *delta* (facts new in the previous
+iteration), literals before i over their *full* extent (old ∪ delta), and
+literals after i over their *old* extent — the classic triangular scheme
+that covers every new combination exactly once.  The delta/old/full ranges
+are realised at run time through relation *marks* (Section 3.2).
+
+Rules with no recursive body literal fire once, before iteration begins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, List, Sequence, Set, Tuple as PyTuple
+
+from ..language.ast import Literal, Rule
+
+PredKey = PyTuple[str, int]
+
+
+class ScanKind(Enum):
+    """Which slice of a relation a semi-naive body literal scans."""
+
+    #: a non-recursive relation: its complete current contents
+    ALL = "all"
+    #: recursive, everything up to the end of the previous iteration
+    FULL = "full"
+    #: recursive, only the facts produced by the previous iteration
+    DELTA = "delta"
+    #: recursive, everything strictly before the previous iteration
+    OLD = "old"
+    #: a local predicate of an *earlier* SCC: only what arrived since this
+    #: SCC's last fixpoint (the cross-call delta of the save-module
+    #: facility, Section 5.4.2)
+    EXT_DELTA = "ext_delta"
+
+
+@dataclass(frozen=True)
+class SNLiteral:
+    literal: Literal
+    kind: ScanKind
+
+    def __str__(self) -> str:
+        suffix = {"all": "", "full": "", "delta": "·δ", "old": "·old"}[
+            self.kind.value
+        ]
+        return f"{self.literal}{suffix}"
+
+
+@dataclass(frozen=True)
+class SNRule:
+    """One semi-naive version of one source rule (Section 5.1's 'semi-naive
+    rule structure'); ``once`` marks non-recursive rules evaluated a single
+    time before the iteration loop."""
+
+    head: Literal
+    body: PyTuple[SNLiteral, ...]
+    head_aggregates: PyTuple = ()
+    once: bool = False
+    source_index: int = -1
+
+    def __str__(self) -> str:
+        body = ", ".join(str(lit) for lit in self.body)
+        return f"{self.head} :- {body}."
+
+
+def seminaive_rewrite(
+    rules: Sequence[Rule],
+    recursive: Set[PredKey],
+    is_builtin: Callable[[str, int], bool],
+) -> PyTuple[List[SNRule], List[SNRule]]:
+    """Split ``rules`` into (once_rules, delta_rules) for one SCC.
+
+    ``recursive`` is the set of predicates belonging to the SCC being
+    evaluated; only positive, non-builtin occurrences of those count as
+    recursive literals (a negated literal in the same SCC would make the
+    program unstratified and is rejected upstream).
+    """
+    once_rules: List[SNRule] = []
+    delta_rules: List[SNRule] = []
+    for index, rule in enumerate(rules):
+        recursive_positions = [
+            position
+            for position, literal in enumerate(rule.body)
+            if not literal.negated
+            and literal.key in recursive
+            and not is_builtin(literal.pred, literal.arity)
+        ]
+        if not recursive_positions:
+            once_rules.append(
+                SNRule(
+                    rule.head,
+                    tuple(SNLiteral(lit, ScanKind.ALL) for lit in rule.body),
+                    rule.head_aggregates,
+                    once=True,
+                    source_index=index,
+                )
+            )
+            continue
+        for delta_position in recursive_positions:
+            body: List[SNLiteral] = []
+            for position, literal in enumerate(rule.body):
+                if position not in recursive_positions:
+                    body.append(SNLiteral(literal, ScanKind.ALL))
+                elif position < delta_position:
+                    body.append(SNLiteral(literal, ScanKind.FULL))
+                elif position == delta_position:
+                    body.append(SNLiteral(literal, ScanKind.DELTA))
+                else:
+                    body.append(SNLiteral(literal, ScanKind.OLD))
+            delta_rules.append(
+                SNRule(
+                    rule.head,
+                    tuple(body),
+                    rule.head_aggregates,
+                    once=False,
+                    source_index=index,
+                )
+            )
+    return once_rules, delta_rules
+
+
+def ext_rewrite(
+    rules: Sequence[Rule],
+    recursive: Set[PredKey],
+    external: Set[PredKey],
+    is_builtin: Callable[[str, int], bool],
+) -> List[SNRule]:
+    """Cross-call delta versions for the save-module facility.
+
+    When a retained module is called again (Section 5.4.2), predicates of
+    *earlier* SCCs (magic and supplementary relations, typically) have grown
+    since this SCC's last fixpoint.  A combination pairing such a new
+    external fact with *old* facts of this SCC is covered by no standard
+    semi-naive version — those keep a delta only on the SCC's own
+    predicates.  So, per rule and per external-local body literal, one extra
+    version: that literal scans the external delta, everything else scans
+    its full extent.  These versions run once, at resumption, before the
+    ordinary iteration loop.
+    """
+    out: List[SNRule] = []
+    for index, rule in enumerate(rules):
+        for target_position, target in enumerate(rule.body):
+            if (
+                target.negated
+                or target.key not in external
+                or is_builtin(target.pred, target.arity)
+            ):
+                continue
+            body = tuple(
+                SNLiteral(
+                    literal,
+                    ScanKind.EXT_DELTA
+                    if position == target_position
+                    else ScanKind.ALL,
+                )
+                for position, literal in enumerate(rule.body)
+            )
+            out.append(
+                SNRule(
+                    rule.head,
+                    body,
+                    rule.head_aggregates,
+                    once=True,
+                    source_index=index,
+                )
+            )
+    return out
+
+
+def naive_rewrite(
+    rules: Sequence[Rule],
+    recursive: Set[PredKey],
+    is_builtin: Callable[[str, int], bool],
+) -> PyTuple[List[SNRule], List[SNRule]]:
+    """The naive-evaluation baseline (Bancilhon 1985): every rule scans the
+    full extent of every literal on every iteration — the rederivation
+    behaviour semi-naive exists to avoid (benchmark E2)."""
+    once_rules: List[SNRule] = []
+    all_rules: List[SNRule] = []
+    for index, rule in enumerate(rules):
+        sn = SNRule(
+            rule.head,
+            tuple(SNLiteral(lit, ScanKind.ALL) for lit in rule.body),
+            rule.head_aggregates,
+            once=False,
+            source_index=index,
+        )
+        has_recursive = any(
+            not lit.negated
+            and lit.key in recursive
+            and not is_builtin(lit.pred, lit.arity)
+            for lit in rule.body
+        )
+        if has_recursive:
+            all_rules.append(sn)
+        else:
+            once_rules.append(
+                SNRule(sn.head, sn.body, sn.head_aggregates, once=True, source_index=index)
+            )
+    return once_rules, all_rules

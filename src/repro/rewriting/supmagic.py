@@ -1,0 +1,168 @@
+"""Supplementary Magic Templates — the system's default rewriting
+(Section 4.1: *"The default rewriting technique is Supplementary Magic
+Templates ... a good choice as a default, although each technique is
+superior to the rest for some programs."*)
+
+Plain Magic re-evaluates each rule's body prefix once per magic rule and
+once in the guarded rule.  Supplementary magic materializes each prefix
+exactly once, in *supplementary predicates*: before every derived body
+literal the bound-so-far variables that are still needed are captured in a
+``sup_r_j`` fact, which both seeds the callee's magic predicate and resumes
+the rule when answers arrive.  These are exactly the "semi-naive rule
+structures" scaffolding of Section 5.1.
+
+Variant: :func:`supmagic_goalid_rewrite` (Section 4.1's "Supplementary Magic
+With GoalId Indexing", ref [26]) replaces the repeated bound arguments
+carried through supplementary predicates by a single *goal identifier* term;
+with hash-consing (Section 3.1) that term is shared and compares O(1), which
+pays off when the propagated bindings are large structured terms.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Set, Tuple as PyTuple
+
+from ..language.ast import Literal, Rule
+from ..terms import Arg, Functor, Var
+from .adorn import AdornedProgram
+from .magic import MAGIC_PREFIX, RewrittenProgram, magic_literal
+
+#: functor wrapping a subgoal's bound arguments into one goal-id term
+GOAL_FUNCTOR = "goal"
+
+
+def _vars_of(args: Sequence[Arg]) -> Set[int]:
+    out: Set[int] = set()
+    for arg in args:
+        out.update(var.vid for var in arg.variables())
+    return out
+
+
+def _ordered_vars(args: Sequence[Arg], allowed: Set[int]) -> List[Var]:
+    """Distinct variables of ``args`` that are in ``allowed``, in first
+    occurrence order (deterministic supplementary-argument lists)."""
+    seen: Dict[int, Var] = {}
+    for arg in args:
+        for var in arg.variables():
+            if var.vid in allowed and var.vid not in seen:
+                seen[var.vid] = var
+    return list(seen.values())
+
+
+def supmagic_rewrite(
+    adorned: AdornedProgram,
+    is_builtin: Callable[[str, int], bool],
+    use_goal_ids: bool = False,
+) -> RewrittenProgram:
+    derived = {rule.head.key for rule in adorned.rules}
+    out_rules: List[Rule] = []
+
+    for rule_index, rule in enumerate(adorned.rules):
+        out_rules.extend(
+            _rewrite_rule(
+                rule, rule_index, adorned, derived, is_builtin, use_goal_ids
+            )
+        )
+
+    query_original, query_adornment = adorned.origin[adorned.query_pred]
+    return RewrittenProgram(
+        rules=out_rules,
+        answer_pred=adorned.query_pred,
+        answer_arity=len(query_adornment),
+        magic_pred=MAGIC_PREFIX + adorned.query_pred,
+        bound_positions=tuple(
+            position
+            for position, flag in enumerate(query_adornment)
+            if flag == "b"
+        ),
+        technique="supplementary_magic_goalid" if use_goal_ids else "supplementary_magic",
+        origin=dict(adorned.origin),
+    )
+
+
+def _rewrite_rule(
+    rule: Rule,
+    rule_index: int,
+    adorned: AdornedProgram,
+    derived: Set[PyTuple[str, int]],
+    is_builtin: Callable[[str, int], bool],
+    use_goal_ids: bool,
+) -> List[Rule]:
+    head_adornment = adorned.origin[rule.head.pred][1]
+    guard = magic_literal(rule.head, head_adornment)
+    guard_vids = _vars_of(guard.args)
+
+    # In goal-id mode the supplementary relations carry one structured term
+    # goal(p_a(bound args)) instead of the bound arguments themselves; the
+    # bound values remain recoverable by unifying with the goal term, and
+    # hash-consing makes storage/comparison of the repeated prefix O(1).
+    goal_term: Arg | None = None
+    if use_goal_ids and guard.args:
+        goal_term = Functor(
+            GOAL_FUNCTOR, (Functor(rule.head.pred, guard.args),)
+        )
+
+    body = list(rule.body)
+    derived_positions = [
+        index
+        for index, literal in enumerate(body)
+        if literal.key in derived and not is_builtin(literal.pred, literal.arity)
+    ]
+    if not derived_positions:
+        return [Rule(rule.head, (guard,) + rule.body, rule.head_aggregates)]
+
+    # needs[i]: variables referenced at or after body position i, or by the head
+    head_vars = _vars_of(rule.head.args) | _vars_of(
+        [aggregation.expr for _pos, aggregation in rule.head_aggregates]
+    )
+    needs: List[Set[int]] = [set(head_vars) for _ in range(len(body) + 1)]
+    for index in range(len(body) - 1, -1, -1):
+        needs[index] = needs[index + 1] | _vars_of(body[index].args)
+
+    # stable source for ordering supplementary arguments
+    ordering_source: PyTuple[Arg, ...] = guard.args + tuple(
+        arg for literal in body for arg in literal.args
+    )
+
+    rules_out: List[Rule] = []
+    prev_literal = guard
+    bound: Set[int] = set(guard_vids)
+    consumed = 0  # body positions already folded into prev_literal
+
+    for sup_index, position in enumerate(derived_positions):
+        segment = body[consumed:position]
+        target = body[position]
+        target_adornment = adorned.origin[target.pred][1]
+
+        if segment or prev_literal is not guard:
+            # materialize the prefix as a supplementary predicate
+            for literal in segment:
+                if not literal.negated:
+                    bound |= _vars_of(literal.args)
+            wanted = bound & needs[position]
+            if goal_term is not None:
+                carry_vars = _ordered_vars(ordering_source, wanted - guard_vids)
+                sup_args: PyTuple[Arg, ...] = (goal_term,) + tuple(carry_vars)
+            else:
+                sup_args = tuple(_ordered_vars(ordering_source, wanted))
+            sup_name = f"sup_{rule.head.pred}_{rule_index}_{sup_index}"
+            rules_out.append(
+                Rule(
+                    Literal(sup_name, sup_args),
+                    (prev_literal,) + tuple(segment),
+                )
+            )
+            prev_literal = Literal(sup_name, sup_args)
+        # else: first derived literal with an empty prefix — the magic guard
+        # itself serves as the supplementary relation (standard optimization)
+
+        rules_out.append(
+            Rule(magic_literal(target, target_adornment), (prev_literal,))
+        )
+        consumed = position  # the derived literal joins in the next stage
+
+    tail = body[consumed:]
+    rules_out.append(
+        Rule(rule.head, (prev_literal,) + tuple(tail), rule.head_aggregates)
+    )
+    return rules_out

@@ -1,0 +1,5 @@
+"""The interactive system environment (paper Section 2)."""
+
+from .repl import Shell, main
+
+__all__ = ["Shell", "main"]

@@ -1,0 +1,199 @@
+"""The interactive interface (paper Section 2: simple queries "can be typed
+in at the user interface"; consulting "makes CORAL very convenient for
+interactive program development").
+
+:class:`Shell` is the testable core: ``execute(text)`` accepts anything the
+declarative language accepts — facts, modules, queries — plus a few shell
+commands, and returns printable output.  ``main`` wraps it in a read loop
+(installed as the ``coral-shell`` console script).
+
+Shell commands::
+
+    @consult "file".           load a program/data file
+    @stats.                    evaluation statistics
+    @reset_stats.              zero the statistics
+    @listing module pred form. show a rewritten program (debugging aid)
+    @trace on. / @trace off.   derivation tracing
+    @why "path(1, 3)".         proof tree for a traced fact
+    @quit.                     leave
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+from ..api import Session
+from ..errors import CoralError
+from ..language import parse_program
+
+PROMPT = "coral> "
+CONTINUATION = "...... "
+
+
+class Shell:
+    """A stateful interactive session wrapper."""
+
+    def __init__(self, session: Optional[Session] = None) -> None:
+        self.session = session if session is not None else Session()
+        self.done = False
+
+    # -- command execution -------------------------------------------------------
+
+    def execute(self, text: str) -> str:
+        """Run one complete input (program text or shell command); returns
+        the printable response."""
+        stripped = text.strip()
+        if not stripped:
+            return ""
+        if stripped.startswith("@"):
+            handled = self._command(stripped)
+            if handled is not None:
+                return handled
+        try:
+            results = self.session.consult_string(text)
+        except CoralError as error:
+            return f"error: {error}"
+        lines: List[str] = []
+        for result in results:
+            answers = result.all()
+            for answer in answers:
+                shown = answer.variables()
+                if shown:
+                    lines.append(
+                        ", ".join(f"{k} = {v}" for k, v in shown.items())
+                    )
+                else:
+                    lines.append(str(answer.tuple))
+            lines.append(f"{len(answers)} answer(s).")
+        return "\n".join(lines)
+
+    def _command(self, text: str) -> Optional[str]:
+        body = text.rstrip(".").strip()
+        parts = body.split()
+        name = parts[0].lstrip("@")
+
+        if name == "quit" or name == "exit":
+            self.done = True
+            return "bye."
+        if name == "stats":
+            snapshot = self.session.stats.snapshot()
+            return "\n".join(f"{key}: {value}" for key, value in snapshot.items())
+        if name == "reset_stats":
+            self.session.stats.reset()
+            return "statistics reset."
+        if name == "consult":
+            if len(parts) != 2:
+                return 'usage: @consult "file".'
+            path = parts[1].strip('"')
+            try:
+                self.session.consult(path)
+            except (OSError, CoralError) as error:
+                return f"error: {error}"
+            return f"consulted {path}."
+        if name == "listing":
+            if len(parts) != 4:
+                return "usage: @listing module pred form."
+            module, pred, form = parts[1:4]
+            try:
+                compiled = self.session.modules.compiled_form(module, pred, form)
+            except (KeyError, CoralError) as error:
+                return f"error: {error}"
+            return compiled.listing()
+        if name == "trace":
+            if len(parts) == 2 and parts[1] == "on":
+                self.session.enable_tracing()
+                return "tracing on."
+            if len(parts) == 2 and parts[1] == "off":
+                self.session.disable_tracing()
+                return "tracing off."
+            return "usage: @trace on. / @trace off."
+        if name == "why":
+            tracer = self.session.ctx.tracer
+            if tracer is None:
+                return "tracing is off (@trace on. first)."
+            fact = body[len("why") :].strip().strip('"')
+            return tracer.why(fact)
+        if name == "modules":
+            loaded = self.session.modules.modules
+            if not loaded:
+                return "no modules loaded."
+            lines = []
+            for module_name, module in loaded.items():
+                exports = ", ".join(
+                    f"{e.pred}/{e.arity}({','.join(e.forms)})"
+                    for e in module.exports
+                )
+                flags = " ".join(f"@{f.name}" for f in module.flags)
+                lines.append(
+                    f"{module_name}: exports {exports or '(none)'}"
+                    + (f"  [{flags}]" if flags else "")
+                )
+            return "\n".join(lines)
+        if name == "dump":
+            if len(parts) != 4:
+                return 'usage: @dump pred arity "file".'
+            pred, arity_text, path = parts[1], parts[2], parts[3].strip('"')
+            try:
+                count = self.session.dump_relation(pred, int(arity_text), path)
+            except (ValueError, CoralError) as error:
+                return f"error: {error}"
+            return f"wrote {count} facts to {path}."
+        if name == "check":
+            from ..lint import ProgramChecker
+
+            checker = ProgramChecker(
+                set(self.session.ctx.base_relations)
+                | set(self.session.modules.exports),
+                self.session.ctx.is_builtin,
+            )
+            findings = []
+            for module in self.session.modules.modules.values():
+                findings.extend(checker.check_module(module))
+            if not findings:
+                return "no problems found."
+            return "\n".join(str(finding) for finding in findings)
+        if name == "help":
+            return __doc__ or ""
+        # not a shell command: let the parser treat it as an annotation
+        return None
+
+    # -- input chunking ---------------------------------------------------------------
+
+    @staticmethod
+    def input_complete(buffer: str) -> bool:
+        """Heuristic used by the read loop: input is complete when it ends
+        with ``.`` or ``?`` outside a module, or at ``end_module.``"""
+        stripped = buffer.strip()
+        if not stripped:
+            return True
+        if "module" in stripped.split() and "end_module" not in stripped:
+            return False
+        return stripped.endswith(".") or stripped.endswith("?")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``coral-shell`` console script."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    shell = Shell()
+    for path in argv:
+        print(shell.execute(f'@consult "{path}".'))
+    print("CORAL reproduction shell — @help. for commands, @quit. to leave.")
+    buffer = ""
+    while not shell.done:
+        try:
+            line = input(CONTINUATION if buffer else PROMPT)
+        except EOFError:
+            print()
+            break
+        buffer += line + "\n"
+        if Shell.input_complete(buffer):
+            output = shell.execute(buffer)
+            if output:
+                print(output)
+            buffer = ""
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

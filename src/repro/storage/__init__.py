@@ -1,0 +1,33 @@
+"""The page-based storage manager — the EXODUS stand-in (paper Section 2).
+
+Layers, bottom-up: fixed-size pages with a slotted record layout
+(:mod:`repro.storage.pages`); page files and the accounted client-server
+boundary (:mod:`repro.storage.file`); the client buffer pool
+(:mod:`repro.storage.buffer`); paged B-tree indexes
+(:mod:`repro.storage.btree`); persistent relations
+(:mod:`repro.storage.relation`); and page-level transactions
+(:mod:`repro.storage.xact`).
+"""
+
+from .buffer import BufferPool, BufferStats
+from .btree import BTree
+from .file import DiskFile, ServerStats, StorageServer
+from .pages import PAGE_SIZE, Page, SlottedPage
+from .relation import PersistentRelation
+from .serde import decode_tuple, encode_tuple, sort_key
+
+__all__ = [
+    "BTree",
+    "BufferPool",
+    "BufferStats",
+    "DiskFile",
+    "PAGE_SIZE",
+    "Page",
+    "PersistentRelation",
+    "ServerStats",
+    "SlottedPage",
+    "StorageServer",
+    "decode_tuple",
+    "encode_tuple",
+    "sort_key",
+]

@@ -1,0 +1,382 @@
+"""A paged B-tree index for persistent relations.
+
+Section 3.3: *"Hash-based indices for in-memory relations and B-tree indices
+for persistent relations are currently available in the CORAL system."*
+
+The tree lives in its own page file, accessed through the client buffer pool
+like every other page, so index probes show up in the same I/O accounting as
+heap scans.  Keys are tuples of primitive-typed arguments (the persistent
+restriction, Section 3.2) compared through :func:`repro.storage.serde.sort_key`;
+values are record ids ``(heap_page_id, slot)``.  Duplicate keys are allowed —
+a relation may index a non-unique prefix of its arguments.
+
+Structure: page 0 is a meta page holding the root pointer; leaves are
+singly linked for range scans.  Deletion is lazy (entries are removed from
+leaves without rebalancing), the usual engineering trade-off in systems whose
+relations grow monotonically during fixpoint evaluation.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, Optional, Sequence, Tuple as PyTuple
+
+from ..errors import StorageError
+from ..terms import Arg
+from .buffer import BufferPool
+from .pages import PAGE_SIZE
+from .serde import decode_tuple, encode_tuple, sort_key
+
+#: Record id: (heap page id, slot number).
+Rid = PyTuple[int, int]
+
+_META = struct.Struct(">4sI")  # magic, root page id
+_MAGIC = b"BTR1"
+_NODE_HEADER = struct.Struct(">BHi")  # is_leaf, count, next_leaf (-1 = none)
+_LEAF_ENTRY_FIXED = struct.Struct(">HIH")  # key_len, rid page, rid slot
+_BRANCH_ENTRY_FIXED = struct.Struct(">HI")  # key_len, child page id
+
+#: Split a node once it holds this many entries ...
+MAX_KEYS = 32
+#: ... or once its serialized form would exceed this many bytes.
+MAX_NODE_BYTES = PAGE_SIZE - 64
+
+
+class _Node:
+    """Deserialized form of one B-tree node."""
+
+    __slots__ = ("page_id", "is_leaf", "keys", "rids", "children", "next_leaf")
+
+    def __init__(self, page_id: int, is_leaf: bool) -> None:
+        self.page_id = page_id
+        self.is_leaf = is_leaf
+        self.keys: List[PyTuple] = []
+        #: leaf payloads, parallel to keys
+        self.rids: List[Rid] = []
+        #: branch children: len(keys) + 1 page ids
+        self.children: List[int] = []
+        self.next_leaf: int = -1
+
+    # -- serialization -------------------------------------------------------
+
+    def serialize(self) -> bytes:
+        parts = [
+            _NODE_HEADER.pack(1 if self.is_leaf else 0, len(self.keys), self.next_leaf)
+        ]
+        if self.is_leaf:
+            for key, rid in zip(self.keys, self.rids):
+                blob = _encode_key(key)
+                parts.append(_LEAF_ENTRY_FIXED.pack(len(blob), rid[0], rid[1]))
+                parts.append(blob)
+        else:
+            parts.append(struct.pack(">I", self.children[0]))
+            for key, child in zip(self.keys, self.children[1:]):
+                blob = _encode_key(key)
+                parts.append(_BRANCH_ENTRY_FIXED.pack(len(blob), child))
+                parts.append(blob)
+        data = b"".join(parts)
+        if len(data) > PAGE_SIZE:
+            raise StorageError(
+                f"B-tree node overflow ({len(data)} bytes): key too large for a page"
+            )
+        return data
+
+    @staticmethod
+    def deserialize(page_id: int, data: bytes) -> "_Node":
+        is_leaf, count, next_leaf = _NODE_HEADER.unpack_from(data, 0)
+        node = _Node(page_id, bool(is_leaf))
+        node.next_leaf = next_leaf
+        offset = _NODE_HEADER.size
+        if node.is_leaf:
+            for _ in range(count):
+                key_len, rid_page, rid_slot = _LEAF_ENTRY_FIXED.unpack_from(
+                    data, offset
+                )
+                offset += _LEAF_ENTRY_FIXED.size
+                node.keys.append(_decode_key(data[offset : offset + key_len]))
+                node.rids.append((rid_page, rid_slot))
+                offset += key_len
+        else:
+            (first_child,) = struct.unpack_from(">I", data, offset)
+            offset += 4
+            node.children.append(first_child)
+            for _ in range(count):
+                key_len, child = _BRANCH_ENTRY_FIXED.unpack_from(data, offset)
+                offset += _BRANCH_ENTRY_FIXED.size
+                node.keys.append(_decode_key(data[offset : offset + key_len]))
+                node.children.append(child)
+                offset += key_len
+        return node
+
+    def serialized_size(self) -> int:
+        size = _NODE_HEADER.size + (0 if self.is_leaf else 4)
+        for key in self.keys:
+            size += len(_encode_key(key)) + (
+                _LEAF_ENTRY_FIXED.size if self.is_leaf else _BRANCH_ENTRY_FIXED.size
+            )
+        return size
+
+
+def _encode_key(key: PyTuple) -> bytes:
+    from .serde import key_to_args
+
+    return encode_tuple(key_to_args(key))
+
+
+def _decode_key(blob: bytes) -> PyTuple:
+    return sort_key(decode_tuple(blob))
+
+
+class BTree:
+    """The index proper: insert/delete/search/range over (key, rid) pairs."""
+
+    def __init__(self, pool: BufferPool, file_name: str) -> None:
+        self.pool = pool
+        self.file_name = file_name
+        if self.pool.server.num_pages(file_name) == 0:
+            meta = self.pool.new_page(file_name)  # page 0
+            root = self.pool.new_page(file_name)  # page 1: empty leaf root
+            try:
+                node = _Node(root.page_id, is_leaf=True)
+                root.data[: len(node.serialize())] = node.serialize()
+                self._write_meta(meta, root.page_id)
+            finally:
+                self.pool.unpin(root, dirty=True)
+                self.pool.unpin(meta, dirty=True)
+
+    # -- meta page --------------------------------------------------------------
+
+    def _write_meta(self, page, root_id: int) -> None:
+        page.data[: _META.size] = _META.pack(_MAGIC, root_id)
+        page.dirty = True
+
+    def _root_id(self) -> int:
+        page = self.pool.fetch_page(self.file_name, 0)
+        try:
+            magic, root_id = _META.unpack_from(page.data, 0)
+            if magic != _MAGIC:
+                raise StorageError(f"{self.file_name} is not a B-tree file")
+            return root_id
+        finally:
+            self.pool.unpin(page)
+
+    def _set_root(self, root_id: int) -> None:
+        page = self.pool.fetch_page(self.file_name, 0)
+        try:
+            self._write_meta(page, root_id)
+        finally:
+            self.pool.unpin(page, dirty=True)
+
+    # -- node I/O ---------------------------------------------------------------
+
+    def _read_node(self, page_id: int) -> _Node:
+        page = self.pool.fetch_page(self.file_name, page_id)
+        try:
+            return _Node.deserialize(page_id, bytes(page.data))
+        finally:
+            self.pool.unpin(page)
+
+    def _write_node(self, node: _Node) -> None:
+        page = self.pool.fetch_page(self.file_name, node.page_id)
+        try:
+            blob = node.serialize()
+            page.data[:] = blob + bytes(PAGE_SIZE - len(blob))
+        finally:
+            self.pool.unpin(page, dirty=True)
+
+    def _new_node(self, is_leaf: bool) -> _Node:
+        page = self.pool.new_page(self.file_name)
+        try:
+            return _Node(page.page_id, is_leaf)
+        finally:
+            self.pool.unpin(page, dirty=True)
+
+    # -- public operations ---------------------------------------------------------
+
+    def insert(self, key_args: Sequence[Arg], rid: Rid) -> None:
+        """Add one (key, rid) entry.  Duplicate keys are permitted."""
+        key = sort_key(key_args)
+        root = self._read_node(self._root_id())
+        split = self._insert_into(root, key, rid)
+        if split is not None:
+            middle_key, right_id = split
+            new_root = self._new_node(is_leaf=False)
+            new_root.keys = [middle_key]
+            new_root.children = [root.page_id, right_id]
+            self._write_node(new_root)
+            self._set_root(new_root.page_id)
+
+    def _insert_into(
+        self, node: _Node, key: PyTuple, rid: Rid
+    ) -> Optional[PyTuple[PyTuple, int]]:
+        """Insert under ``node``; returns (separator, new-right-page) if split."""
+        if node.is_leaf:
+            position = _upper_bound(node.keys, key)
+            node.keys.insert(position, key)
+            node.rids.insert(position, rid)
+        else:
+            slot = _child_index(node.keys, key)
+            child = self._read_node(node.children[slot])
+            split = self._insert_into(child, key, rid)
+            if split is not None:
+                middle_key, right_id = split
+                node.keys.insert(slot, middle_key)
+                node.children.insert(slot + 1, right_id)
+
+        if len(node.keys) > MAX_KEYS or node.serialized_size() > MAX_NODE_BYTES:
+            return self._split(node)
+        self._write_node(node)
+        return None
+
+    def _split(self, node: _Node) -> PyTuple[PyTuple, int]:
+        middle = len(node.keys) // 2
+        right = self._new_node(node.is_leaf)
+        if node.is_leaf:
+            right.keys = node.keys[middle:]
+            right.rids = node.rids[middle:]
+            node.keys = node.keys[:middle]
+            node.rids = node.rids[:middle]
+            right.next_leaf = node.next_leaf
+            node.next_leaf = right.page_id
+            separator = right.keys[0]
+        else:
+            separator = node.keys[middle]
+            right.keys = node.keys[middle + 1 :]
+            right.children = node.children[middle + 1 :]
+            node.keys = node.keys[:middle]
+            node.children = node.children[: middle + 1]
+        self._write_node(node)
+        self._write_node(right)
+        return separator, right.page_id
+
+    def _find_leaf(self, key: PyTuple) -> _Node:
+        """Leftmost leaf that can contain ``key`` — equal keys may span a
+        separator, so descent breaks ties to the left and lookups walk the
+        leaf chain rightward."""
+        node = self._read_node(self._root_id())
+        while not node.is_leaf:
+            node = self._read_node(node.children[_lower_bound(node.keys, key)])
+        return node
+
+    def search(self, key_args: Sequence[Arg]) -> List[Rid]:
+        """All rids stored under exactly this key."""
+        key = sort_key(key_args)
+        node = self._find_leaf(key)
+        results: List[Rid] = []
+        while True:
+            position = _lower_bound(node.keys, key)
+            while position < len(node.keys) and node.keys[position] == key:
+                results.append(node.rids[position])
+                position += 1
+            if position < len(node.keys) or node.next_leaf < 0:
+                return results
+            node = self._read_node(node.next_leaf)
+
+    def range_scan(
+        self,
+        low: Optional[Sequence[Arg]] = None,
+        high: Optional[Sequence[Arg]] = None,
+    ) -> Iterator[PyTuple[PyTuple, Rid]]:
+        """Yield (key, rid) for low <= key <= high, in key order."""
+        low_key = sort_key(low) if low is not None else None
+        high_key = sort_key(high) if high is not None else None
+        if low_key is not None:
+            node = self._find_leaf(low_key)
+            position = _lower_bound(node.keys, low_key)
+        else:
+            node = self._read_node(self._root_id())
+            while not node.is_leaf:
+                node = self._read_node(node.children[0])
+            position = 0
+        while True:
+            while position < len(node.keys):
+                key = node.keys[position]
+                if high_key is not None and key > high_key:
+                    return
+                yield key, node.rids[position]
+                position += 1
+            if node.next_leaf < 0:
+                return
+            node = self._read_node(node.next_leaf)
+            position = 0
+
+    def delete(self, key_args: Sequence[Arg], rid: Rid) -> bool:
+        """Remove one (key, rid) entry (lazy: leaves are not rebalanced)."""
+        key = sort_key(key_args)
+        node = self._find_leaf(key)
+        while True:
+            position = _lower_bound(node.keys, key)
+            while position < len(node.keys) and node.keys[position] == key:
+                if node.rids[position] == rid:
+                    del node.keys[position]
+                    del node.rids[position]
+                    self._write_node(node)
+                    return True
+                position += 1
+            if position < len(node.keys) or node.next_leaf < 0:
+                return False
+            node = self._read_node(node.next_leaf)
+
+    # -- diagnostics ------------------------------------------------------------
+
+    def height(self) -> int:
+        node = self._read_node(self._root_id())
+        levels = 1
+        while not node.is_leaf:
+            node = self._read_node(node.children[0])
+            levels += 1
+        return levels
+
+    def check_invariants(self) -> None:
+        """Verify ordering and structure; raises StorageError on corruption.
+
+        Used by the property-based tests: after any sequence of inserts and
+        deletes the tree must keep sorted leaves, a consistent leaf chain,
+        and separator keys bounding their subtrees.
+        """
+        self._check_node(self._read_node(self._root_id()), None, None)
+        previous_last: Optional[PyTuple] = None
+        for key, _rid in self.range_scan():
+            if previous_last is not None and key < previous_last:
+                raise StorageError("B-tree leaf chain out of order")
+            previous_last = key
+
+    def _check_node(
+        self, node: _Node, low: Optional[PyTuple], high: Optional[PyTuple]
+    ) -> None:
+        for left, right in zip(node.keys, node.keys[1:]):
+            if left > right:
+                raise StorageError(f"unsorted keys in node {node.page_id}")
+        for key in node.keys:
+            if low is not None and key < low:
+                raise StorageError(f"key below separator in node {node.page_id}")
+            if high is not None and key > high:
+                raise StorageError(f"key above separator in node {node.page_id}")
+        if not node.is_leaf:
+            if len(node.children) != len(node.keys) + 1:
+                raise StorageError(f"branch fanout mismatch in node {node.page_id}")
+            bounds = [low] + list(node.keys) + [high]
+            for index, child_id in enumerate(node.children):
+                self._check_node(
+                    self._read_node(child_id), bounds[index], bounds[index + 1]
+                )
+
+
+def _lower_bound(keys: List[PyTuple], key: PyTuple) -> int:
+    import bisect
+
+    return bisect.bisect_left(keys, key)
+
+
+def _upper_bound(keys: List[PyTuple], key: PyTuple) -> int:
+    import bisect
+
+    return bisect.bisect_right(keys, key)
+
+
+def _child_index(keys: List[PyTuple], key: PyTuple) -> int:
+    """Which child subtree a key belongs to (rightmost on equality, so equal
+    keys can span the separator and search walks the leaf chain)."""
+    import bisect
+
+    return bisect.bisect_right(keys, key)

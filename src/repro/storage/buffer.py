@@ -1,0 +1,142 @@
+"""The client-side buffer pool.
+
+Section 2: *"Data stored using the EXODUS storage manager is paged into
+EXODUS buffers on demand, making use of the indexing and scan facilities of
+the storage manager ... the data can be accessed purely out of pages in the
+EXODUS buffer pool."*  Section 3.2: *"CORAL is the client process, and
+maintains buffers for persistent relations.  If a requested tuple is not in
+the client buffer pool, a request is forwarded to the EXODUS server and the
+page with the requested tuple is retrieved."*
+
+A bounded pool of frames with pin/unpin discipline and LRU eviction of
+unpinned frames.  Dirty pages write back to the server on eviction and on
+``flush_all``.  Hit/miss statistics feed the storage benchmarks (experiment
+E11): the paper's 'get-next-tuple request becomes a page-level I/O request'
+claim is observable as pool misses.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple as PyTuple
+
+from ..errors import StorageError
+from .file import StorageServer
+from .pages import Page
+
+
+class BufferStats:
+    __slots__ = ("hits", "misses", "evictions", "writebacks")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<BufferStats hits={self.hits} misses={self.misses} "
+            f"hit_rate={self.hit_rate:.2%} evictions={self.evictions}>"
+        )
+
+
+class BufferPool:
+    """A fixed-capacity page cache in front of a :class:`StorageServer`."""
+
+    def __init__(self, server: StorageServer, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise StorageError("buffer pool needs at least one frame")
+        self.server = server
+        self.capacity = capacity
+        #: (file, page_id) -> Page, in LRU order (oldest first)
+        self._frames: "OrderedDict[PyTuple[str, int], Page]" = OrderedDict()
+        self.stats = BufferStats()
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    # -- pin / unpin ---------------------------------------------------------
+
+    def fetch_page(self, file_name: str, page_id: int) -> Page:
+        """Pin and return the page, reading it from the server on a miss."""
+        key = (file_name, page_id)
+        page = self._frames.get(key)
+        if page is not None:
+            self.stats.hits += 1
+            self._frames.move_to_end(key)
+            page.pin_count += 1
+            return page
+        self.stats.misses += 1
+        self._ensure_frame_available()
+        data = self.server.read_page(file_name, page_id)
+        page = Page(file_name, page_id, data)
+        page.pin_count = 1
+        self._frames[key] = page
+        return page
+
+    def new_page(self, file_name: str) -> Page:
+        """Allocate a fresh page at the server and pin it."""
+        self._ensure_frame_available()
+        page_id = self.server.allocate_page(file_name)
+        page = Page(file_name, page_id)
+        page.pin_count = 1
+        page.dirty = True
+        self._frames[(file_name, page_id)] = page
+        return page
+
+    def unpin(self, page: Page, dirty: bool = False) -> None:
+        if page.pin_count <= 0:
+            raise StorageError(f"unpin of unpinned page {page!r}")
+        page.pin_count -= 1
+        if dirty:
+            page.dirty = True
+
+    # -- eviction / flushing -----------------------------------------------
+
+    def _ensure_frame_available(self) -> None:
+        if len(self._frames) < self.capacity:
+            return
+        for key, page in self._frames.items():
+            if page.pin_count == 0:
+                self._evict(key, page)
+                return
+        raise StorageError(
+            f"buffer pool exhausted: all {self.capacity} frames are pinned"
+        )
+
+    def _evict(self, key: PyTuple[str, int], page: Page) -> None:
+        if page.dirty:
+            self.server.write_page(page.file_name, page.page_id, bytes(page.data))
+            self.stats.writebacks += 1
+        del self._frames[key]
+        self.stats.evictions += 1
+
+    def flush_all(self) -> None:
+        """Write every dirty page back to the server (pages stay cached)."""
+        for page in self._frames.values():
+            if page.dirty:
+                self.server.write_page(
+                    page.file_name, page.page_id, bytes(page.data)
+                )
+                self.stats.writebacks += 1
+                page.dirty = False
+
+    def drop_all(self) -> None:
+        """Flush then empty the pool (for tests of cold-cache behaviour)."""
+        self.flush_all()
+        pinned = [p for p in self._frames.values() if p.pin_count]
+        if pinned:
+            raise StorageError(f"cannot drop pool: {len(pinned)} pages pinned")
+        self._frames.clear()

@@ -1,0 +1,218 @@
+"""Disk files and the storage server.
+
+Section 2: *"Persistent data is stored either in text files, or using the
+EXODUS storage manager, which has a client-server architecture.  Each CORAL
+single-user process is a client that accesses the common persistent data from
+the server."*
+
+:class:`DiskFile` is one page file on the local filesystem.
+:class:`StorageServer` plays the EXODUS server role: it owns a directory of
+named page files and services page read/write requests from clients.  The
+client-server boundary is *accounted* rather than networked — every request
+increments request counters (and can carry a simulated per-request latency),
+which is what the storage benchmarks measure; actually running an RPC stack
+would add noise without exercising any additional CORAL code path.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, Optional
+
+from ..errors import StorageError
+from .pages import PAGE_SIZE
+
+
+class DiskFile:
+    """A file of fixed-size pages with explicit read/write/allocate."""
+
+    def __init__(self, path: str, create: bool = True) -> None:
+        self.path = path
+        if not os.path.exists(path):
+            if not create:
+                raise StorageError(f"page file {path} does not exist")
+            with open(path, "wb"):
+                pass
+        self._handle = open(path, "r+b")
+        size = os.fstat(self._handle.fileno()).st_size
+        if size % PAGE_SIZE:
+            raise StorageError(f"page file {path} has a torn page (size {size})")
+        self._num_pages = size // PAGE_SIZE
+
+    @property
+    def num_pages(self) -> int:
+        return self._num_pages
+
+    def allocate_page(self) -> int:
+        """Extend the file by one zeroed page; returns its page id."""
+        page_id = self._num_pages
+        self._handle.seek(page_id * PAGE_SIZE)
+        self._handle.write(bytes(PAGE_SIZE))
+        self._num_pages += 1
+        return page_id
+
+    def read_page(self, page_id: int) -> bytearray:
+        if page_id < 0 or page_id >= self._num_pages:
+            raise StorageError(
+                f"read of page {page_id} beyond end of {self.path} "
+                f"({self._num_pages} pages)"
+            )
+        self._handle.seek(page_id * PAGE_SIZE)
+        return bytearray(self._handle.read(PAGE_SIZE))
+
+    def write_page(self, page_id: int, data: bytes) -> None:
+        if len(data) != PAGE_SIZE:
+            raise StorageError("write_page requires exactly one page of data")
+        if page_id < 0 or page_id >= self._num_pages:
+            raise StorageError(f"write of unallocated page {page_id} in {self.path}")
+        self._handle.seek(page_id * PAGE_SIZE)
+        self._handle.write(data)
+
+    def sync(self) -> None:
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        self._handle.flush()
+        self._handle.close()
+
+
+class ServerStats:
+    """Request accounting at the client-server boundary."""
+
+    __slots__ = ("page_reads", "page_writes", "allocations", "simulated_latency")
+
+    def __init__(self) -> None:
+        self.page_reads = 0
+        self.page_writes = 0
+        self.allocations = 0
+        self.simulated_latency = 0.0
+
+    def reset(self) -> None:
+        self.page_reads = 0
+        self.page_writes = 0
+        self.allocations = 0
+        self.simulated_latency = 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"<ServerStats reads={self.page_reads} writes={self.page_writes} "
+            f"allocs={self.allocations}>"
+        )
+
+
+class StorageServer:
+    """The EXODUS-server stand-in: a directory of named page files.
+
+    ``request_delay`` simulates the client-server round trip: each page
+    request optionally sleeps for that many seconds (and always accrues it in
+    ``stats.simulated_latency``), letting benchmarks show how the buffer
+    pool's hit rate translates into saved round trips.
+    """
+
+    def __init__(self, directory: str, request_delay: float = 0.0) -> None:
+        os.makedirs(directory, exist_ok=True)
+        self.directory = directory
+        self.request_delay = request_delay
+        self._files: Dict[str, DiskFile] = {}
+        self.stats = ServerStats()
+        self._journal = None
+        self._recover_if_needed()
+
+    def _file(self, name: str) -> DiskFile:
+        handle = self._files.get(name)
+        if handle is None:
+            handle = DiskFile(os.path.join(self.directory, name))
+            self._files[name] = handle
+        return handle
+
+    def _charge(self) -> None:
+        self.stats.simulated_latency += self.request_delay
+        if self.request_delay:
+            time.sleep(self.request_delay)
+
+    # -- the request interface used by clients -----------------------------
+
+    def read_page(self, file_name: str, page_id: int) -> bytearray:
+        self.stats.page_reads += 1
+        self._charge()
+        return self._file(file_name).read_page(page_id)
+
+    def write_page(self, file_name: str, page_id: int, data: bytes) -> None:
+        self.stats.page_writes += 1
+        self._charge()
+        handle = self._file(file_name)
+        if self._journal is not None and page_id < handle.num_pages:
+            self._journal.record(file_name, page_id, bytes(handle.read_page(page_id)))
+        handle.write_page(page_id, data)
+
+    def allocate_page(self, file_name: str) -> int:
+        self.stats.allocations += 1
+        self._charge()
+        return self._file(file_name).allocate_page()
+
+    def num_pages(self, file_name: str) -> int:
+        return self._file(file_name).num_pages
+
+    def sync(self, file_name: Optional[str] = None) -> None:
+        targets = [self._files[file_name]] if file_name else self._files.values()
+        for handle in targets:
+            handle.sync()
+
+    def close(self) -> None:
+        for handle in self._files.values():
+            handle.close()
+        self._files.clear()
+
+    # -- transactions (Section 2: delegated to the storage toolkit) -----------
+
+    @property
+    def _journal_path(self) -> str:
+        return os.path.join(self.directory, "undo.journal")
+
+    def begin_transaction(self) -> None:
+        """Start recording page before-images; one transaction at a time
+        (CORAL is a single-user system)."""
+        from .xact import UndoJournal
+
+        if self._journal is not None:
+            raise StorageError("a transaction is already in progress")
+        self._journal = UndoJournal(self._journal_path)
+
+    def in_transaction(self) -> bool:
+        return self._journal is not None
+
+    def commit_transaction(self) -> None:
+        if self._journal is None:
+            raise StorageError("no transaction in progress")
+        self.sync()
+        self._journal.close_and_remove()
+        self._journal = None
+
+    def abort_transaction(self) -> None:
+        """Restore every before-image recorded since ``begin_transaction``.
+
+        Any buffer pool over this server must be dropped by the caller
+        afterwards — its cached frames may hold aborted contents.
+        """
+        if self._journal is None:
+            raise StorageError("no transaction in progress")
+        for file_name, page_id, before in self._journal.before_images():
+            self._file(file_name).write_page(page_id, before)
+        self.sync()
+        self._journal.close_and_remove()
+        self._journal = None
+
+    def _recover_if_needed(self) -> None:
+        """Roll back a journal left behind by a crash (undo recovery)."""
+        from .xact import read_journal
+
+        if not os.path.exists(self._journal_path):
+            return
+        for file_name, page_id, before in read_journal(self._journal_path):
+            handle = self._file(file_name)
+            if page_id < handle.num_pages:
+                handle.write_page(page_id, before)
+        self.sync()
+        os.remove(self._journal_path)

@@ -1,0 +1,144 @@
+"""Fixed-size pages and the slotted-page record layout.
+
+The storage manager stand-in (for EXODUS, Section 2) stores everything in
+fixed-size pages.  Heap pages use the classic slotted layout: a header and a
+slot directory grow forward from the page start, record bytes grow backward
+from the page end, and deleted slots become tombstones so record ids
+``(page_id, slot)`` stay stable — B-tree entries point at records and must
+survive unrelated deletions.
+
+Layout::
+
+    [ num_slots:u16 | free_end:u16 | slot_0 | slot_1 | ... ]     ... [records]
+    slot_i = (offset:u16, length:u16); offset == 0 means tombstone.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, Optional, Tuple as PyTuple
+
+from ..errors import StorageError
+
+#: Size of every page, in bytes.
+PAGE_SIZE = 4096
+
+_HEADER = struct.Struct(">HH")  # num_slots, free_end
+_SLOT = struct.Struct(">HH")  # record offset, record length
+_HEADER_SIZE = _HEADER.size
+_SLOT_SIZE = _SLOT.size
+
+
+class Page:
+    """One in-buffer page: raw bytes plus buffer-manager bookkeeping."""
+
+    __slots__ = ("file_name", "page_id", "data", "dirty", "pin_count")
+
+    def __init__(self, file_name: str, page_id: int, data: Optional[bytearray] = None):
+        self.file_name = file_name
+        self.page_id = page_id
+        self.data = data if data is not None else bytearray(PAGE_SIZE)
+        if len(self.data) != PAGE_SIZE:
+            raise StorageError(
+                f"page {file_name}:{page_id} has {len(self.data)} bytes, "
+                f"expected {PAGE_SIZE}"
+            )
+        self.dirty = False
+        self.pin_count = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<Page {self.file_name}:{self.page_id} "
+            f"pins={self.pin_count} dirty={self.dirty}>"
+        )
+
+
+class SlottedPage:
+    """Record-level view over a :class:`Page` (heap pages only)."""
+
+    __slots__ = ("page",)
+
+    def __init__(self, page: Page) -> None:
+        self.page = page
+
+    # -- header -----------------------------------------------------------
+
+    def _header(self) -> PyTuple[int, int]:
+        num_slots, free_end = _HEADER.unpack_from(self.page.data, 0)
+        if free_end == 0:  # freshly allocated page
+            free_end = PAGE_SIZE
+        return num_slots, free_end
+
+    def _set_header(self, num_slots: int, free_end: int) -> None:
+        _HEADER.pack_into(self.page.data, 0, num_slots, free_end % PAGE_SIZE)
+        self.page.dirty = True
+
+    @staticmethod
+    def initialize(page: Page) -> "SlottedPage":
+        """Format a fresh page as an empty slotted page."""
+        page.data[:] = bytes(PAGE_SIZE)
+        slotted = SlottedPage(page)
+        slotted._set_header(0, PAGE_SIZE)
+        return slotted
+
+    # -- record operations ---------------------------------------------------
+
+    @property
+    def num_slots(self) -> int:
+        return self._header()[0]
+
+    def free_space(self) -> int:
+        """Bytes available for one more record (including its slot entry)."""
+        num_slots, free_end = self._header()
+        used_front = _HEADER_SIZE + num_slots * _SLOT_SIZE
+        gap = free_end - used_front
+        return max(0, gap - _SLOT_SIZE)
+
+    def insert_record(self, record: bytes) -> Optional[int]:
+        """Store ``record``; returns its slot number, or None when full."""
+        if len(record) > self.free_space():
+            return None
+        num_slots, free_end = self._header()
+        offset = free_end - len(record)
+        self.page.data[offset : offset + len(record)] = record
+        _SLOT.pack_into(
+            self.page.data, _HEADER_SIZE + num_slots * _SLOT_SIZE, offset, len(record)
+        )
+        self._set_header(num_slots + 1, offset)
+        return num_slots
+
+    def get_record(self, slot: int) -> Optional[bytes]:
+        """The record bytes at ``slot``, or None for a tombstone."""
+        num_slots, _ = self._header()
+        if slot < 0 or slot >= num_slots:
+            raise StorageError(f"slot {slot} out of range (page has {num_slots})")
+        offset, length = _SLOT.unpack_from(
+            self.page.data, _HEADER_SIZE + slot * _SLOT_SIZE
+        )
+        if offset == 0:
+            return None
+        return bytes(self.page.data[offset : offset + length])
+
+    def delete_record(self, slot: int) -> bool:
+        """Tombstone the slot.  Space is not compacted (rids stay stable)."""
+        num_slots, _ = self._header()
+        if slot < 0 or slot >= num_slots:
+            raise StorageError(f"slot {slot} out of range (page has {num_slots})")
+        base = _HEADER_SIZE + slot * _SLOT_SIZE
+        offset, _length = _SLOT.unpack_from(self.page.data, base)
+        if offset == 0:
+            return False
+        _SLOT.pack_into(self.page.data, base, 0, 0)
+        self.page.dirty = True
+        return True
+
+    def records(self) -> Iterator[PyTuple[int, bytes]]:
+        """Yield ``(slot, record)`` for every live record."""
+        num_slots, _ = self._header()
+        for slot in range(num_slots):
+            record = self.get_record(slot)
+            if record is not None:
+                yield slot, record
+
+    def live_count(self) -> int:
+        return sum(1 for _ in self.records())

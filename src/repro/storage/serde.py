@@ -1,0 +1,143 @@
+"""Serialization of primitive-typed tuples for the storage manager.
+
+Section 3.1: *"The current implementation restricts data that is stored
+using the EXODUS storage manager to be limited to terms of these primitive
+types.  Such data is stored on disk in its machine representation."*
+
+The codec therefore handles exactly the primitive types — integers (including
+arbitrary precision), doubles, strings, and atoms — and refuses functor terms
+and variables, mirroring the paper's restriction (Section 3.2 carries it
+forward: "tuples in a persistent relation are restricted to have fields of
+primitive types only").
+
+Two encodings are provided:
+
+* :func:`encode_tuple` / :func:`decode_tuple` — the record format used in
+  slotted heap pages;
+* :func:`sort_key` — an order-preserving in-memory key for B-tree
+  comparisons (a tuple of ``(type-tag, value)`` pairs, giving a total order
+  across mixed types).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Sequence, Tuple as PyTuple
+
+from ..errors import StorageError
+from ..terms import Arg, Atom, BigNum, Double, Int, Str
+
+_TAG_INT = 1
+_TAG_DOUBLE = 2
+_TAG_STR = 3
+_TAG_ATOM = 4
+_TAG_BIGNUM = 5
+
+#: Integers outside this range are stored length-prefixed as bignums.
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+
+def encode_arg(arg: Arg) -> bytes:
+    """Encode one primitive argument to its machine representation."""
+    if isinstance(arg, Int):  # covers BigNum
+        value = arg.value
+        if _INT64_MIN <= value <= _INT64_MAX and not isinstance(arg, BigNum):
+            return struct.pack(">Bq", _TAG_INT, value)
+        payload = value.to_bytes(
+            (value.bit_length() + 8) // 8 or 1, "big", signed=True
+        )
+        return struct.pack(">BI", _TAG_BIGNUM, len(payload)) + payload
+    if isinstance(arg, Double):
+        return struct.pack(">Bd", _TAG_DOUBLE, arg.value)
+    if isinstance(arg, Str):
+        payload = arg.value.encode("utf-8")
+        return struct.pack(">BI", _TAG_STR, len(payload)) + payload
+    if isinstance(arg, Atom):
+        payload = arg.name.encode("utf-8")
+        return struct.pack(">BI", _TAG_ATOM, len(payload)) + payload
+    raise StorageError(
+        f"persistent relations are restricted to primitive types; got {arg!r}"
+    )
+
+
+def decode_arg(data: bytes, offset: int) -> PyTuple[Arg, int]:
+    """Decode one argument starting at ``offset``; returns (arg, new offset)."""
+    tag = data[offset]
+    offset += 1
+    if tag == _TAG_INT:
+        (value,) = struct.unpack_from(">q", data, offset)
+        return Int(value), offset + 8
+    if tag == _TAG_DOUBLE:
+        (value,) = struct.unpack_from(">d", data, offset)
+        return Double(value), offset + 8
+    if tag in (_TAG_STR, _TAG_ATOM, _TAG_BIGNUM):
+        (length,) = struct.unpack_from(">I", data, offset)
+        offset += 4
+        payload = data[offset : offset + length]
+        offset += length
+        if tag == _TAG_STR:
+            return Str(payload.decode("utf-8")), offset
+        if tag == _TAG_ATOM:
+            return Atom(payload.decode("utf-8")), offset
+        return BigNum(int.from_bytes(payload, "big", signed=True)), offset
+    raise StorageError(f"corrupt record: unknown type tag {tag}")
+
+
+def encode_tuple(args: Sequence[Arg]) -> bytes:
+    """Encode a whole tuple as one heap record."""
+    parts = [struct.pack(">H", len(args))]
+    for arg in args:
+        parts.append(encode_arg(arg))
+    return b"".join(parts)
+
+
+def decode_tuple(data: bytes) -> List[Arg]:
+    """Decode a heap record back into its argument list."""
+    (count,) = struct.unpack_from(">H", data, 0)
+    offset = 2
+    args: List[Arg] = []
+    for _ in range(count):
+        arg, offset = decode_arg(data, offset)
+        args.append(arg)
+    return args
+
+
+def sort_key(args: Sequence[Arg]) -> PyTuple:
+    """An order-preserving comparison key for B-tree indexes.
+
+    Each argument contributes ``(tag, value)``; tuples of such pairs compare
+    with a total order even across mixed types (ordered by tag first).
+    """
+    key = []
+    for arg in args:
+        if isinstance(arg, Int):
+            key.append((_TAG_INT, arg.value))
+        elif isinstance(arg, Double):
+            key.append((_TAG_DOUBLE, arg.value))
+        elif isinstance(arg, Str):
+            key.append((_TAG_STR, arg.value))
+        elif isinstance(arg, Atom):
+            key.append((_TAG_ATOM, arg.name))
+        else:
+            raise StorageError(
+                f"B-tree keys are restricted to primitive types; got {arg!r}"
+            )
+    return tuple(key)
+
+
+def key_to_args(key: PyTuple) -> List[Arg]:
+    """Inverse of :func:`sort_key` (used when scanning an index)."""
+    args: List[Arg] = []
+    for tag, value in key:
+        if tag == _TAG_INT:
+            args.append(Int(value))
+        elif tag == _TAG_DOUBLE:
+            args.append(Double(value))
+        elif tag == _TAG_STR:
+            args.append(Str(value))
+        elif tag == _TAG_ATOM:
+            args.append(Atom(value))
+        else:
+            raise StorageError(f"corrupt key tag {tag}")
+    return args

@@ -1,0 +1,90 @@
+"""Transactions for the storage manager: a page-level undo journal.
+
+Section 2: *"Transactions and concurrency control are supported by the
+EXODUS toolkit, and thus by CORAL."*  CORAL itself delegated the problem;
+this stand-in provides the same contract at the granularity CORAL used it —
+single-user, page-level atomicity:
+
+* ``begin`` starts a transaction; the *first* physical write to each page
+  records its before-image in an on-disk journal;
+* ``commit`` discards the journal (all writes are already durable or will
+  be on the next flush);
+* ``abort`` restores every before-image;
+* ``recover`` replays a journal left behind by a crash, restoring the
+  pre-transaction state.
+
+Being single-user (the paper's design point) there is no lock manager; the
+journal gives atomicity and crash recovery, which is what the tests and the
+persistent-relation examples exercise.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import Dict, Iterator, Tuple as PyTuple
+
+from ..errors import StorageError
+from .pages import PAGE_SIZE
+
+_ENTRY_HEADER = struct.Struct(">HI")  # file-name length, page id
+
+
+class UndoJournal:
+    """Before-images for one in-flight transaction, persisted to disk."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._recorded: Dict[PyTuple[str, int], bytes] = {}
+        self._handle = open(path, "wb")
+
+    def record(self, file_name: str, page_id: int, before: bytes) -> None:
+        """Remember the pre-write contents of a page (first write only)."""
+        key = (file_name, page_id)
+        if key in self._recorded:
+            return
+        if len(before) != PAGE_SIZE:
+            raise StorageError("before-image must be exactly one page")
+        self._recorded[key] = before
+        name_bytes = file_name.encode("utf-8")
+        self._handle.write(_ENTRY_HEADER.pack(len(name_bytes), page_id))
+        self._handle.write(name_bytes)
+        self._handle.write(before)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def before_images(self) -> Iterator[PyTuple[str, int, bytes]]:
+        """All recorded (file, page, before-image) entries, oldest first."""
+        for (file_name, page_id), before in self._recorded.items():
+            yield file_name, page_id, before
+
+    def close_and_remove(self) -> None:
+        self._handle.close()
+        if os.path.exists(self.path):
+            os.remove(self.path)
+
+    def __len__(self) -> int:
+        return len(self._recorded)
+
+
+def read_journal(path: str) -> Iterator[PyTuple[str, int, bytes]]:
+    """Parse a journal file left on disk (crash recovery).
+
+    Truncated trailing entries (a crash mid-append) are ignored — the
+    journal is an undo log, so a partially written last entry corresponds
+    to a page write that never happened.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    offset = 0
+    while offset + _ENTRY_HEADER.size <= len(data):
+        name_length, page_id = _ENTRY_HEADER.unpack_from(data, offset)
+        offset += _ENTRY_HEADER.size
+        end = offset + name_length + PAGE_SIZE
+        if end > len(data):
+            return
+        file_name = data[offset : offset + name_length].decode("utf-8")
+        offset += name_length
+        before = data[offset : offset + PAGE_SIZE]
+        offset += PAGE_SIZE
+        yield file_name, page_id, before

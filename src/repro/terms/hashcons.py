@@ -1,0 +1,117 @@
+"""Lazy hash-consing of ground functor terms.
+
+Section 3.1: *"The current implementation of CORAL uses a modified version of
+hash-consing that operates in a lazy fashion.  Hash-consing assigns unique
+identifiers to each (ground) functor term, such that two (ground) functor
+terms unify if and only if their unique identifiers are the same.  We note
+that such identifiers cannot be assigned to functor terms that contain free
+variables, and these have to be handled differently."*
+
+The table interns structural keys ``(name, child-key...)`` and hands out
+monotonically increasing integer identifiers.  Identifiers are assigned only
+when first demanded (typically when a term is inserted into a relation or
+compared during unification), never eagerly at construction — the "lazy"
+part, which keeps term construction cheap for transient terms.
+
+Per-type orthogonality (the paper stresses each type generates identifiers
+independently) falls out of :meth:`Arg.ground_key`: a functor's key is built
+from its children's keys, whatever types they are, so new abstract data
+types compose without any change here.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional
+
+from .base import Arg
+from .functor import Functor
+
+
+class HashConsTable:
+    """An intern table mapping structural keys to unique identifiers.
+
+    A fresh table can be created per session for isolation; the module-level
+    :data:`GLOBAL_TABLE` serves the common single-session case (CORAL is a
+    single-user system, Section 2).
+    """
+
+    def __init__(self) -> None:
+        self._ids: Dict[Any, int] = {}
+        self._terms: Dict[int, Functor] = {}
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def hc_id(self, term: Functor) -> int:
+        """Return (assigning if needed) the unique id of a ground functor term.
+
+        Iterative post-order over the term's functor subterms: deep terms —
+        long lists in particular — are exactly the "large terms" the
+        mechanism exists for, so the implementation must not be bounded by
+        the host recursion limit.
+        """
+        if not term.is_ground():
+            raise ValueError(f"cannot hash-cons non-ground term {term}")
+        cached: Optional[int] = term._hc_id
+        if cached is not None:
+            return cached
+        stack = [term]
+        while stack:
+            current = stack[-1]
+            if current._hc_id is not None:
+                stack.pop()
+                continue
+            pending = [
+                arg
+                for arg in current.args
+                if isinstance(arg, Functor) and arg._hc_id is None
+            ]
+            if pending:
+                stack.extend(pending)
+                continue
+            key = (current.name,) + tuple(
+                arg.ground_key() for arg in current.args
+            )
+            with self._lock:
+                ident = self._ids.get(key)
+                if ident is None:
+                    ident = len(self._ids) + 1
+                    self._ids[key] = ident
+                    self._terms[ident] = current
+            object.__setattr__(current, "_hc_id", ident)
+            stack.pop()
+        return term._hc_id  # type: ignore[return-value]
+
+    def term_for(self, ident: int) -> Optional[Functor]:
+        """The canonical term first interned under ``ident`` (or None)."""
+        return self._terms.get(ident)
+
+    def canonical(self, term: Functor) -> Functor:
+        """The canonical representative structurally equal to ``term``.
+
+        Sharing representatives turns deep equality checks into pointer
+        comparisons — the paper's structure-sharing optimization.
+        """
+        return self._terms[self.hc_id(term)]
+
+    def clear(self) -> None:
+        """Drop all interned terms (used between tests/benchmarks)."""
+        with self._lock:
+            self._ids.clear()
+            self._terms.clear()
+
+
+#: The process-wide table used by default.
+GLOBAL_TABLE = HashConsTable()
+
+
+def hc_id(term: Functor, table: HashConsTable | None = None) -> int:
+    """Unique identifier for a ground functor term (module-level shorthand)."""
+    return (table or GLOBAL_TABLE).hc_id(term)
+
+
+def canonical(term: Functor, table: HashConsTable | None = None) -> Functor:
+    """Canonical shared representative of a ground functor term."""
+    return (table or GLOBAL_TABLE).canonical(term)

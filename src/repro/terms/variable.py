@@ -1,0 +1,79 @@
+"""Variables as a primitive CORAL type.
+
+Section 3.1: *"Variables constitute a primitive type in CORAL, since CORAL
+allows facts (and not just rules) to contain variables ... The semantics of a
+variable in a fact is that the variable is universally quantified in the
+fact."*
+
+A :class:`Var` is identified by a process-unique integer ``vid``; the name is
+kept only for printing.  Equality is identity on ``vid`` — two variables with
+the same source name in different rules are different variables once the rule
+is *standardized apart* (see :func:`rename_term` in :mod:`repro.terms.bindenv`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterator
+
+from .base import Arg
+
+_next_vid = itertools.count(1)
+
+
+class Var(Arg):
+    """A logic variable.
+
+    Variables never hold their binding; bindings live in a separate
+    *binding environment* (Section 3.1, Figure 2), so the same variable
+    object can be bound differently in concurrent rule activations.
+    """
+
+    __slots__ = ("name", "vid")
+    kind = "var"
+
+    def __init__(self, name: str = "_", vid: int | None = None) -> None:
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "vid", next(_next_vid) if vid is None else vid)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("Var is immutable")
+
+    # -- Arg contract -------------------------------------------------------
+
+    def is_ground(self) -> bool:
+        return False
+
+    def variables(self) -> Iterator["Var"]:
+        yield self
+
+    def ground_key(self) -> Any:
+        raise ValueError(f"ground_key() on non-ground term {self}")
+
+    def equals(self, other: Arg) -> bool:
+        return self is other or (isinstance(other, Var) and other.vid == self.vid)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other or (isinstance(other, Var) and other.vid == self.vid)
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return hash(("var", self.vid))
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r}, vid={self.vid})"
+
+    def __str__(self) -> str:
+        return self.name if self.name != "_" else f"_G{self.vid}"
+
+
+def fresh(name: str = "_") -> Var:
+    """Create a brand-new variable, guaranteed distinct from all others."""
+    return Var(name)
+
+
+def is_anonymous(var: Var) -> bool:
+    """True for the ``_`` don't-care variable."""
+    return var.name == "_"

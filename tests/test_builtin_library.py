@@ -1,0 +1,233 @@
+"""Tests for the utility builtin library: strings, term inspection, and the
+extended list operations (the paper's 'utilities and built-in libraries')."""
+
+import pytest
+
+from repro import Session
+from repro.errors import EvaluationError, InstantiationError
+
+
+@pytest.fixture
+def session():
+    return Session()
+
+
+def answers(session, module_body, query):
+    session.consult_string(f"module t_{abs(hash(module_body)) % 10000}.\n{module_body}\nend_module.")
+    return session.query(query)
+
+
+def one_value(session, head_args, body, query_args, var="X"):
+    """Define p(head_args) :- body and query p(query_args), returning X."""
+    session.consult_string(
+        f"module m.\nexport p({'f' * len(head_args.split(','))}).\n"
+        f"p({head_args}) :- {body}.\nend_module."
+    )
+    return [a[var] for a in session.query(f"p({query_args})")]
+
+
+class TestStringBuiltins:
+    def test_concat_forward(self, session):
+        got = one_value(session, "X", 'string_concat("ab", "cd", X)', "X")
+        assert got == ["abcd"]
+
+    def test_concat_suffix_subtraction(self, session):
+        got = one_value(session, "X", 'string_concat("ab", X, "abcd")', "X")
+        assert got == ["cd"]
+
+    def test_concat_prefix_subtraction(self, session):
+        got = one_value(session, "X", 'string_concat(X, "cd", "abcd")', "X")
+        assert got == ["ab"]
+
+    def test_concat_enumerates_splits(self, session):
+        session.consult_string(
+            """
+            module m.
+            export splits(ff).
+            splits(A, B) :- string_concat(A, B, "abc").
+            end_module.
+            """
+        )
+        assert len(session.query("splits(A, B)").all()) == 4
+
+    def test_length(self, session):
+        assert one_value(session, "X", 'string_length("hello", X)', "X") == [5]
+
+    def test_atom_string_both_ways(self, session):
+        assert one_value(session, "X", "atom_string(john, X)", "X") == ["john"]
+        session2 = Session()
+        assert one_value(session2, "X", 'atom_string(X, "mary")', "X") == ["mary"]
+
+    def test_case_conversion(self, session):
+        assert one_value(session, "X", 'string_upper("abc", X)', "X") == ["ABC"]
+
+    def test_number_string(self, session):
+        assert one_value(session, "X", 'number_string(X, "42")', "X") == [42]
+        session2 = Session()
+        assert one_value(session2, "X", "number_string(17, X)", "X") == ["17"]
+
+    def test_number_string_non_numeric_fails(self, session):
+        assert one_value(session, "X", 'number_string(X, "nope")', "X") == []
+
+    def test_sub_string(self, session):
+        assert one_value(session, "X", 'sub_string("hello", "ell"), X = 1', "X") == [1]
+
+    def test_unbound_concat_raises(self, session):
+        session.consult_string(
+            "module m. export p(f). p(X) :- string_concat(A, B, X). end_module."
+        )
+        with pytest.raises(InstantiationError):
+            session.query("p(X)").all()
+
+
+class TestTermInspection:
+    def test_functor_decompose(self, session):
+        session.consult_string(
+            """
+            shape(circle(3)).
+            module m.
+            export info(ff).
+            info(N, A) :- shape(S), functor(S, N, A).
+            end_module.
+            """
+        )
+        rows = session.query("info(N, A)").tuples()
+        assert rows == [("circle", 1)]
+
+    def test_functor_build(self, session):
+        session.consult_string(
+            """
+            module m.
+            export build(f).
+            build(T) :- functor(T, point, 2).
+            end_module.
+            """
+        )
+        answer = session.query("build(T)").all()[0]
+        term = answer.term("T")
+        assert term.name == "point" and len(term.args) == 2
+
+    def test_arg_extracts(self, session):
+        session.consult_string(
+            """
+            fact(f(10, 20, 30)).
+            module m.
+            export second(f).
+            second(A) :- fact(T), arg(2, T, A).
+            end_module.
+            """
+        )
+        assert [a["A"] for a in session.query("second(A)")] == [20]
+
+    def test_arg_enumerates(self, session):
+        session.consult_string(
+            """
+            fact(f(10, 20)).
+            module m.
+            export pairs(ff).
+            pairs(N, A) :- fact(T), arg(N, T, A).
+            end_module.
+            """
+        )
+        assert sorted(session.query("pairs(N, A)").tuples()) == [(1, 10), (2, 20)]
+
+    def test_ground_check(self, session):
+        session.consult_string(
+            """
+            thing(f(1)). thing(g(X)).
+            module m.
+            export solid(f).
+            solid(T) :- thing(T), ground(T).
+            end_module.
+            """
+        )
+        results = session.query("solid(T)").all()
+        assert len(results) == 1
+
+    def test_is_list(self, session):
+        session.consult_string(
+            """
+            candidate([1, 2]). candidate(f(1)). candidate([]).
+            module m.
+            export listy(f).
+            listy(T) :- candidate(T), is_list(T).
+            end_module.
+            """
+        )
+        assert len(session.query("listy(T)").all()) == 2
+
+    def test_copy_term_freshens(self, session):
+        session.consult_string(
+            """
+            template(pair(X, X)).
+            module m.
+            export stamped(f).
+            stamped(C) :- template(T), copy_term(T, C), arg(1, C, 7).
+            end_module.
+            """
+        )
+        answer = session.query("stamped(C)").all()
+        assert len(answer) == 1
+
+
+class TestListLibrary:
+    def test_reverse(self, session):
+        assert one_value(session, "X", "reverse([1, 2, 3], X)", "X") == [[3, 2, 1]]
+
+    def test_nth_lookup(self, session):
+        assert one_value(session, "X", "nth(2, [a, b, c], X)", "X") == ["b"]
+
+    def test_nth_enumerates(self, session):
+        session.consult_string(
+            """
+            module m.
+            export idx(ff).
+            idx(N, E) :- nth(N, [x, y], E).
+            end_module.
+            """
+        )
+        assert sorted(session.query("idx(N, E)").tuples()) == [(1, "x"), (2, "y")]
+
+    def test_last(self, session):
+        assert one_value(session, "X", "last([1, 2, 9], X)", "X") == [9]
+
+    def test_last_empty_fails(self, session):
+        assert one_value(session, "X", "last([], X)", "X") == []
+
+    def test_sum_min_max(self, session):
+        assert one_value(session, "X", "sum_list([1, 2, 3], X)", "X") == [6]
+        s2, s3 = Session(), Session()
+        assert one_value(s2, "X", "max_list([4, 9, 2], X)", "X") == [9]
+        assert one_value(s3, "X", "min_list([4, 9, 2], X)", "X") == [2]
+
+    def test_sort_dedups(self, session):
+        assert one_value(session, "X", "sort([3, 1, 2, 1], X)", "X") == [[1, 2, 3]]
+
+    def test_msort_keeps_duplicates(self, session):
+        assert one_value(session, "X", "msort([3, 1, 2, 1], X)", "X") == [
+            [1, 1, 2, 3]
+        ]
+
+    def test_improper_list_rejected(self, session):
+        session.consult_string(
+            "module m. export p(f). p(X) :- reverse(f(1), X). end_module."
+        )
+        with pytest.raises(EvaluationError):
+            session.query("p(X)").all()
+
+    def test_library_composes_in_recursion(self, session):
+        """The library predicates interoperate with recursive rules."""
+        session.consult_string(
+            """
+            edge(1, 2). edge(2, 3). edge(3, 4).
+
+            module m.
+            export best_path(bbf).
+            trail(X, Y, [X, Y]) :- edge(X, Y).
+            trail(X, Y, P) :- edge(X, Z), trail(Z, Y, P0), append([X], P0, P).
+            best_path(X, Y, L) :- trail(X, Y, P), length(P, N), L = N - 1.
+            end_module.
+            """
+        )
+        answers = sorted(a["L"] for a in session.query("best_path(1, 4, L)"))
+        assert answers == [3]

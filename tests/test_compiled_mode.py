@@ -1,0 +1,184 @@
+"""Tests for the compiled evaluation mode (paper Section 2 / benchmark E12)."""
+
+import pytest
+
+from repro import Session
+from repro.builtins import default_registry
+from repro.compilemod import RuleCompiler
+from repro.errors import EvaluationError
+from repro.language import parse_module
+from repro.rewriting.seminaive import seminaive_rewrite
+
+REGISTRY = default_registry()
+
+
+def is_builtin(name, arity):
+    return REGISTRY.is_builtin(name, arity)
+
+
+def _sn_rules(source, recursive):
+    module = parse_module(source)
+    once, delta = seminaive_rewrite(module.rules, recursive, is_builtin)
+    return once + delta
+
+
+class TestRuleCompiler:
+    def test_flat_rule_compiles(self):
+        rules = _sn_rules(
+            "module m. p(X, Y) :- e(X, Z), f(Z, Y). end_module.", set()
+        )
+        compiler = RuleCompiler()
+        compiled = compiler.try_compile(rules[0])
+        assert compiled is not None
+        assert "for _t0 in" in compiled.source
+        assert compiler.stats.rules_compiled == 1
+
+    def test_arithmetic_and_comparison_compile(self):
+        rules = _sn_rules(
+            "module m. p(X, Y) :- e(X, C), C > 2, Y = C * 10. end_module.",
+            set(),
+        )
+        compiled = RuleCompiler().try_compile(rules[0])
+        assert compiled is not None
+        assert "> (2)" in compiled.source.replace("((", "(").replace("))", ")")
+
+    def test_functor_argument_falls_back(self):
+        rules = _sn_rules(
+            "module m. p(X) :- e(f(X)). end_module.", set()
+        )
+        compiler = RuleCompiler()
+        assert compiler.try_compile(rules[0]) is None
+        assert compiler.stats.rules_interpreted == 1
+
+    def test_negation_falls_back(self):
+        rules = _sn_rules(
+            "module m. p(X) :- e(X), not q(X). end_module.", set()
+        )
+        assert RuleCompiler().try_compile(rules[0]) is None
+
+    def test_aggregation_falls_back(self):
+        rules = _sn_rules(
+            "module m. p(X, min(<C>)) :- e(X, C). end_module.", set()
+        )
+        assert RuleCompiler().try_compile(rules[0]) is None
+
+
+class TestCompiledEvaluation:
+    TC = """
+    module tc.
+    export path(bf).
+    @compiled.
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- edge(X, Z), path(Z, Y).
+    end_module.
+    """
+
+    def test_compiled_tc_matches_interpreted(self):
+        edges = "".join(f"edge({i}, {i+1}). " for i in range(20))
+        compiled_session = Session()
+        compiled_session.consult_string(edges + self.TC)
+        interpreted_session = Session()
+        interpreted_session.consult_string(
+            edges + self.TC.replace("@compiled.", "")
+        )
+        compiled_answers = sorted(
+            a["Y"] for a in compiled_session.query("path(3, Y)")
+        )
+        interpreted_answers = sorted(
+            a["Y"] for a in interpreted_session.query("path(3, Y)")
+        )
+        assert compiled_answers == interpreted_answers
+        assert len(compiled_answers) == 17
+
+    def test_compiled_with_arithmetic(self):
+        session = Session()
+        session.consult_string(
+            """
+            cost(a, b, 3). cost(b, c, 4).
+
+            module m.
+            export total(bbf).
+            @compiled.
+            total(X, Y, C) :- cost(X, Y, C).
+            total(X, Y, C) :- cost(X, Z, C1), total(Z, Y, C2), C = C1 + C2.
+            end_module.
+            """
+        )
+        answers = session.query("total(a, c, C)").all()
+        assert [a["C"] for a in answers] == [7]
+
+    def test_nonground_fact_raises_in_compiled_mode(self):
+        session = Session()
+        session.consult_string("edge(1, X)." + self.TC)
+        with pytest.raises(EvaluationError):
+            session.query("path(1, Y)").all()
+
+    def test_interpreted_mode_handles_the_same_nonground_fact(self):
+        session = Session()
+        session.consult_string(
+            "edge(1, X)." + self.TC.replace("@compiled.", "")
+        )
+        assert len(session.query("path(1, Y)").all()) >= 1
+
+    def test_compiled_cycle_terminates(self):
+        session = Session()
+        session.consult_string(
+            "edge(1, 2). edge(2, 1)." + self.TC
+        )
+        assert sorted(a["Y"] for a in session.query("path(1, Y)")) == [1, 2]
+
+
+class TestGeneratedSource:
+    """White-box checks on the generated Python (the codegen contract)."""
+
+    def _compile_one(self, source, recursive=frozenset()):
+        rules = _sn_rules(source, set(recursive))
+        compiled = RuleCompiler().try_compile(rules[0])
+        assert compiled is not None
+        return compiled
+
+    def test_constants_become_guards(self):
+        compiled = self._compile_one(
+            "module m. p(X) :- e(7, X). end_module."
+        )
+        assert "consts[" in compiled.source
+        assert "!= _t0.args[0]: continue" in compiled.source
+
+    def test_repeated_variable_becomes_equality_guard(self):
+        compiled = self._compile_one(
+            "module m. p(X) :- e(X, X). end_module."
+        )
+        assert "!= _t0.args[1]: continue" in compiled.source
+
+    def test_bound_probe_passed_to_scan(self):
+        compiled = self._compile_one(
+            "module m. p(X, Y) :- e(X), f(X, Y). end_module."
+        )
+        # the second scan's probe carries the bound variable, not _free
+        probe_line = [
+            line for line in compiled.source.splitlines() if "_probe1" in line
+        ][0]
+        assert "_free" in probe_line  # Y is free
+        assert "v" in probe_line  # X is bound
+
+    def test_nonground_guard_emitted(self):
+        compiled = self._compile_one("module m. p(X) :- e(X). end_module.")
+        assert "_nonground_error" in compiled.source
+
+    def test_delta_ranges_referenced_for_recursive_literals(self):
+        rules = _sn_rules(
+            "module m. p(X, Y) :- e(X, Z), p(Z, Y). end_module.",
+            {("p", 2)},
+        )
+        delta_rule = [r for r in rules if not r.once][0]
+        compiled = RuleCompiler().try_compile(delta_rule)
+        assert compiled is not None
+        assert "_KINDS['delta']" in compiled.source
+
+    def test_stats_track_codegen(self):
+        compiler = RuleCompiler()
+        rules = _sn_rules("module m. p(X) :- e(X). end_module.", set())
+        compiler.try_compile(rules[0])
+        assert compiler.stats.rules_compiled == 1
+        assert compiler.stats.generated_lines > 0
+        assert compiler.stats.codegen_seconds > 0

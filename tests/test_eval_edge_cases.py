@@ -1,0 +1,254 @@
+"""Edge cases across the evaluation stack that the mainline tests don't
+exercise: module-local facts, zero-arity predicates, functor-term queries,
+long module chains, and numeric corner cases."""
+
+import pytest
+
+from repro import Session
+
+
+class TestModuleLocalFacts:
+    def test_facts_inside_modules(self):
+        """A fact in a module is a bodiless rule: it still gets magic-guarded
+        and only materializes when demanded."""
+        session = Session()
+        session.consult_string(
+            """
+            module config.
+            export limit(bf).
+            limit(disk, 100).
+            limit(cpu, 8).
+            end_module.
+            """
+        )
+        assert [a["V"] for a in session.query("limit(cpu, V)")] == [8]
+        assert len(session.query("limit(X, Y)").all()) == 2
+
+    def test_module_fact_joins_with_rules(self):
+        session = Session()
+        session.consult_string(
+            """
+            usage(disk, 140). usage(cpu, 3).
+
+            module config.
+            export over(f).
+            limit(disk, 100).
+            limit(cpu, 8).
+            over(R) :- limit(R, L), usage(R, U), U > L.
+            end_module.
+            """
+        )
+        assert [a["R"] for a in session.query("over(R)")] == ["disk"]
+
+
+class TestZeroArity:
+    def test_zero_arity_derived(self):
+        session = Session()
+        session.consult_string(
+            """
+            item(1).
+
+            module m.
+            export nonempty().
+            nonempty :- item(X).
+            end_module.
+            """
+        )
+        assert len(session.query("nonempty").all()) == 1
+
+    def test_zero_arity_base_fact(self):
+        session = Session()
+        session.consult_string("raining.")
+        assert len(session.query("raining").all()) == 1
+        assert len(session.query("sunny").all()) == 0
+
+
+class TestFunctorTermQueries:
+    def test_query_with_structured_constant(self):
+        session = Session()
+        session.consult_string(
+            "emp(john, addr(main_st, madison)). emp(mary, addr(oak_st, chicago))."
+        )
+        answers = session.query("emp(X, addr(S, madison))").all()
+        assert len(answers) == 1
+        assert answers[0]["X"] == "john"
+
+    def test_derived_structured_answers(self):
+        session = Session()
+        session.consult_string(
+            """
+            point(1, 2). point(3, 4).
+
+            module m.
+            export wrapped(f).
+            wrapped(pt(X, Y)) :- point(X, Y).
+            end_module.
+            """
+        )
+        terms = {str(a.term("P")) for a in session.query("wrapped(P)")}
+        assert terms == {"pt(1, 2)", "pt(3, 4)"}
+
+    def test_nested_functor_unification_in_query(self):
+        session = Session()
+        session.consult_string("box(wrap(wrap(core))).")
+        answers = session.query("box(wrap(wrap(X)))").all()
+        assert [a["X"] for a in answers] == ["core"]
+
+
+class TestModuleChains:
+    def test_four_module_chain(self):
+        session = Session()
+        session.consult_string(
+            """
+            base(1). base(2). base(3).
+
+            module a.
+            export pa(f).
+            pa(X) :- base(X).
+            end_module.
+
+            module b.
+            export pb(f).
+            pb(Y) :- pa(X), Y = X * 2.
+            end_module.
+
+            module c.
+            export pc(f).
+            @pipelining.
+            pc(Y) :- pb(Y), Y > 2.
+            end_module.
+
+            module d.
+            export pd(ff).
+            pd(Y, count(<X>)) :- pc(X), Y = 1.
+            end_module.
+            """
+        )
+        assert sorted(a["Y"] for a in session.query("pc(Y)")) == [4, 6]
+        assert session.query("pd(Y, N)").tuples() == [(1, 2)]
+
+    def test_diamond_module_dependencies(self):
+        session = Session()
+        session.consult_string(
+            """
+            n(1). n(2).
+
+            module left.
+            export pl(f).
+            pl(X) :- n(X).
+            end_module.
+
+            module right.
+            export pr(f).
+            pr(Y) :- n(X), Y = X + 10.
+            end_module.
+
+            module top.
+            export pt(f).
+            pt(Z) :- pl(Z).
+            pt(Z) :- pr(Z).
+            end_module.
+            """
+        )
+        assert sorted(a["Z"] for a in session.query("pt(Z)")) == [1, 2, 11, 12]
+
+
+class TestNumericCorners:
+    def test_negative_numbers_through_arithmetic(self):
+        session = Session()
+        session.consult_string(
+            """
+            n(-5). n(3).
+
+            module m.
+            export flipped(f).
+            flipped(Y) :- n(X), Y = 0 - X.
+            end_module.
+            """
+        )
+        assert sorted(a["Y"] for a in session.query("flipped(Y)")) == [-3, 5]
+
+    def test_float_arithmetic(self):
+        session = Session()
+        session.consult_string(
+            """
+            price(2.5).
+
+            module m.
+            export taxed(f).
+            taxed(Y) :- price(X), Y = X * 1.1.
+            end_module.
+            """
+        )
+        answers = session.query("taxed(Y)").all()
+        assert answers[0]["Y"] == pytest.approx(2.75)
+
+    def test_integer_division_produces_float(self):
+        session = Session()
+        session.consult_string(
+            "module m. export half(f). half(Y) :- Y = 7 / 2, one(Z). end_module. one(1)."
+        )
+        # body order: the '=' is first — guard rejects? (`=` before any scan
+        # is fine in the interpreter; only compiled mode restricts it)
+        assert [a["Y"] for a in session.query("half(Y)")] == [3.5]
+
+    def test_huge_integers(self):
+        session = Session()
+        session.consult_string(
+            f"big({10**40}).\n"
+            """
+            module m.
+            export bigger(f).
+            bigger(Y) :- big(X), Y = X * X.
+            end_module.
+            """
+        )
+        assert [a["Y"] for a in session.query("bigger(Y)")] == [10**80]
+
+
+class TestStringsInRules:
+    def test_string_comparison_in_rule(self):
+        session = Session()
+        session.consult_string(
+            """
+            word("apple"). word("banana").
+
+            module m.
+            export early(f).
+            early(W) :- word(W), W < "b".
+            end_module.
+            """
+        )
+        assert [a["W"] for a in session.query("early(W)")] == ["apple"]
+
+    def test_atoms_and_strings_do_not_unify(self):
+        session = Session()
+        session.consult_string('tag(john). tag("john").')
+        assert len(session.query("tag(john)").all()) == 1
+        assert len(session.query('tag("john")').all()) == 1
+        assert len(session.query("tag(X)").all()) == 2
+
+
+class TestEmptyAndMissing:
+    def test_query_on_empty_base_relation(self):
+        session = Session()
+        session.insert("present", 1)
+        # unknown relation: auto-created empty, zero answers (not an error)
+        assert session.query("absent(X)").all() == []
+
+    def test_module_with_unreachable_rules(self):
+        """Rules for predicates the query never demands cost nothing."""
+        session = Session()
+        session.consult_string(
+            """
+            e(1, 2).
+
+            module m.
+            export small(bf).
+            small(X, Y) :- e(X, Y).
+            huge(X, Y) :- e(X, Z), huge(Z, Y).
+            huge(X, Y) :- e(X, Y).
+            end_module.
+            """
+        )
+        assert len(session.query("small(1, Y)").all()) == 1

@@ -1,0 +1,48 @@
+"""Smoke tests: every example script runs to completion and prints the
+expected headline results."""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_example_count_meets_deliverable():
+    assert len(EXAMPLES) >= 3
+
+
+def test_shortest_path_example_output():
+    script = next(p for p in EXAMPLES if p.stem == "shortest_path")
+    result = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True, timeout=120
+    )
+    assert "to ord:   120 miles" in result.stdout
+    # shortest MSN->SFO goes via ORD (1970), not the direct 2050 flight
+    assert "to sfo:  1970 miles" in result.stdout
+
+
+def test_quickstart_output():
+    script = next(p for p in EXAMPLES if p.stem == "quickstart")
+    result = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True, timeout=120
+    )
+    assert "nrt" in result.stdout
+    assert "First answer to path(msn, X): ord" in result.stdout

@@ -1,0 +1,233 @@
+"""Failure injection: every documented restriction and error path should
+fail loudly and precisely, not corrupt state or answer wrongly."""
+
+import os
+
+import pytest
+
+from repro import Session
+from repro.errors import (
+    CoralError,
+    EvaluationError,
+    ModuleError,
+    ParseError,
+    StorageError,
+    StratificationError,
+)
+from repro.storage import BufferPool, PersistentRelation, StorageServer
+from repro.storage.pages import PAGE_SIZE
+from repro.relations import Tuple
+from repro.terms import Int, Str
+
+
+class TestLanguageErrors:
+    def test_parse_error_has_position(self):
+        session = Session()
+        with pytest.raises(ParseError) as info:
+            session.consult_string("module m.\np(X) :- q(X,.\nend_module.")
+        assert info.value.line == 2
+
+    def test_unterminated_module(self):
+        session = Session()
+        with pytest.raises(ParseError):
+            session.consult_string("module m. p(X) :- q(X).")
+
+    def test_rule_at_top_level_rejected(self):
+        session = Session()
+        with pytest.raises(ParseError):
+            session.consult_string("p(X) :- q(X).")
+
+    def test_double_negation_rejected(self):
+        session = Session()
+        with pytest.raises(ParseError):
+            session.consult_string(
+                "module m. p(X) :- not not q(X). end_module."
+            )
+
+
+class TestStratificationErrors:
+    def test_unstratified_negation_without_ordered_search(self):
+        session = Session()
+        session.consult_string(
+            """
+            module game.
+            export win(b).
+            win(X) :- move(X, Y), not win(Y).
+            end_module.
+            move(a, b).
+            """
+        )
+        # the optimizer falls back to ordered search automatically, which
+        # IS able to answer this (acyclic move graph) — so this succeeds:
+        assert len(session.query("win(a)").all()) == 1
+
+    def test_negative_cycle_detected_at_runtime(self):
+        session = Session()
+        session.consult_string(
+            """
+            module game.
+            export win(b).
+            @ordered_search.
+            win(X) :- move(X, Y), not win(Y).
+            end_module.
+            move(a, b). move(b, a).
+            """
+        )
+        with pytest.raises(StratificationError):
+            session.query("win(a)").all()
+
+
+class TestModuleErrors:
+    def test_insert_into_derived_relation(self):
+        session = Session()
+        session.consult_string(
+            "module m. export p(f). p(X) :- q(X). end_module."
+        )
+        derived = session.ctx.resolve("p", 1)
+        with pytest.raises(ModuleError):
+            derived.insert(Tuple((Int(1),)))
+
+    def test_duplicate_module_name(self):
+        session = Session()
+        session.consult_string("module m. export p(f). p(X) :- q(X). end_module.")
+        with pytest.raises(ModuleError):
+            session.consult_string(
+                "module m. export r(f). r(X) :- q(X). end_module."
+            )
+
+    def test_unload_unknown_module(self):
+        session = Session()
+        with pytest.raises(ModuleError):
+            session.modules.unload("ghost")
+
+    def test_pipelined_module_with_aggregation_rejected(self):
+        session = Session()
+        with pytest.raises(ModuleError):
+            session.consult_string(
+                """
+                module m.
+                export total(f).
+                @pipelining.
+                total(sum(<V>)) :- item(V).
+                end_module.
+                """
+            )
+
+
+class TestEvaluationErrors:
+    def test_unbound_arithmetic(self):
+        session = Session()
+        session.consult_string(
+            """
+            module m.
+            export bad(f).
+            bad(Y) :- Y = X + 1, thing(X).
+            end_module.
+            thing(1).
+            """
+        )
+        with pytest.raises(EvaluationError):
+            session.query("bad(Y)").all()
+
+    def test_division_by_zero(self):
+        session = Session()
+        session.consult_string(
+            """
+            module m.
+            export bad(f).
+            bad(Y) :- thing(X), Y = X / 0.
+            end_module.
+            thing(1).
+            """
+        )
+        with pytest.raises(EvaluationError):
+            session.query("bad(Y)").all()
+
+    def test_pipelined_left_recursion_depth_bounded(self):
+        session = Session()
+        session.consult_string(
+            """
+            module m.
+            export p(bf).
+            @pipelining.
+            p(X, Y) :- p(X, Z), edge(Z, Y).
+            p(X, Y) :- edge(X, Y).
+            end_module.
+            edge(1, 2).
+            """
+        )
+        with pytest.raises(EvaluationError):
+            session.query("p(1, Y)").all()
+
+
+class TestStorageErrors:
+    def test_record_larger_than_page(self, tmp_path):
+        server = StorageServer(str(tmp_path))
+        pool = BufferPool(server, capacity=8)
+        relation = PersistentRelation("blob", 1, pool)
+        with pytest.raises(StorageError):
+            relation.insert(Tuple((Str("x" * PAGE_SIZE),)))
+        server.close()
+
+    def test_torn_page_file_detected(self, tmp_path):
+        path = tmp_path / "torn.pages"
+        path.write_bytes(b"x" * (PAGE_SIZE + 17))
+        from repro.storage.file import DiskFile
+
+        with pytest.raises(StorageError):
+            DiskFile(str(path))
+
+    def test_non_btree_file_rejected(self, tmp_path):
+        server = StorageServer(str(tmp_path))
+        pool = BufferPool(server, capacity=8)
+        pid = server.allocate_page("junk.idx")
+        server.write_page("junk.idx", pid, b"\xff" * PAGE_SIZE)
+        server.allocate_page("junk.idx")
+        from repro.storage.btree import BTree
+
+        with pytest.raises(StorageError):
+            BTree(pool, "junk.idx").search([Int(1)])
+        server.close()
+
+    def test_truncated_journal_recovers_prefix(self, tmp_path):
+        """A crash can tear the journal mid-entry; recovery must apply the
+        complete prefix and ignore the torn tail."""
+        server = StorageServer(str(tmp_path))
+        pid = server.allocate_page("f")
+        server.write_page("f", pid, b"1" * PAGE_SIZE)
+        server.begin_transaction()
+        server.write_page("f", pid, b"2" * PAGE_SIZE)
+        server.close()  # journal left behind
+        journal = os.path.join(str(tmp_path), "undo.journal")
+        with open(journal, "ab") as handle:
+            handle.write(b"\x00\x05\x00\x00\x00\x07torn")  # incomplete entry
+        recovered = StorageServer(str(tmp_path))
+        assert bytes(recovered.read_page("f", pid)) == b"1" * PAGE_SIZE
+        recovered.close()
+
+    def test_session_double_open_storage(self, tmp_path):
+        session = Session(data_directory=str(tmp_path))
+        with pytest.raises(CoralError):
+            session.open_storage(str(tmp_path))
+        session.close()
+
+    def test_persistent_name_clash_with_memory_relation(self, tmp_path):
+        session = Session(data_directory=str(tmp_path))
+        session.insert("clash", 1)
+        with pytest.raises(CoralError):
+            session.persistent_relation("clash", 1)
+        session.close()
+
+
+class TestQueryErrors:
+    def test_missing_query_variable(self):
+        session = Session()
+        session.insert("p", 1)
+        answer = session.query("p(X)").all()[0]
+        with pytest.raises(KeyError):
+            answer["Z"]
+
+    def test_delete_from_unknown_relation(self):
+        session = Session()
+        with pytest.raises(EvaluationError):
+            session.delete("nothing", 1)

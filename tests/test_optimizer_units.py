@@ -1,0 +1,172 @@
+"""Unit tests for the optimizer's compile-time decisions (Section 4)."""
+
+import pytest
+
+from repro import Session
+from repro.builtins import default_registry
+from repro.language import parse_module
+from repro.optimizer import Optimizer
+from repro.relations import ArgumentIndexSpec
+
+REGISTRY = default_registry()
+
+
+def optimizer():
+    return Optimizer(REGISTRY.is_builtin, REGISTRY.lookup)
+
+
+TC = parse_module(
+    """
+    module tc.
+    export path(bf, ff).
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- edge(X, Z), path(Z, Y).
+    end_module.
+    """
+)
+
+
+class TestTechniqueSelection:
+    def test_bound_form_defaults_to_supmagic(self):
+        compiled = optimizer().compile(TC, "path", "bf")
+        assert compiled.rewritten.technique == "supplementary_magic"
+
+    def test_all_free_form_skips_rewriting(self):
+        compiled = optimizer().compile(TC, "path", "ff")
+        assert compiled.rewritten.technique == "none"
+        assert compiled.rewritten.magic_pred is None
+
+    def test_flag_overrides(self):
+        for flag, technique in (
+            ("@magic.", "magic"),
+            ("@supplementary_magic_goalid.", "supplementary_magic_goalid"),
+            ("@no_rewriting.", "none"),
+        ):
+            module = parse_module(
+                f"""
+                module tc.
+                export path(bf).
+                {flag}
+                path(X, Y) :- edge(X, Y).
+                path(X, Y) :- edge(X, Z), path(Z, Y).
+                end_module.
+                """
+            )
+            compiled = optimizer().compile(module, "path", "bf")
+            assert compiled.rewritten.technique == technique, flag
+
+    def test_factoring_falls_back_when_inapplicable(self):
+        module = parse_module(
+            """
+            module m.
+            export p(bf).
+            @context_factoring.
+            p(X, Y) :- e(X, Y).
+            p(X, Y) :- p(X, Z), e(Z, Y).
+            end_module.
+            """
+        )
+        compiled = optimizer().compile(module, "p", "bf")
+        # left-linear: factoring inapplicable -> supplementary magic fallback
+        assert compiled.rewritten.technique == "supplementary_magic"
+
+
+class TestRuntimeDecisions:
+    def test_lazy_default_for_materialized(self):
+        compiled = optimizer().compile(TC, "path", "bf")
+        assert compiled.lazy
+
+    def test_save_module_forces_eager(self):
+        module = parse_module(
+            """
+            module m.
+            export p(bf).
+            @save_module.
+            p(X, Y) :- e(X, Y).
+            end_module.
+            """
+        )
+        compiled = optimizer().compile(module, "p", "bf")
+        assert compiled.save_module and not compiled.lazy
+
+    def test_aggregate_selection_forces_eager(self):
+        module = parse_module(
+            """
+            module m.
+            export p(bff).
+            @aggregate_selection p(X, Y, C) (X, Y) min(C).
+            p(X, Y, C) :- e(X, Y, C).
+            end_module.
+            """
+        )
+        compiled = optimizer().compile(module, "p", "bff")
+        assert not compiled.lazy
+        assert compiled.constraints
+
+    def test_psn_flag_selects_strategy(self):
+        module = parse_module(
+            """
+            module m.
+            export p(bf).
+            @psn.
+            p(X, Y) :- e(X, Y).
+            p(X, Y) :- e(X, Z), p(Z, Y).
+            end_module.
+            """
+        )
+        assert optimizer().compile(module, "p", "bf").strategy == "psn"
+
+    def test_scc_order_is_callees_first(self):
+        compiled = optimizer().compile(TC, "path", "bf")
+        names = [sorted(p.preds)[0][0] for p in compiled.scc_plans]
+        answer_scc = names.index("path_bf")
+        magic_scc = next(
+            i for i, plan in enumerate(compiled.scc_plans)
+            if any(name.startswith("m_") for name, _a in plan.preds)
+        )
+        assert magic_scc < answer_scc
+
+    def test_index_selection_covers_join_probes(self):
+        compiled = optimizer().compile(TC, "path", "bf")
+        edge_specs = compiled.base_index_specs.get(("edge", 2), [])
+        positions = {
+            spec.positions
+            for spec in edge_specs
+            if isinstance(spec, ArgumentIndexSpec)
+        }
+        assert (0,) in positions  # edge probed with bound first argument
+
+    def test_constraints_mapped_to_adorned_names(self):
+        module = parse_module(
+            """
+            module m.
+            export best(bff).
+            @aggregate_selection cost(X, Y, C) (X, Y) min(C).
+            cost(X, Y, C) :- e(X, Y, C).
+            cost(X, Y, C) :- e(X, Z, C1), cost(Z, Y, C2), C = C1 + C2.
+            best(X, Y, C) :- cost(X, Y, C).
+            end_module.
+            """
+        )
+        compiled = optimizer().compile(module, "best", "bff")
+        constrained = {name for (name, _arity), _sel in compiled.constraints}
+        assert constrained  # at least the adorned cost relation
+        assert all(name.startswith("cost") for name in constrained)
+
+    def test_compiled_forms_cached_per_query_form(self):
+        session = Session()
+        session.consult_string(
+            "edge(1, 2)."
+            + """
+            module tc.
+            export path(bf, ff).
+            path(X, Y) :- edge(X, Y).
+            path(X, Y) :- edge(X, Z), path(Z, Y).
+            end_module.
+            """
+        )
+        first = session.modules.compiled_form("tc", "path", "bf")
+        again = session.modules.compiled_form("tc", "path", "bf")
+        other = session.modules.compiled_form("tc", "path", "ff")
+        assert first is again
+        assert first is not other

@@ -1,0 +1,244 @@
+"""Property-based tests over the whole evaluation stack: rewriting variants
+must agree with each other and with reference algorithms, on arbitrary
+inputs; relation invariants must hold under arbitrary operation sequences."""
+
+import heapq
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Session
+from repro.relations import HashRelation, Tuple
+from repro.terms import Int, Var
+from repro.terms.unify import subsumes_all
+
+
+def _tc_program(edges, flags=""):
+    facts = " ".join(f"edge({a}, {b})." for a, b in sorted(set(edges)))
+    return f"""
+    {facts}
+    module tc.
+    export path(bf).
+    {flags}
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- edge(X, Z), path(Z, Y).
+    end_module.
+    """
+
+
+edges_strategy = st.lists(
+    st.tuples(st.integers(0, 6), st.integers(0, 6)).filter(lambda e: e[0] != e[1]),
+    min_size=1,
+    max_size=14,
+)
+
+
+class TestRewritingAgreementProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(edges=edges_strategy, source=st.integers(0, 6))
+    def test_magic_variants_agree_with_unrewritten(self, edges, source):
+        expected = None
+        for flags in ("@no_rewriting.", "", "@magic.", "@supplementary_magic_goalid."):
+            session = Session()
+            session.consult_string(_tc_program(edges, flags))
+            answers = sorted(a["Y"] for a in session.query(f"path({source}, Y)"))
+            if expected is None:
+                expected = answers
+            assert answers == expected, flags
+
+    @settings(max_examples=15, deadline=None)
+    @given(edges=edges_strategy, source=st.integers(0, 6))
+    def test_factoring_agrees_when_applicable(self, edges, source):
+        plain = Session()
+        plain.consult_string(_tc_program(edges))
+        factored = Session()
+        factored.consult_string(_tc_program(edges, "@context_factoring."))
+        assert sorted(a["Y"] for a in plain.query(f"path({source}, Y)")) == sorted(
+            a["Y"] for a in factored.query(f"path({source}, Y)")
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(edges=edges_strategy, source=st.integers(0, 6))
+    def test_pipelining_same_distinct_answers(self, edges, source):
+        # pipelining loops forever on cyclic graphs (like Prolog), so only
+        # exercise it on DAGs: keep edges strictly increasing
+        dag = [(a, b) for a, b in edges if a < b]
+        if not dag:
+            return
+        materialized = Session()
+        materialized.consult_string(_tc_program(dag))
+        pipelined = Session()
+        pipelined.consult_string(_tc_program(dag, "@pipelining."))
+        expected = sorted(
+            set(a["Y"] for a in materialized.query(f"path({source}, Y)"))
+        )
+        got = sorted(set(a["Y"] for a in pipelined.query(f"path({source}, Y)")))
+        assert got == expected
+
+
+class TestShortestPathProperty:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        weighted=st.lists(
+            st.tuples(
+                st.integers(0, 5), st.integers(0, 5), st.integers(1, 9)
+            ).filter(lambda e: e[0] != e[1]),
+            min_size=1,
+            max_size=12,
+            unique_by=lambda e: (e[0], e[1]),
+        )
+    )
+    def test_figure_3_matches_dijkstra(self, weighted):
+        facts = " ".join(f"edge({a}, {b}, {w})." for a, b, w in weighted)
+        session = Session()
+        session.consult_string(
+            facts
+            + """
+            module s_p.
+            export s_p(bfff).
+            @aggregate_selection p(X, Y, P, C) (X, Y) min(C).
+            @aggregate_selection p(X, Y, P, C) (X, Y, C) any(P).
+            s_p(X, Y, P, C) :- s_p_length(X, Y, C), p(X, Y, P, C).
+            s_p_length(X, Y, min(<C>)) :- p(X, Y, P, C).
+            p(X, Y, P1, C1) :- p(X, Z, P, C), edge(Z, Y, EC),
+                               append([edge(Z, Y)], P, P1), C1 = C + EC.
+            p(X, Y, [edge(X, Y)], C) :- edge(X, Y, C).
+            end_module.
+            """
+        )
+        got = {a["Y"]: a["C"] for a in session.query("s_p(0, Y, P, C)")}
+
+        adjacency = {}
+        for a, b, w in weighted:
+            adjacency.setdefault(a, []).append((b, w))
+        # reference: shortest non-empty path from 0 to each node
+        best = {}
+        heap = [(w, b) for b, w in adjacency.get(0, [])]
+        heapq.heapify(heap)
+        while heap:
+            d, node = heapq.heappop(heap)
+            if node in best:
+                continue
+            best[node] = d
+            for other, w in adjacency.get(node, []):
+                if other not in best:
+                    heapq.heappush(heap, (d + w, other))
+        assert got == best
+
+
+class TestRelationProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        operations=st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "delete", "mark"]),
+                st.integers(0, 8),
+                st.integers(0, 8),
+            ),
+            max_size=60,
+        )
+    )
+    def test_marks_partition_contents(self, operations):
+        """At any point, the union of all mark ranges equals a full scan,
+        and the ranges are disjoint."""
+        relation = HashRelation("p", 2)
+        marks = [0]
+        for op, a, b in operations:
+            if op == "insert":
+                relation.insert(Tuple((Int(a), Int(b))))
+            elif op == "delete":
+                relation.delete(Tuple((Int(a), Int(b))))
+            else:
+                marks.append(relation.mark())
+        marks.append(None)  # open end
+        pieces = []
+        for since, until in zip(marks, marks[1:]):
+            pieces.append(
+                [t.key() for t in relation.scan(since=since, until=until)]
+            )
+        flattened = [key for piece in pieces for key in piece]
+        assert sorted(flattened) == sorted(t.key() for t in relation.scan())
+        assert len(flattened) == len(set(flattened)) == len(relation)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.one_of(st.integers(0, 3), st.none()),
+                st.one_of(st.integers(0, 3), st.none()),
+            ),
+            max_size=25,
+        )
+    )
+    def test_no_stored_fact_subsumes_another_newer_one(self, rows):
+        """SET policy invariant: for any insertion order of (possibly
+        non-ground) facts, no stored fact is subsumed by one stored BEFORE
+        it (subsumption checks reject such inserts)."""
+        relation = HashRelation("p", 2)
+        stored_in_order = []
+        for left, right in rows:
+            args = tuple(
+                Int(v) if v is not None else Var("_") for v in (left, right)
+            )
+            if relation.insert(Tuple(args)):
+                stored_in_order.append(args)
+        for earlier_index, earlier in enumerate(stored_in_order):
+            for later in stored_in_order[earlier_index + 1 :]:
+                assert not subsumes_all(earlier, later)
+
+
+class TestOrderedSearchAgreement:
+    @settings(max_examples=15, deadline=None)
+    @given(edges=edges_strategy, source=st.integers(0, 6))
+    def test_ordered_search_matches_fixpoint_on_positive_programs(
+        self, edges, source
+    ):
+        """On plain positive recursion (where both apply), the ordered-search
+        evaluator and the magic-rewritten fixpoint agree exactly."""
+        fixpoint = Session()
+        fixpoint.consult_string(_tc_program(edges))
+        ordered = Session()
+        ordered.consult_string(_tc_program(edges, "@ordered_search."))
+        assert sorted(
+            a["Y"] for a in fixpoint.query(f"path({source}, Y)")
+        ) == sorted(a["Y"] for a in ordered.query(f"path({source}, Y)"))
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        edges=st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 5)).filter(
+                lambda e: e[0] < e[1]  # acyclic: win/move is modularly stratified
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_win_move_matches_negamax(self, edges):
+        facts = " ".join(f"move({a}, {b})." for a, b in sorted(set(edges)))
+        session = Session()
+        session.consult_string(
+            facts
+            + """
+            module game.
+            export win(b).
+            @ordered_search.
+            win(X) :- move(X, Y), not win(Y).
+            end_module.
+            """
+        )
+        adjacency = {}
+        for a, b in edges:
+            adjacency.setdefault(a, []).append(b)
+        memo = {}
+
+        def wins(node):
+            if node not in memo:
+                memo[node] = False
+                memo[node] = any(
+                    not wins(nxt) for nxt in adjacency.get(node, [])
+                )
+            return memo[node]
+
+        for node in range(6):
+            got = len(session.query(f"win({node})").all()) == 1
+            assert got == wins(node), node

@@ -1,0 +1,119 @@
+"""Tests for set-grouping (the paper's "set-grouping and aggregation") and
+for deep-term robustness (iterative unify/resolve/hash-consing)."""
+
+import pytest
+
+from repro import Session
+from repro.eval.aggregates import fold_aggregate
+from repro.terms import Int, is_cons, list_elements
+
+
+class TestSetGrouping:
+    def test_set_collects_distinct_sorted(self):
+        session = Session()
+        session.consult_string(
+            """
+            works(bob, sales). works(ann, sales). works(cal, eng).
+
+            module m.
+            export staff(ff).
+            staff(D, set(<E>)) :- works(E, D).
+            end_module.
+            """
+        )
+        rows = dict(session.query("staff(D, S)").tuples())
+        assert rows == {"sales": ["ann", "bob"], "eng": ["cal"]}
+
+    def test_bag_keeps_derivation_copies(self):
+        session = Session()
+        session.consult_string(
+            """
+            buys(ann, milk). buys(ann, bread).
+
+            module m.
+            export carts(ff).
+            carts(P, bag(<I>)) :- buys(P, I).
+            end_module.
+            """
+        )
+        rows = dict(session.query("carts(P, B)").tuples())
+        assert sorted(rows["ann"]) == ["bread", "milk"]
+
+    def test_set_of_structured_terms(self):
+        session = Session()
+        session.consult_string(
+            """
+            owns(ann, book(dune)). owns(ann, book(lotr)).
+
+            module m.
+            export shelf(bf).
+            shelf(P, set(<B>)) :- owns(P, B).
+            end_module.
+            """
+        )
+        answer = session.query("shelf(ann, S)").all()[0]
+        elements = list_elements(answer.term("S"))
+        assert len(elements) == 2
+        assert all(e.name == "book" for e in elements)
+
+    def test_grouped_set_feeds_list_builtins(self):
+        """The collected set term is an ordinary list usable downstream."""
+        session = Session()
+        session.consult_string(
+            """
+            works(ann, sales). works(bob, sales).
+
+            module m.
+            export headcount2(ff).
+            staff(D, set(<E>)) :- works(E, D).
+            headcount2(D, N) :- staff(D, L), length(L, N).
+            end_module.
+            """
+        )
+        assert dict(session.query("headcount2(D, N)").tuples()) == {"sales": 2}
+
+    def test_fold_set_empty(self):
+        assert list_elements(fold_aggregate("set", [])) == []
+
+    def test_fold_bag_preserves_order(self):
+        values = [Int(3), Int(1), Int(3)]
+        assert list_elements(fold_aggregate("bag", values)) == values
+        assert list_elements(fold_aggregate("set", values)) == [Int(1), Int(3)]
+
+
+class TestDeepTerms:
+    def test_deep_trail_through_full_stack(self):
+        """A path list thousands of cells deep flows through parsing,
+        unification, resolve, storage in relations, and answer extraction —
+        the 'large terms' robustness Section 3.1 demands."""
+        hops = 1200
+        session = Session()
+        session.consult_string(
+            "".join(f"edge({i}, {i+1}). " for i in range(hops))
+            + """
+            module m.
+            export trail(bbf).
+            trail(X, Y, [X, Y]) :- edge(X, Y).
+            trail(X, Y, P) :- edge(X, Z), trail(Z, Y, P0), append([X], P0, P).
+            end_module.
+            """
+        )
+        answers = session.query(f"trail(0, {hops}, P)").all()
+        assert len(answers) == 1
+        term = answers[0].term("P")
+        count = 0
+        while is_cons(term):
+            count += 1
+            term = term.args[1]
+        assert count == hops + 1
+
+    def test_deep_duplicate_detection(self):
+        """Re-deriving a deep fact must be caught by the hash-consed key."""
+        from repro.relations import HashRelation, Tuple
+        from repro.terms import make_list
+
+        relation = HashRelation("deep", 1)
+        first = make_list([Int(i) for i in range(3000)])
+        second = make_list([Int(i) for i in range(3000)])
+        assert relation.insert(Tuple((first,)))
+        assert not relation.insert(Tuple((second,)))

@@ -1,0 +1,85 @@
+"""End-to-end test of the interactive shell process (the coral-shell entry
+point) driven through stdin, plus the @check command."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.shell import Shell
+
+SCRIPT = """\
+edge(1, 2).
+edge(2, 3).
+module tc.
+export path(bf).
+path(X, Y) :- edge(X, Y).
+path(X, Y) :- edge(X, Z), path(Z, Y).
+end_module.
+path(1, Y)?
+@stats.
+@quit.
+"""
+
+
+class TestShellProcess:
+    def test_full_session_through_stdin(self):
+        result = subprocess.run(
+            [sys.executable, "-c", "from repro.shell.repl import main; main([])"],
+            input=SCRIPT,
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "Y = 2" in result.stdout
+        assert "Y = 3" in result.stdout
+        assert "2 answer(s)." in result.stdout
+        assert "inferences" in result.stdout
+        assert "bye." in result.stdout
+
+    def test_consult_argument_on_startup(self, tmp_path):
+        path = tmp_path / "facts.coral"
+        path.write_text("item(apple). item(pear).")
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                f"from repro.shell.repl import main; main([{str(path)!r}])",
+            ],
+            input="item(X)?\n@quit.\n",
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "2 answer(s)." in result.stdout
+
+    def test_eof_exits_cleanly(self):
+        result = subprocess.run(
+            [sys.executable, "-c", "from repro.shell.repl import main; main([])"],
+            input="p(1).\n",
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0
+
+
+class TestCheckCommand:
+    def test_check_reports_problems(self):
+        shell = Shell()
+        shell.execute(
+            "module m. export p(f). p(X) :- edgee(X, Unused). end_module."
+        )
+        output = shell.execute("@check.")
+        assert "unknown-predicate" in output
+        assert "singleton-variable" in output
+
+    def test_check_clean(self):
+        shell = Shell()
+        shell.execute("edge(1, 2).")
+        shell.execute(
+            "module m. export p(bf). p(X, Y) :- edge(X, Y). end_module."
+        )
+        assert shell.execute("@check.") == "no problems found."

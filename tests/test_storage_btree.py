@@ -1,0 +1,135 @@
+"""Unit + property tests for the paged B-tree (paper Section 3.3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.btree import BTree, MAX_KEYS
+from repro.storage.buffer import BufferPool
+from repro.storage.file import StorageServer
+from repro.terms import Atom, Int, Str
+
+
+@pytest.fixture
+def tree(tmp_path):
+    server = StorageServer(str(tmp_path))
+    pool = BufferPool(server, capacity=64)
+    tree = BTree(pool, "test.idx")
+    yield tree
+    pool.flush_all()
+    server.close()
+
+
+class TestBTreeBasics:
+    def test_insert_and_search(self, tree):
+        tree.insert([Int(5)], (1, 0))
+        assert tree.search([Int(5)]) == [(1, 0)]
+        assert tree.search([Int(6)]) == []
+
+    def test_duplicate_keys_all_found(self, tree):
+        for slot in range(5):
+            tree.insert([Int(7)], (1, slot))
+        assert sorted(tree.search([Int(7)])) == [(1, s) for s in range(5)]
+
+    def test_mixed_type_keys(self, tree):
+        tree.insert([Atom("a"), Int(1)], (0, 0))
+        tree.insert([Atom("a"), Int(2)], (0, 1))
+        tree.insert([Str("a"), Int(1)], (0, 2))
+        assert tree.search([Atom("a"), Int(1)]) == [(0, 0)]
+        assert tree.search([Str("a"), Int(1)]) == [(0, 2)]
+
+    def test_split_grows_height(self, tree):
+        for i in range(MAX_KEYS * 4):
+            tree.insert([Int(i)], (0, i))
+        assert tree.height() >= 2
+        for i in range(MAX_KEYS * 4):
+            assert tree.search([Int(i)]) == [(0, i)]
+        tree.check_invariants()
+
+    def test_range_scan_ordered(self, tree):
+        import random
+
+        values = list(range(100))
+        random.Random(7).shuffle(values)
+        for v in values:
+            tree.insert([Int(v)], (0, v))
+        scanned = [key[0][1] for key, _rid in tree.range_scan()]
+        assert scanned == sorted(range(100))
+
+    def test_range_scan_bounds_inclusive(self, tree):
+        for v in range(20):
+            tree.insert([Int(v)], (0, v))
+        hits = [key[0][1] for key, _ in tree.range_scan([Int(5)], [Int(10)])]
+        assert hits == [5, 6, 7, 8, 9, 10]
+
+    def test_delete_specific_rid(self, tree):
+        tree.insert([Int(1)], (0, 0))
+        tree.insert([Int(1)], (0, 1))
+        assert tree.delete([Int(1)], (0, 0))
+        assert tree.search([Int(1)]) == [(0, 1)]
+        assert not tree.delete([Int(1)], (0, 0))
+
+    def test_duplicates_across_split_boundary(self, tree):
+        """Equal keys spanning a leaf split must all be found."""
+        for i in range(MAX_KEYS):
+            tree.insert([Int(i)], (0, i))
+        for slot in range(MAX_KEYS):
+            tree.insert([Int(10)], (9, slot))
+        assert len(tree.search([Int(10)])) == MAX_KEYS + 1
+        tree.check_invariants()
+
+    def test_persists_across_reopen(self, tmp_path):
+        server = StorageServer(str(tmp_path))
+        pool = BufferPool(server, capacity=16)
+        tree = BTree(pool, "persist.idx")
+        for i in range(50):
+            tree.insert([Int(i)], (0, i))
+        pool.flush_all()
+        server.close()
+
+        server2 = StorageServer(str(tmp_path))
+        pool2 = BufferPool(server2, capacity=16)
+        tree2 = BTree(pool2, "persist.idx")
+        assert tree2.search([Int(33)]) == [(0, 33)]
+        assert len(list(tree2.range_scan())) == 50
+        server2.close()
+
+
+class TestBTreeProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        operations=st.lists(
+            st.tuples(st.sampled_from(["insert", "delete"]), st.integers(0, 40)),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    def test_matches_reference_multimap(self, tmp_path_factory, operations):
+        """After any operation sequence, search results and range scans match
+        a reference dict-of-lists, and structural invariants hold."""
+        directory = tmp_path_factory.mktemp("btree")
+        server = StorageServer(str(directory))
+        try:
+            pool = BufferPool(server, capacity=64)
+            tree = BTree(pool, "prop.idx")
+            reference: dict[int, list] = {}
+            counter = 0
+            for op, value in operations:
+                if op == "insert":
+                    rid = (0, counter)
+                    counter += 1
+                    tree.insert([Int(value)], rid)
+                    reference.setdefault(value, []).append(rid)
+                else:
+                    rids = reference.get(value) or []
+                    if rids:
+                        rid = rids.pop(0)
+                        assert tree.delete([Int(value)], rid)
+                    else:
+                        assert not tree.delete([Int(value)], (0, 999999))
+            for value, rids in reference.items():
+                assert sorted(tree.search([Int(value)])) == sorted(rids)
+            expected_total = sum(len(r) for r in reference.values())
+            assert len(list(tree.range_scan())) == expected_total
+            tree.check_invariants()
+        finally:
+            server.close()

@@ -1,0 +1,145 @@
+"""Unit + property tests for the buffer pool (paper Sections 2, 3.2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.file import StorageServer
+from repro.storage.pages import PAGE_SIZE
+
+
+@pytest.fixture
+def server(tmp_path):
+    server = StorageServer(str(tmp_path))
+    yield server
+    server.close()
+
+
+def _fill(server, file_name, count):
+    for i in range(count):
+        pid = server.allocate_page(file_name)
+        server.write_page(file_name, pid, bytes([i % 256]) * PAGE_SIZE)
+
+
+class TestBufferPool:
+    def test_hit_after_miss(self, server):
+        _fill(server, "f", 1)
+        pool = BufferPool(server, capacity=4)
+        page = pool.fetch_page("f", 0)
+        pool.unpin(page)
+        page = pool.fetch_page("f", 0)
+        pool.unpin(page)
+        assert pool.stats.misses == 1
+        assert pool.stats.hits == 1
+
+    def test_capacity_enforced_with_eviction(self, server):
+        _fill(server, "f", 8)
+        pool = BufferPool(server, capacity=4)
+        for pid in range(8):
+            page = pool.fetch_page("f", pid)
+            pool.unpin(page)
+        assert len(pool) == 4
+        assert pool.stats.evictions == 4
+
+    def test_lru_evicts_oldest_unpinned(self, server):
+        _fill(server, "f", 3)
+        pool = BufferPool(server, capacity=2)
+        a = pool.fetch_page("f", 0)
+        pool.unpin(a)
+        b = pool.fetch_page("f", 1)
+        pool.unpin(b)
+        pool.unpin(pool.fetch_page("f", 0))  # touch 0: now 1 is LRU
+        pool.unpin(pool.fetch_page("f", 2))  # evicts 1
+        assert ("f", 1) not in pool._frames
+        assert ("f", 0) in pool._frames
+
+    def test_pinned_pages_not_evicted(self, server):
+        _fill(server, "f", 3)
+        pool = BufferPool(server, capacity=2)
+        pinned = pool.fetch_page("f", 0)
+        pool.unpin(pool.fetch_page("f", 1))
+        pool.unpin(pool.fetch_page("f", 2))  # must evict page 1, not pinned 0
+        assert ("f", 0) in pool._frames
+        pool.unpin(pinned)
+
+    def test_all_pinned_raises(self, server):
+        _fill(server, "f", 3)
+        pool = BufferPool(server, capacity=2)
+        pool.fetch_page("f", 0)
+        pool.fetch_page("f", 1)
+        with pytest.raises(StorageError):
+            pool.fetch_page("f", 2)
+
+    def test_dirty_page_written_back_on_eviction(self, server):
+        _fill(server, "f", 2)
+        pool = BufferPool(server, capacity=1)
+        page = pool.fetch_page("f", 0)
+        page.data[:4] = b"MOD!"
+        pool.unpin(page, dirty=True)
+        pool.unpin(pool.fetch_page("f", 1))  # evicts dirty page 0
+        assert bytes(server.read_page("f", 0)[:4]) == b"MOD!"
+
+    def test_flush_all_persists_without_eviction(self, server):
+        _fill(server, "f", 1)
+        pool = BufferPool(server, capacity=4)
+        page = pool.fetch_page("f", 0)
+        page.data[:3] = b"abc"
+        pool.unpin(page, dirty=True)
+        pool.flush_all()
+        assert bytes(server.read_page("f", 0)[:3]) == b"abc"
+        assert len(pool) == 1
+
+    def test_double_unpin_raises(self, server):
+        _fill(server, "f", 1)
+        pool = BufferPool(server, capacity=2)
+        page = pool.fetch_page("f", 0)
+        pool.unpin(page)
+        with pytest.raises(StorageError):
+            pool.unpin(page)
+
+    def test_zero_capacity_rejected(self, server):
+        with pytest.raises(StorageError):
+            BufferPool(server, capacity=0)
+
+    def test_smaller_pool_never_beats_larger_on_hits(self, server):
+        """Sanity: hit counts grow (weakly) with capacity on a fixed trace."""
+        _fill(server, "f", 16)
+        trace = [(i * 7) % 16 for i in range(200)]
+        hits = []
+        for capacity in (2, 8, 16):
+            pool = BufferPool(server, capacity=capacity)
+            for pid in trace:
+                pool.unpin(pool.fetch_page("f", pid))
+            hits.append(pool.stats.hits)
+        assert hits[0] <= hits[1] <= hits[2]
+
+
+class TestBufferPoolProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        accesses=st.lists(st.integers(0, 9), min_size=1, max_size=120),
+        capacity=st.integers(1, 8),
+    )
+    def test_reads_through_pool_always_correct(self, tmp_path_factory, accesses, capacity):
+        """Whatever the access pattern and pool size, page contents read
+        through the pool match what was written — including dirty pages
+        bounced through eviction."""
+        directory = tmp_path_factory.mktemp("pool")
+        server = StorageServer(str(directory))
+        try:
+            _fill(server, "f", 10)
+            pool = BufferPool(server, capacity=capacity)
+            expected = {pid: bytes([pid % 256]) for pid in range(10)}
+            for step, pid in enumerate(accesses):
+                page = pool.fetch_page("f", pid)
+                assert bytes(page.data[:1]) == expected[pid]
+                stamp = bytes([(pid + step) % 256])
+                page.data[:1] = stamp
+                expected[pid] = stamp
+                pool.unpin(page, dirty=True)
+            pool.flush_all()
+            for pid, first_byte in expected.items():
+                assert bytes(server.read_page("f", pid)[:1]) == first_byte
+        finally:
+            server.close()

@@ -1,0 +1,117 @@
+"""Integration tests: ordered scans, shared-server multi-client access
+(Section 2: "Multiple CORAL processes could interact by accessing persistent
+data stored using the EXODUS storage manager"), and the between/3 builtin."""
+
+import pytest
+
+from repro import Session
+from repro.errors import StorageError
+from repro.relations import Tuple
+from repro.storage import BufferPool, PersistentRelation, StorageServer
+from repro.terms import Int
+
+
+class TestOrderedScan:
+    def _relation(self, tmp_path):
+        server = StorageServer(str(tmp_path))
+        pool = BufferPool(server, capacity=32)
+        relation = PersistentRelation("score", 2, pool)
+        relation.create_index([1])
+        import random
+
+        values = list(range(50))
+        random.Random(9).shuffle(values)
+        for i, v in enumerate(values):
+            relation.insert(Tuple((Int(i), Int(v))))
+        return server, relation
+
+    def test_full_ordered_scan(self, tmp_path):
+        server, relation = self._relation(tmp_path)
+        ordered = [t[1].value for t in relation.scan_ordered([1])]
+        assert ordered == sorted(ordered)
+        assert len(ordered) == 50
+        server.close()
+
+    def test_bounded_range(self, tmp_path):
+        server, relation = self._relation(tmp_path)
+        hits = [
+            t[1].value
+            for t in relation.scan_ordered([1], [Int(10)], [Int(20)])
+        ]
+        assert hits == list(range(10, 21))
+        server.close()
+
+    def test_missing_index_rejected(self, tmp_path):
+        server, relation = self._relation(tmp_path)
+        with pytest.raises(StorageError):
+            relation.scan_ordered([0])
+        server.close()
+
+
+class TestSharedServer:
+    def test_two_clients_one_server(self, tmp_path):
+        """Two buffer pools (two 'CORAL client processes') against one
+        storage server: the second sees the first's flushed writes."""
+        server = StorageServer(str(tmp_path))
+        writer_pool = BufferPool(server, capacity=16)
+        writer = PersistentRelation("shared", 2, writer_pool)
+        for i in range(100):
+            writer.insert(Tuple((Int(i), Int(i * 2))))
+        writer_pool.flush_all()
+
+        reader_pool = BufferPool(server, capacity=16)
+        reader = PersistentRelation("shared", 2, reader_pool)
+        assert len(reader) == 100
+        assert sum(1 for _ in reader.scan()) == 100
+        # both clients' requests hit the same accounted server
+        assert server.stats.page_reads > 0
+        server.close()
+
+    def test_client_buffer_pools_independent(self, tmp_path):
+        server = StorageServer(str(tmp_path))
+        pool_a = BufferPool(server, capacity=4)
+        pool_b = BufferPool(server, capacity=4)
+        relation = PersistentRelation("r", 1, pool_a)
+        for i in range(500):
+            relation.insert(Tuple((Int(i),)))
+        pool_a.flush_all()
+        relation_b = PersistentRelation("r", 1, pool_b)
+        sum(1 for _ in relation_b.scan())
+        assert pool_b.stats.misses > 0
+        assert pool_a.stats.hits + pool_a.stats.misses > 0
+        server.close()
+
+
+class TestBetweenBuiltin:
+    def test_generates_range_in_rules(self):
+        session = Session()
+        session.consult_string(
+            """
+            module m.
+            export squares(ff).
+            squares(N, S) :- between(1, 5, N), S = N * N.
+            end_module.
+            """
+        )
+        rows = sorted(session.query("squares(N, S)").tuples())
+        assert rows == [(1, 1), (2, 4), (3, 9), (4, 16), (5, 25)]
+
+    def test_membership_check(self):
+        session = Session()
+        session.consult_string(
+            """
+            module m.
+            export inrange(b).
+            inrange(X) :- between(10, 20, X).
+            end_module.
+            """
+        )
+        assert len(session.query("inrange(15)").all()) == 1
+        assert len(session.query("inrange(25)").all()) == 0
+
+    def test_empty_range(self):
+        session = Session()
+        session.consult_string(
+            "module m. export p(f). p(X) :- between(5, 1, X). end_module."
+        )
+        assert session.query("p(X)").all() == []

@@ -1,0 +1,193 @@
+"""Unit tests for serialization, slotted pages, disk files, transactions."""
+
+import os
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.file import DiskFile, StorageServer
+from repro.storage.pages import PAGE_SIZE, Page, SlottedPage
+from repro.storage.serde import (
+    decode_tuple,
+    encode_tuple,
+    key_to_args,
+    sort_key,
+)
+from repro.terms import Atom, BigNum, Double, Functor, Int, Str, Var
+
+
+class TestSerde:
+    def test_round_trip_all_primitive_types(self):
+        args = [Int(42), Int(-7), Double(3.25), Str("hello world"), Atom("john")]
+        assert decode_tuple(encode_tuple(args)) == args
+
+    def test_round_trip_bignum(self):
+        args = [BigNum(10**50), BigNum(-(10**50))]
+        decoded = decode_tuple(encode_tuple(args))
+        assert [a.value for a in decoded] == [10**50, -(10**50)]
+
+    def test_round_trip_empty_tuple(self):
+        assert decode_tuple(encode_tuple([])) == []
+
+    def test_functor_rejected(self):
+        """Paper Section 3.2: persistent tuples are primitive-only."""
+        with pytest.raises(StorageError):
+            encode_tuple([Functor("f", (Int(1),))])
+
+    def test_variable_rejected(self):
+        with pytest.raises(StorageError):
+            encode_tuple([Var("X")])
+
+    def test_atom_and_str_distinguished(self):
+        atom, string = decode_tuple(encode_tuple([Atom("a"), Str("a")]))
+        assert isinstance(atom, Atom) and isinstance(string, Str)
+
+    def test_sort_key_orders_ints(self):
+        assert sort_key([Int(1)]) < sort_key([Int(2)])
+
+    def test_sort_key_total_order_across_types(self):
+        keys = [sort_key([v]) for v in (Int(5), Double(1.0), Str("a"), Atom("a"))]
+        assert sorted(keys)  # comparable without TypeError
+
+    def test_key_round_trip(self):
+        args = [Int(3), Str("x"), Atom("y"), Double(-2.5)]
+        assert key_to_args(sort_key(args)) == args
+
+
+class TestSlottedPage:
+    def _page(self):
+        return SlottedPage.initialize(Page("f", 0))
+
+    def test_insert_and_get(self):
+        page = self._page()
+        slot = page.insert_record(b"hello")
+        assert page.get_record(slot) == b"hello"
+
+    def test_multiple_records_independent(self):
+        page = self._page()
+        slots = [page.insert_record(bytes([i]) * (i + 1)) for i in range(10)]
+        for i, slot in enumerate(slots):
+            assert page.get_record(slot) == bytes([i]) * (i + 1)
+
+    def test_delete_leaves_tombstone(self):
+        page = self._page()
+        first = page.insert_record(b"aaa")
+        second = page.insert_record(b"bbb")
+        assert page.delete_record(first)
+        assert page.get_record(first) is None
+        assert page.get_record(second) == b"bbb"  # rid stability
+        assert not page.delete_record(first)
+
+    def test_records_iterates_live_only(self):
+        page = self._page()
+        page.insert_record(b"a")
+        dead = page.insert_record(b"b")
+        page.insert_record(b"c")
+        page.delete_record(dead)
+        assert [record for _slot, record in page.records()] == [b"a", b"c"]
+
+    def test_page_fills_up(self):
+        page = self._page()
+        record = b"x" * 100
+        count = 0
+        while page.insert_record(record) is not None:
+            count += 1
+        assert count > 30  # ~4K / (100 + slot overhead)
+        assert page.free_space() < 100 + 4
+
+    def test_full_page_returns_none_not_corrupt(self):
+        page = self._page()
+        while page.insert_record(b"y" * 200) is not None:
+            pass
+        assert page.live_count() == sum(1 for _ in page.records())
+
+    def test_out_of_range_slot_raises(self):
+        page = self._page()
+        with pytest.raises(StorageError):
+            page.get_record(5)
+
+
+class TestDiskFile:
+    def test_allocate_read_write(self, tmp_path):
+        handle = DiskFile(str(tmp_path / "t.pages"))
+        pid = handle.allocate_page()
+        handle.write_page(pid, b"z" * PAGE_SIZE)
+        assert bytes(handle.read_page(pid)) == b"z" * PAGE_SIZE
+        handle.close()
+
+    def test_persists_across_reopen(self, tmp_path):
+        path = str(tmp_path / "t.pages")
+        handle = DiskFile(path)
+        pid = handle.allocate_page()
+        handle.write_page(pid, b"q" * PAGE_SIZE)
+        handle.close()
+        again = DiskFile(path)
+        assert again.num_pages == 1
+        assert bytes(again.read_page(pid)) == b"q" * PAGE_SIZE
+        again.close()
+
+    def test_read_beyond_end_raises(self, tmp_path):
+        handle = DiskFile(str(tmp_path / "t.pages"))
+        with pytest.raises(StorageError):
+            handle.read_page(0)
+        handle.close()
+
+
+class TestServerAndTransactions:
+    def test_server_counts_requests(self, tmp_path):
+        server = StorageServer(str(tmp_path))
+        pid = server.allocate_page("r.heap")
+        server.write_page("r.heap", pid, b"a" * PAGE_SIZE)
+        server.read_page("r.heap", pid)
+        assert server.stats.allocations == 1
+        assert server.stats.page_writes == 1
+        assert server.stats.page_reads == 1
+        server.close()
+
+    def test_commit_keeps_writes(self, tmp_path):
+        server = StorageServer(str(tmp_path))
+        pid = server.allocate_page("f")
+        server.write_page("f", pid, b"1" * PAGE_SIZE)
+        server.begin_transaction()
+        server.write_page("f", pid, b"2" * PAGE_SIZE)
+        server.commit_transaction()
+        assert bytes(server.read_page("f", pid)) == b"2" * PAGE_SIZE
+        server.close()
+
+    def test_abort_restores_before_images(self, tmp_path):
+        server = StorageServer(str(tmp_path))
+        pid = server.allocate_page("f")
+        server.write_page("f", pid, b"1" * PAGE_SIZE)
+        server.begin_transaction()
+        server.write_page("f", pid, b"2" * PAGE_SIZE)
+        server.write_page("f", pid, b"3" * PAGE_SIZE)
+        server.abort_transaction()
+        assert bytes(server.read_page("f", pid)) == b"1" * PAGE_SIZE
+        server.close()
+
+    def test_crash_recovery_rolls_back(self, tmp_path):
+        server = StorageServer(str(tmp_path))
+        pid = server.allocate_page("f")
+        server.write_page("f", pid, b"1" * PAGE_SIZE)
+        server.begin_transaction()
+        server.write_page("f", pid, b"2" * PAGE_SIZE)
+        server.close()  # crash: journal left on disk
+        assert os.path.exists(os.path.join(str(tmp_path), "undo.journal"))
+        recovered = StorageServer(str(tmp_path))
+        assert bytes(recovered.read_page("f", pid)) == b"1" * PAGE_SIZE
+        assert not os.path.exists(os.path.join(str(tmp_path), "undo.journal"))
+        recovered.close()
+
+    def test_nested_transaction_rejected(self, tmp_path):
+        server = StorageServer(str(tmp_path))
+        server.begin_transaction()
+        with pytest.raises(StorageError):
+            server.begin_transaction()
+        server.commit_transaction()
+        server.close()
+
+    def test_commit_without_begin_rejected(self, tmp_path):
+        server = StorageServer(str(tmp_path))
+        with pytest.raises(StorageError):
+            server.commit_transaction()
+        server.close()

@@ -1,0 +1,109 @@
+"""Transaction semantics end-to-end: persistent relations under
+begin/commit/abort, and serde ordering properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.relations import Tuple
+from repro.storage import BufferPool, PersistentRelation, StorageServer
+from repro.storage.serde import sort_key
+from repro.terms import Atom, Double, Int, Str
+
+
+class TestTransactionalRelation:
+    def _setup(self, tmp_path):
+        server = StorageServer(str(tmp_path))
+        pool = BufferPool(server, capacity=16)
+        relation = PersistentRelation("acct", 2, pool)
+        for i in range(20):
+            relation.insert(Tuple((Int(i), Int(100))))
+        pool.flush_all()
+        return server, pool, relation
+
+    def test_commit_makes_inserts_durable(self, tmp_path):
+        server, pool, relation = self._setup(tmp_path)
+        server.begin_transaction()
+        relation.insert(Tuple((Int(99), Int(5))))
+        pool.flush_all()
+        server.commit_transaction()
+        server.close()
+
+        server2 = StorageServer(str(tmp_path))
+        pool2 = BufferPool(server2, capacity=16)
+        relation2 = PersistentRelation("acct", 2, pool2)
+        assert len(relation2) == 21
+        server2.close()
+
+    def test_abort_rolls_back_page_writes(self, tmp_path):
+        server, pool, relation = self._setup(tmp_path)
+        server.begin_transaction()
+        relation.insert(Tuple((Int(99), Int(5))))
+        relation.delete(Tuple((Int(3), Int(100))))
+        pool.flush_all()  # writes reach the server inside the transaction
+        pool.drop_all()
+        server.abort_transaction()
+        server.close()
+
+        server2 = StorageServer(str(tmp_path))
+        pool2 = BufferPool(server2, capacity=16)
+        relation2 = PersistentRelation("acct", 2, pool2)
+        values = sorted(t[0].value for t in relation2.scan())
+        assert values == list(range(20))  # insert undone, delete undone
+        server2.close()
+
+    def test_crash_during_transaction_recovers(self, tmp_path):
+        server, pool, relation = self._setup(tmp_path)
+        server.begin_transaction()
+        relation.insert(Tuple((Int(99), Int(5))))
+        pool.flush_all()
+        server.close()  # crash with journal on disk
+
+        recovered = StorageServer(str(tmp_path))
+        pool2 = BufferPool(recovered, capacity=16)
+        relation2 = PersistentRelation("acct", 2, pool2)
+        assert len(relation2) == 20
+        recovered.close()
+
+
+class TestSerdeOrderProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        left=st.integers(-1000, 1000),
+        right=st.integers(-1000, 1000),
+    )
+    def test_int_key_order_matches_value_order(self, left, right):
+        assert (sort_key([Int(left)]) < sort_key([Int(right)])) == (left < right)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        left=st.text("abcdef", max_size=6),
+        right=st.text("abcdef", max_size=6),
+    )
+    def test_string_key_order_matches_lexicographic(self, left, right):
+        assert (sort_key([Str(left)]) < sort_key([Str(right)])) == (left < right)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        rows=st.lists(
+            st.tuples(st.integers(0, 50), st.sampled_from("abc")),
+            min_size=1,
+            max_size=20,
+            unique=True,
+        )
+    )
+    def test_btree_iteration_order_is_key_order(self, tmp_path_factory, rows):
+        directory = tmp_path_factory.mktemp("ordered")
+        server = StorageServer(str(directory))
+        try:
+            pool = BufferPool(server, capacity=32)
+            relation = PersistentRelation("r", 2, pool)
+            relation.create_index([0, 1])
+            for number, letter in rows:
+                relation.insert(Tuple((Int(number), Atom(letter))))
+            got = [
+                (t[0].value, t[1].name)
+                for t in relation.scan_ordered([0, 1])
+            ]
+            assert got == sorted(rows)
+        finally:
+            server.close()

@@ -1,0 +1,132 @@
+"""A full system scenario exercising every deliverable surface in one flow:
+files on disk, persistent base data, multiple modules with mixed evaluation
+strategies, aggregation, lint, tracing, and text-file round trips.
+
+This is the 'downstream user' test: if this passes, the pieces compose the
+way the README promises.
+"""
+
+import pytest
+
+from repro import Session
+from repro.lint import check_source
+
+
+PROGRAM = """
+% ---- analytics over a flight network --------------------------------
+
+module reach.
+export connected(bf).
+connected(X, Y) :- flight(X, Y, _).
+connected(X, Y) :- flight(X, Z, _), connected(Z, Y).
+end_module.
+
+module fares.
+export cheapest(bbf).
+@aggregate_selection leg(X, Y, C) (X, Y) min(C).
+leg(X, Y, C) :- flight(X, Y, C).
+leg(X, Y, C) :- flight(X, Z, C1), leg(Z, Y, C2), C = C1 + C2.
+cheapest(X, Y, C) :- leg(X, Y, C).
+end_module.
+
+module reporting.
+export hub_traffic(ff).
+hub_traffic(A, count(<D>)) :- flight(A, D, _).
+end_module.
+
+module alerts.
+export expensive_route(f).
+@pipelining.
+expensive_route(route(X, Y)) :- flight(X, Y, C), C > 500.
+end_module.
+"""
+
+FLIGHTS = [
+    ("msn", "ord", 120),
+    ("ord", "jfk", 310),
+    ("ord", "den", 280),
+    ("den", "sfo", 240),
+    ("jfk", "sfo", 650),
+    ("sfo", "nrt", 900),
+    ("ord", "sfo", 620),
+]
+
+
+@pytest.fixture
+def deployed(tmp_path):
+    """A session with persistent flight data and the program on disk."""
+    # first process: load the data into persistent storage
+    storage_dir = tmp_path / "data"
+    loader = Session(data_directory=str(storage_dir))
+    flights = loader.persistent_relation("flight", 3)
+    flights.create_index([0])
+    for origin, destination, cost in FLIGHTS:
+        flights.insert_values(origin, destination, cost)
+    loader.close()
+
+    # the program ships as a file
+    program_path = tmp_path / "analytics.coral"
+    program_path.write_text(PROGRAM)
+
+    # second process: open the same storage, consult the program
+    session = Session(data_directory=str(storage_dir))
+    session.persistent_relation("flight", 3)
+    session.consult(str(program_path))
+    return session
+
+
+class TestSystemScenario:
+    def test_lint_is_clean(self, deployed, tmp_path):
+        findings = check_source(PROGRAM, deployed)
+        assert findings == []
+
+    def test_reachability_over_persistent_data(self, deployed):
+        answers = sorted(a["Y"] for a in deployed.query("connected(msn, Y)"))
+        assert answers == ["den", "jfk", "nrt", "ord", "sfo"]
+
+    def test_cheapest_fare_uses_aggregate_selection(self, deployed):
+        answers = deployed.query("cheapest(msn, sfo, C)").all()
+        # msn->ord->den->sfo = 120+280+240 = 640 beats ord->sfo 620+120=740
+        # and ord->jfk->sfo = 120+310+650 = 1080
+        assert [a["C"] for a in answers] == [640]
+
+    def test_hub_traffic_aggregation(self, deployed):
+        rows = dict(deployed.query("hub_traffic(A, N)").tuples())
+        assert rows["ord"] == 3
+
+    def test_pipelined_alerts(self, deployed):
+        alerts = {str(a.term("R")) for a in deployed.query("expensive_route(R)")}
+        assert alerts == {"route(jfk, sfo)", "route(sfo, nrt)", "route(ord, sfo)"}
+
+    def test_tracing_explains_a_derived_fact(self, deployed):
+        tracer = deployed.enable_tracing()
+        deployed.query("connected(msn, Y)").all()
+        recorded = tracer.find("connected")
+        assert recorded
+        tree = tracer.why(recorded[0])
+        assert "via" in tree or "[base]" in tree
+
+    def test_dump_derived_results_and_reload(self, deployed, tmp_path):
+        # materialize a derived result into a base relation, dump, reload
+        for answer in deployed.query("connected(msn, Y)"):
+            deployed.insert("msn_reach", answer["Y"])
+        out = tmp_path / "reach.coral"
+        written = deployed.dump_relation("msn_reach", 1, str(out))
+        assert written == 5
+        fresh = Session()
+        fresh.consult(str(out))
+        assert len(fresh.query("msn_reach(X)").all()) == 5
+
+    def test_statistics_accumulate(self, deployed):
+        deployed.stats.reset()
+        deployed.query("connected(ord, Y)").all()
+        snapshot = deployed.stats.snapshot()
+        assert snapshot["inferences"] > 0
+        assert snapshot["module_calls"] >= 1
+
+    def test_listing_available_for_debugging(self, deployed):
+        deployed.query("cheapest(msn, sfo, C)").all()
+        listing = deployed.modules.compiled_form(
+            "fares", "cheapest", "bbf"
+        ).listing()
+        assert "leg" in listing

@@ -1,0 +1,103 @@
+"""Unit tests for the Arg hierarchy: primitive constants, conversion."""
+
+import pytest
+
+from repro.terms import (
+    Arg,
+    Atom,
+    BigNum,
+    Double,
+    Functor,
+    Int,
+    NIL,
+    Str,
+    from_arg,
+    make_list,
+    to_arg,
+)
+
+
+class TestPrimitives:
+    def test_int_equality(self):
+        assert Int(5) == Int(5)
+        assert Int(5) != Int(6)
+        assert Int(5).equals(Int(5))
+
+    def test_int_hash_consistent_with_equality(self):
+        assert hash(Int(42)) == hash(Int(42))
+        assert Int(42).hash_value() == Int(42).hash_value()
+
+    def test_bignum_is_an_int(self):
+        huge = BigNum(10**100)
+        assert huge == Int(10**100)
+        assert huge.value == 10**100
+
+    def test_double_and_int_are_distinct_types(self):
+        assert Double(1.0) != Int(1)
+
+    def test_str_and_atom_are_distinct(self):
+        assert Str("john") != Atom("john")
+
+    def test_atom_name(self):
+        assert Atom("john").name == "john"
+        assert str(Atom("john")) == "john"
+
+    def test_str_prints_quoted(self):
+        assert str(Str("hi")) == '"hi"'
+
+    def test_primitives_are_immutable(self):
+        with pytest.raises(AttributeError):
+            Int(1).value = 2
+
+    def test_primitives_are_ground(self):
+        for term in (Int(1), Double(2.0), Str("x"), Atom("a")):
+            assert term.is_ground()
+            assert list(term.variables()) == []
+
+    def test_ground_key_distinguishes_types(self):
+        assert Int(1).ground_key() != Double(1.0).ground_key()
+        assert Str("a").ground_key() != Atom("a").ground_key()
+
+    def test_construct_round_trip(self):
+        assert Int.construct(7) == Int(7)
+        assert Atom.construct("abc") == Atom("abc")
+
+
+class TestConversion:
+    def test_to_arg_int(self):
+        assert to_arg(3) == Int(3)
+
+    def test_to_arg_bool_becomes_atom(self):
+        assert to_arg(True) == Atom("true")
+        assert to_arg(False) == Atom("false")
+
+    def test_to_arg_float(self):
+        assert to_arg(2.5) == Double(2.5)
+
+    def test_to_arg_identifier_string_becomes_atom(self):
+        assert to_arg("john") == Atom("john")
+
+    def test_to_arg_non_identifier_string_becomes_str(self):
+        assert to_arg("hello world") == Str("hello world")
+        assert to_arg("John") == Str("John")  # uppercase: not an atom
+
+    def test_to_arg_list(self):
+        assert to_arg([1, 2]) == make_list([Int(1), Int(2)])
+
+    def test_to_arg_passthrough(self):
+        term = Functor("f", (Int(1),))
+        assert to_arg(term) is term
+
+    def test_to_arg_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            to_arg(object())
+
+    def test_from_arg_round_trip(self):
+        assert from_arg(to_arg(3)) == 3
+        assert from_arg(to_arg(2.5)) == 2.5
+        assert from_arg(to_arg("john")) == "john"
+        assert from_arg(to_arg([1, [2, 3]])) == [1, [2, 3]]
+
+    def test_from_arg_nil_is_empty_list(self):
+        assert from_arg(NIL) == "[]"  # NIL is the atom "[]"
+        assert from_arg(make_list([])) == "[]"

@@ -42,10 +42,14 @@ from .errors import (
     EvaluationError,
     ModuleError,
     ParseError,
+    ResourceLimitError,
     RewriteError,
     StorageError,
     StratificationError,
+    TransactionError,
 )
+from .eval.limits import ResourceLimits
+from .faults import FaultInjector, SimulatedCrash
 from .relations import Relation, Tuple
 from .terms import Arg, Atom, Double, Functor, Int, Str, Var, from_arg, make_list, to_arg
 
@@ -58,18 +62,23 @@ __all__ = [
     "CoralError",
     "Double",
     "EvaluationError",
+    "FaultInjector",
     "Functor",
     "Int",
     "ModuleError",
     "ParseError",
     "QueryResult",
     "Relation",
+    "ResourceLimitError",
+    "ResourceLimits",
     "RewriteError",
     "ScanDescriptor",
     "Session",
+    "SimulatedCrash",
     "StorageError",
     "StratificationError",
     "Str",
+    "TransactionError",
     "Tuple",
     "Var",
     "coral_export",

@@ -14,8 +14,9 @@ import os
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
 
 from ..builtins import BuiltinRegistry
-from ..errors import CoralError, EvaluationError
+from ..errors import CoralError, EvaluationError, ResourceLimitError
 from ..eval.context import EvalContext
+from ..eval.limits import ResourceLimits
 from ..language import Literal, Program, Query, parse_program, parse_query
 from ..modules import ModuleManager
 from ..optimizer import index_spec_from_annotation
@@ -54,12 +55,27 @@ class Answer:
 class QueryResult:
     """A pull-based cursor over a query's answers (get-next-tuple at the
     top level, Section 5.6): iterate lazily, or call :meth:`all` /
-    ``list(result)`` to materialize."""
+    ``list(result)`` to materialize.
 
-    def __init__(self, source: Iterator[Answer]) -> None:
+    If the owning session carries default :class:`ResourceLimits` (or
+    :meth:`all` is called with ``timeout=``/``max_tuples=``), the guard is
+    armed when the first answer is pulled and installed on the evaluation
+    context for the duration of each pull; exceeding it raises
+    :class:`~repro.errors.ResourceLimitError` and leaves the session usable.
+    """
+
+    def __init__(
+        self,
+        source: Iterator[Answer],
+        ctx=None,
+        limits: Optional["ResourceLimits"] = None,
+    ) -> None:
         self._source = source
         self._cache: List[Answer] = []
         self._done = False
+        self._ctx = ctx
+        self._limits = limits
+        self._armed = False
 
     def __iter__(self) -> Iterator[Answer]:
         for answer in self._cache:
@@ -73,14 +89,42 @@ class QueryResult:
     def get_next(self) -> Optional[Answer]:
         if self._done:
             return None
-        answer = next(self._source, None)
+        limits = self._limits
+        if limits is None or self._ctx is None:
+            answer = next(self._source, None)
+        else:
+            if not self._armed:
+                # the timeout clock spans the whole drain, not each pull
+                limits.start(self._ctx.stats)
+                self._armed = True
+            previous = self._ctx.limits
+            self._ctx.limits = limits
+            try:
+                answer = next(self._source, None)
+            except ResourceLimitError:
+                self._done = True
+                raise
+            finally:
+                self._ctx.limits = previous
         if answer is None:
             self._done = True
             return None
         self._cache.append(answer)
         return answer
 
-    def all(self) -> List[Answer]:
+    def all(
+        self,
+        timeout: Optional[float] = None,
+        max_tuples: Optional[int] = None,
+    ) -> List[Answer]:
+        """Materialize every answer.  ``timeout`` (seconds of wall clock)
+        and ``max_tuples`` (derived-fact cap) bound just this drain,
+        overriding any session-level limits."""
+        if timeout is not None or max_tuples is not None:
+            from ..eval.limits import ResourceLimits
+
+            self._limits = ResourceLimits(timeout=timeout, max_tuples=max_tuples)
+            self._armed = False
         while self.get_next() is not None:
             pass
         return list(self._cache)
@@ -104,9 +148,13 @@ class Session:
         builtins: Optional[BuiltinRegistry] = None,
         data_directory: Optional[str] = None,
         buffer_capacity: int = 64,
+        limits: Optional[ResourceLimits] = None,
     ) -> None:
         self.ctx = EvalContext(builtins)
         self.modules = ModuleManager(self.ctx)
+        #: default ResourceLimits applied to every query (None = unbounded);
+        #: per-call ``QueryResult.all(timeout=...)`` overrides it
+        self.limits = limits
         #: user-defined abstract data types (Section 7.1)
         self.types = TypeRegistry()
         self._server: Optional[StorageServer] = None
@@ -158,10 +206,15 @@ class Session:
 
     # -- storage (the EXODUS client link, Section 2) ----------------------------
 
-    def open_storage(self, directory: str, buffer_capacity: int = 64) -> None:
+    def open_storage(
+        self, directory: str, buffer_capacity: int = 64, faults=None
+    ) -> None:
+        """Open the page-based storage directory.  ``faults`` optionally
+        threads a :class:`~repro.faults.FaultInjector` through the stack
+        (crash tests)."""
         if self._server is not None:
             raise CoralError("storage is already open for this session")
-        self._server = StorageServer(directory)
+        self._server = StorageServer(directory, faults=faults)
         self._pool = BufferPool(self._server, buffer_capacity)
 
     @property
@@ -293,7 +346,7 @@ class Session:
             finally:
                 cursor.close()
 
-        return QueryResult(answers())
+        return QueryResult(answers(), ctx=self.ctx, limits=self.limits)
 
     # -- imperative fact management (Section 6) -----------------------------------------
 

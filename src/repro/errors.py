@@ -52,7 +52,30 @@ class ModuleError(CoralError):
 
 
 class StorageError(CoralError):
-    """A failure inside the page-based storage manager (the EXODUS stand-in)."""
+    """A failure inside the page-based storage manager (the EXODUS stand-in).
+
+    Every OS-level I/O failure (``OSError``: disk full, failed fsync, a
+    vanished file) is wrapped as a ``StorageError`` with the original as
+    ``__cause__``, so embedders never see raw ``OSError`` escape the storage
+    layer.  Corruption detected by the undo journal's checksums also raises
+    this class — recovery halts rather than applying garbage."""
+
+
+class TransactionError(StorageError):
+    """Misuse of the transaction protocol: beginning a transaction while one
+    is in progress (CORAL is single-user, Section 2), or committing/aborting
+    with none active.  A subclass of :class:`StorageError` so existing
+    ``except StorageError`` handlers keep working."""
+
+
+class ResourceLimitError(CoralError):
+    """A query exceeded its :class:`~repro.eval.limits.ResourceLimits` —
+    wall-clock timeout, maximum derived tuples, or cooperative cancellation.
+
+    Raised from inside the fixpoint / pipelined loops (checked at least once
+    per iteration), leaving the session usable for subsequent queries: the
+    partially evaluated module instance is discarded exactly as for any
+    other abandoned cursor (Section 5.4.3)."""
 
 
 class ExtensibilityError(CoralError):

@@ -5,6 +5,7 @@ from .aggregates import AggregateConstraint, AggregateFold, fold_aggregate
 from .context import EvalContext, EvalStats, LocalScope
 from .fixpoint import SCCEvaluator, SCCPlan
 from .join import BodyExecutor, backtrack_points, instantiate_head
+from .limits import ResourceLimits
 from .ordered import OrderedSearchEvaluator
 from .pipeline import PipelinedModule
 
@@ -17,6 +18,7 @@ __all__ = [
     "LocalScope",
     "OrderedSearchEvaluator",
     "PipelinedModule",
+    "ResourceLimits",
     "SCCEvaluator",
     "SCCPlan",
     "backtrack_points",

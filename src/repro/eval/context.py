@@ -59,6 +59,14 @@ class EvalContext:
         self.stats = EvalStats()
         #: optional DerivationTracer (the Explanation tool); None = off
         self.tracer = None
+        #: optional ResourceLimits guarding the current evaluation; None = off
+        self.limits = None
+
+    def check_limits(self) -> None:
+        """Raise ResourceLimitError if the active guard's budget is spent;
+        no-op when no limits are installed."""
+        if self.limits is not None:
+            self.limits.check(self.stats)
 
     # -- relation resolution ---------------------------------------------------
 
@@ -152,7 +160,14 @@ class LocalScope:
 
     def insert_fact(self, name: str, arity: int, tup: Tuple) -> bool:
         """Insert a derived fact into a local relation, enforcing any
-        aggregate selections declared for the predicate."""
+        aggregate selections declared for the predicate.
+
+        Also the evaluation-wide resource choke point: every derived fact —
+        fixpoint, compiled, or ordered-search — passes through here, so the
+        active :class:`~repro.eval.limits.ResourceLimits` guard (if any) is
+        consulted per insertion and limit overruns surface mid-iteration."""
+        if self.ctx.limits is not None:
+            self.ctx.limits.check(self.ctx.stats)
         relation = self.declare_local(name, arity)
         for constraint in self.constraints.get((name, arity), ()):
             if not constraint.admit(relation, tup):

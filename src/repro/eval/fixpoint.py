@@ -287,6 +287,8 @@ class SCCEvaluator:
             return
 
         while True:
+            if self.scope.ctx.limits is not None:
+                self.scope.ctx.limits.checkpoint(stats)
             new_facts = 0
             for head_key, group in self._groups:
                 for rule, executor in group:
@@ -315,6 +317,8 @@ class SCCEvaluator:
     def _naive_loop(self) -> Iterator[int]:
         stats = self.scope.ctx.stats
         while True:
+            if self.scope.ctx.limits is not None:
+                self.scope.ctx.limits.checkpoint(stats)
             before = sum(len(self._relation(p)) for p in self.plan.recursive)
             marks = {
                 pred: self._relation(pred).mark() for pred in self.plan.recursive

@@ -1,0 +1,131 @@
+"""Resource guards for long-running evaluations.
+
+The unbounded bottom-up iterations of Section 5.3 — *"an evaluation
+terminates when an iteration produces no new facts"* — have no intrinsic
+bound on time or space: a mistaken rule (or an adversarial query against a
+served system) can iterate arbitrarily long.  :class:`ResourceLimits` bounds
+one evaluation with a wall-clock timeout, a cap on derived tuples, and a
+cooperative cancellation flag; the fixpoint and pipelined loops check the
+guard at least once per iteration (and every few hundred derivations inside
+an iteration), raising :class:`~repro.errors.ResourceLimitError` promptly.
+
+Exceeding a limit abandons the evaluation exactly as abandoning a lazy
+cursor does (Section 5.4.3) — the session stays usable for further queries.
+
+Usage::
+
+    session = Session(limits=ResourceLimits(timeout=2.0))
+    session.query("path(1, X)").all()                # guarded by the default
+    session.query("path(1, X)").all(timeout=0.1)     # per-call override
+
+    limits = ResourceLimits()
+    session = Session(limits=limits)
+    ... limits.cancel() from another thread ...      # cooperative stop
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from ..errors import ResourceLimitError
+
+#: consult the wall clock only every this many guard checks — the per-tuple
+#: hot path pays a counter increment, not a syscall
+_CLOCK_STRIDE = 256
+
+
+class ResourceLimits:
+    """Bounds on one evaluation: wall-clock ``timeout`` (seconds), maximum
+    ``max_tuples`` derived facts, and :meth:`cancel` for cooperative
+    cancellation from another thread.
+
+    Re-armable: :meth:`start` resets the deadline and the derived-tuple
+    baseline, so one instance can guard a whole session's queries in turn.
+    """
+
+    def __init__(
+        self,
+        timeout: Optional[float] = None,
+        max_tuples: Optional[int] = None,
+    ) -> None:
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        if max_tuples is not None and max_tuples < 0:
+            raise ValueError(f"max_tuples must be >= 0, got {max_tuples}")
+        self.timeout = timeout
+        self.max_tuples = max_tuples
+        self._cancelled = False
+        self._deadline: Optional[float] = None
+        self._tuple_baseline = 0
+        self._checks = 0
+
+    # -- arming ----------------------------------------------------------------
+
+    def start(self, stats=None) -> "ResourceLimits":
+        """Arm the guard: the timeout clock starts now, and derived tuples
+        are counted from ``stats.facts_inserted`` onward."""
+        self._deadline = (
+            time.monotonic() + self.timeout if self.timeout is not None else None
+        )
+        self._tuple_baseline = stats.facts_inserted if stats is not None else 0
+        self._checks = 0
+        return self
+
+    def cancel(self) -> None:
+        """Request cooperative cancellation: the next guard check raises.
+        Safe to call from another thread (it only sets a flag)."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    # -- the guard the evaluation loops call ------------------------------------
+
+    def check(self, stats=None) -> None:
+        """Raise :class:`ResourceLimitError` if any limit is exceeded.
+
+        Cancellation and the tuple cap are checked on every call; the wall
+        clock every ``_CLOCK_STRIDE`` calls (and always on the first), so
+        calling this once per derived tuple stays cheap.
+        """
+        if self._cancelled:
+            raise ResourceLimitError("evaluation cancelled")
+        if (
+            self.max_tuples is not None
+            and stats is not None
+            and stats.facts_inserted - self._tuple_baseline > self.max_tuples
+        ):
+            raise ResourceLimitError(
+                f"evaluation exceeded the limit of {self.max_tuples} derived "
+                f"tuples"
+            )
+        if self._deadline is not None:
+            self._checks += 1
+            if self._checks % _CLOCK_STRIDE == 1:
+                if time.monotonic() > self._deadline:
+                    raise ResourceLimitError(
+                        f"evaluation exceeded its {self.timeout:g}s wall-clock "
+                        f"timeout"
+                    )
+
+    def checkpoint(self, stats=None) -> None:
+        """An iteration-boundary check: always consults the wall clock."""
+        if self._cancelled:
+            raise ResourceLimitError("evaluation cancelled")
+        if self._deadline is not None and time.monotonic() > self._deadline:
+            raise ResourceLimitError(
+                f"evaluation exceeded its {self.timeout:g}s wall-clock timeout"
+            )
+        self.check(stats)
+
+    def __repr__(self) -> str:
+        parts = []
+        if self.timeout is not None:
+            parts.append(f"timeout={self.timeout:g}s")
+        if self.max_tuples is not None:
+            parts.append(f"max_tuples={self.max_tuples}")
+        if self._cancelled:
+            parts.append("cancelled")
+        return f"<ResourceLimits {' '.join(parts) or 'unbounded'}>"

@@ -105,6 +105,8 @@ class OrderedSearchEvaluator:
     def _solve(self, pred: str, pattern: PyTuple[Arg, ...]) -> PyTuple[_Subgoal, int]:
         """Returns (subgoal, lowlink): lowlink is the shallowest context
         depth this subgoal (transitively) depends on; _COMPLETE when done."""
+        if self.scope.ctx.limits is not None:
+            self.scope.ctx.limits.check(self.scope.ctx.stats)
         key = Tuple(pattern).key()
         key = (pred, key)
         subgoal = self.memo.get(key)
@@ -129,6 +131,8 @@ class OrderedSearchEvaluator:
             # root of its subgoal SCC: iterate the whole SCC to fixpoint,
             # then mark every member done (the paper's 'done' facts)
             while True:
+                if self.scope.ctx.limits is not None:
+                    self.scope.ctx.limits.checkpoint(self.scope.ctx.stats)
                 version = self._version
                 for member in list(self.stack[subgoal.depth :]):
                     self._apply_rules(member)

@@ -69,6 +69,10 @@ class PipelinedModule:
     ) -> Iterator[None]:
         """Enumerate proofs of ``literal``; bindings are in ``env`` while the
         consumer holds each one."""
+        if self.ctx.limits is not None:
+            # pipelined evaluation derives no stored facts, so the guard is
+            # consulted per subgoal instead of per insertion
+            self.ctx.limits.check(self.ctx.stats)
         if depth > self.depth_limit:
             raise EvaluationError(
                 f"pipelined evaluation exceeded depth {self.depth_limit} "

@@ -15,19 +15,23 @@ from .file import DiskFile, ServerStats, StorageServer
 from .pages import PAGE_SIZE, Page, SlottedPage
 from .relation import PersistentRelation
 from .serde import decode_tuple, encode_tuple, sort_key
+from .xact import JournalContents, UndoJournal, read_journal
 
 __all__ = [
     "BTree",
     "BufferPool",
     "BufferStats",
     "DiskFile",
+    "JournalContents",
     "PAGE_SIZE",
     "Page",
     "PersistentRelation",
     "ServerStats",
     "SlottedPage",
     "StorageServer",
+    "UndoJournal",
     "decode_tuple",
     "encode_tuple",
+    "read_journal",
     "sort_key",
 ]

@@ -118,6 +118,7 @@ class BufferPool:
 
     def _evict(self, key: PyTuple[str, int], page: Page) -> None:
         if page.dirty:
+            self.server.faults.check("buffer.writeback")
             self.server.write_page(page.file_name, page.page_id, bytes(page.data))
             self.stats.writebacks += 1
         del self._frames[key]
@@ -127,6 +128,7 @@ class BufferPool:
         """Write every dirty page back to the server (pages stay cached)."""
         for page in self._frames.values():
             if page.dirty:
+                self.server.faults.check("buffer.flush")
                 self.server.write_page(
                     page.file_name, page.page_id, bytes(page.data)
                 )

@@ -64,8 +64,17 @@ class PersistentRelation(Relation):
 
     def _load_or_create_catalog(self) -> None:
         if os.path.exists(self._catalog_path):
-            with open(self._catalog_path) as handle:
-                catalog = json.load(handle)
+            try:
+                with open(self._catalog_path) as handle:
+                    catalog = json.load(handle)
+            except OSError as exc:
+                raise StorageError(
+                    f"cannot read catalog {self._catalog_path}: {exc}"
+                ) from exc
+            except ValueError as exc:
+                raise StorageError(
+                    f"catalog {self._catalog_path} is corrupted: {exc}"
+                ) from exc
             if catalog["arity"] != self.arity:
                 raise StorageError(
                     f"catalog arity {catalog['arity']} != requested {self.arity} "
@@ -79,15 +88,20 @@ class PersistentRelation(Relation):
             self._save_catalog()
 
     def _save_catalog(self) -> None:
-        with open(self._catalog_path, "w") as handle:
-            json.dump(
-                {
-                    "arity": self.arity,
-                    "unique": self.unique,
-                    "indexes": [list(p) for p in self._index_positions],
-                },
-                handle,
-            )
+        try:
+            with open(self._catalog_path, "w") as handle:
+                json.dump(
+                    {
+                        "arity": self.arity,
+                        "unique": self.unique,
+                        "indexes": [list(p) for p in self._index_positions],
+                    },
+                    handle,
+                )
+        except OSError as exc:
+            raise StorageError(
+                f"cannot write catalog {self._catalog_path}: {exc}"
+            ) from exc
 
     # -- indexes -----------------------------------------------------------
 

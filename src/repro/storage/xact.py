@@ -1,4 +1,4 @@
-"""Transactions for the storage manager: a page-level undo journal.
+"""Transactions for the storage manager: a checksummed page-level undo journal.
 
 Section 2: *"Transactions and concurrency control are supported by the
 EXODUS toolkit, and thus by CORAL."*  CORAL itself delegated the problem;
@@ -6,37 +6,113 @@ this stand-in provides the same contract at the granularity CORAL used it —
 single-user, page-level atomicity:
 
 * ``begin`` starts a transaction; the *first* physical write to each page
-  records its before-image in an on-disk journal;
-* ``commit`` discards the journal (all writes are already durable or will
-  be on the next flush);
-* ``abort`` restores every before-image;
+  records its before-image in an on-disk journal, and the first touch of
+  each file records the file's page count (so pages allocated mid-
+  transaction can be truncated away on abort);
+* ``commit`` syncs the data files and then discards the journal — journal
+  removal *is* the commit point;
+* ``abort`` restores every before-image and truncates files back to their
+  recorded lengths;
 * ``recover`` replays a journal left behind by a crash, restoring the
-  pre-transaction state.
+  pre-transaction state.  Recovery is idempotent: it only reads the journal
+  and writes absolute state, so a crash *during* recovery is recovered by
+  simply recovering again.
+
+Journal format v2 (v1 had neither header nor checksums)::
+
+    header:  magic "CORALJ2\\n" | version:u16
+    entry:   kind:u8 | name_len:u16 | value:u32 | crc:u32 | name | payload
+
+``kind`` is ``PAGE`` (value = page id, payload = one page before-image) or
+``FILE_LEN`` (value = the file's page count at first touch, no payload).
+``crc`` is CRC32 over kind, name_len, value, name, and payload.  On read, a
+*truncated* trailing entry (a crash mid-append) is ignored — the journal is
+an undo log, so a torn last entry corresponds to a page write that never
+happened — but a *corrupted* entry (bytes present, checksum wrong) halts
+recovery with :class:`StorageError`: applying a garbage before-image would
+silently destroy committed data, which is strictly worse than stopping.
 
 Being single-user (the paper's design point) there is no lock manager; the
-journal gives atomicity and crash recovery, which is what the tests and the
-persistent-relation examples exercise.
+journal gives atomicity and crash recovery, which is what the crash sweep
+(``tests/test_crash_sweep.py``) exercises through the fault-injection hooks
+(:mod:`repro.faults`) threaded through every append and fsync here.
 """
 
 from __future__ import annotations
 
 import os
 import struct
-from typing import Dict, Iterator, Tuple as PyTuple
+import zlib
+from typing import Dict, Iterator, List, Optional, Tuple as PyTuple
 
 from ..errors import StorageError
+from ..faults import PASSIVE, FaultInjector, SimulatedCrash
 from .pages import PAGE_SIZE
 
-_ENTRY_HEADER = struct.Struct(">HI")  # file-name length, page id
+JOURNAL_MAGIC = b"CORALJ2\n"
+JOURNAL_VERSION = 2
+
+_FILE_HEADER = struct.Struct(">8sH")  # magic, version
+_ENTRY_HEADER = struct.Struct(">BHII")  # kind, file-name length, value, crc32
+
+#: entry kinds
+KIND_PAGE = 1  # value = page id, payload = PAGE_SIZE before-image
+KIND_FILE_LEN = 2  # value = num_pages at first touch, no payload
+
+
+def _entry_crc(kind: int, name_bytes: bytes, value: int, payload: bytes) -> int:
+    crc = zlib.crc32(bytes((kind,)))
+    crc = zlib.crc32(_ENTRY_HEADER.pack(kind, len(name_bytes), value, 0)[1:7], crc)
+    crc = zlib.crc32(name_bytes, crc)
+    return zlib.crc32(payload, crc) & 0xFFFFFFFF
+
+
+def _encode_entry(kind: int, file_name: str, value: int, payload: bytes) -> bytes:
+    name_bytes = file_name.encode("utf-8")
+    crc = _entry_crc(kind, name_bytes, value, payload)
+    return (
+        _ENTRY_HEADER.pack(kind, len(name_bytes), value, crc)
+        + name_bytes
+        + payload
+    )
 
 
 class UndoJournal:
-    """Before-images for one in-flight transaction, persisted to disk."""
+    """Before-images and file lengths for one in-flight transaction,
+    persisted (and fsynced, entry by entry) to disk."""
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, faults: Optional[FaultInjector] = None) -> None:
         self.path = path
+        self.faults = faults if faults is not None else PASSIVE
         self._recorded: Dict[PyTuple[str, int], bytes] = {}
-        self._handle = open(path, "wb")
+        self._lengths: Dict[str, int] = {}
+        try:
+            self._handle = open(path, "wb", buffering=0)
+            self._handle.write(_FILE_HEADER.pack(JOURNAL_MAGIC, JOURNAL_VERSION))
+            os.fsync(self._handle.fileno())
+        except OSError as exc:
+            raise StorageError(f"cannot create undo journal {path}: {exc}") from exc
+
+    # -- appends -------------------------------------------------------------
+
+    def _append(self, kind: int, file_name: str, value: int, payload: bytes) -> None:
+        entry = _encode_entry(kind, file_name, value, payload)
+        keep = self.faults.check("journal.record")
+        try:
+            if keep is not None:
+                # torn journal append: a prefix of the entry reaches disk,
+                # then the process dies
+                self._handle.write(entry[:keep])
+                raise SimulatedCrash(
+                    f"injected torn journal append ({keep}/{len(entry)} bytes)"
+                )
+            self._handle.write(entry)
+            self.faults.check("journal.sync")
+            os.fsync(self._handle.fileno())
+        except OSError as exc:
+            raise StorageError(
+                f"undo journal append failed for {self.path}: {exc}"
+            ) from exc
 
     def record(self, file_name: str, page_id: int, before: bytes) -> None:
         """Remember the pre-write contents of a page (first write only)."""
@@ -45,13 +121,24 @@ class UndoJournal:
             return
         if len(before) != PAGE_SIZE:
             raise StorageError("before-image must be exactly one page")
+        self._append(KIND_PAGE, file_name, page_id, before)
         self._recorded[key] = before
-        name_bytes = file_name.encode("utf-8")
-        self._handle.write(_ENTRY_HEADER.pack(len(name_bytes), page_id))
-        self._handle.write(name_bytes)
-        self._handle.write(before)
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+
+    def record_length(self, file_name: str, num_pages: int) -> None:
+        """Remember a file's page count at its first touch in this
+        transaction (first touch only); abort/recovery truncates back."""
+        if file_name in self._lengths:
+            return
+        self._append(KIND_FILE_LEN, file_name, num_pages, b"")
+        self._lengths[file_name] = num_pages
+
+    # -- reads (abort path) ----------------------------------------------------
+
+    def recorded_length(self, file_name: str) -> Optional[int]:
+        return self._lengths.get(file_name)
+
+    def file_lengths(self) -> Dict[str, int]:
+        return dict(self._lengths)
 
     def before_images(self) -> Iterator[PyTuple[str, int, bytes]]:
         """All recorded (file, page, before-image) entries, oldest first."""
@@ -59,32 +146,94 @@ class UndoJournal:
             yield file_name, page_id, before
 
     def close_and_remove(self) -> None:
-        self._handle.close()
-        if os.path.exists(self.path):
-            os.remove(self.path)
+        try:
+            self._handle.close()
+            if os.path.exists(self.path):
+                os.remove(self.path)
+        except OSError as exc:
+            raise StorageError(
+                f"cannot remove undo journal {self.path}: {exc}"
+            ) from exc
 
     def __len__(self) -> int:
         return len(self._recorded)
 
 
-def read_journal(path: str) -> Iterator[PyTuple[str, int, bytes]]:
+class JournalContents:
+    """A parsed on-disk journal: what recovery needs to undo."""
+
+    __slots__ = ("file_lengths", "before_images")
+
+    def __init__(
+        self,
+        file_lengths: Dict[str, int],
+        before_images: List[PyTuple[str, int, bytes]],
+    ) -> None:
+        self.file_lengths = file_lengths
+        self.before_images = before_images
+
+
+def read_journal(path: str) -> JournalContents:
     """Parse a journal file left on disk (crash recovery).
 
-    Truncated trailing entries (a crash mid-append) are ignored — the
-    journal is an undo log, so a partially written last entry corresponds
-    to a page write that never happened.
+    Truncated trailing entries (a crash mid-append) are ignored, but any
+    corrupted entry — present in full yet failing its CRC32, or carrying an
+    unknown kind — raises :class:`StorageError`: recovery must halt rather
+    than apply garbage before-images over committed data.
     """
-    with open(path, "rb") as handle:
-        data = handle.read()
-    offset = 0
-    while offset + _ENTRY_HEADER.size <= len(data):
-        name_length, page_id = _ENTRY_HEADER.unpack_from(data, offset)
-        offset += _ENTRY_HEADER.size
-        end = offset + name_length + PAGE_SIZE
-        if end > len(data):
-            return
-        file_name = data[offset : offset + name_length].decode("utf-8")
-        offset += name_length
-        before = data[offset : offset + PAGE_SIZE]
-        offset += PAGE_SIZE
-        yield file_name, page_id, before
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except OSError as exc:
+        raise StorageError(f"cannot read undo journal {path}: {exc}") from exc
+    if len(data) < _FILE_HEADER.size:
+        # crash before the header reached disk: an empty transaction
+        return JournalContents({}, [])
+    magic, version = _FILE_HEADER.unpack_from(data, 0)
+    if magic != JOURNAL_MAGIC:
+        raise StorageError(
+            f"undo journal {path} has bad magic {magic!r}; refusing to recover "
+            f"from an unrecognized journal"
+        )
+    if version != JOURNAL_VERSION:
+        raise StorageError(
+            f"undo journal {path} has unsupported version {version} "
+            f"(expected {JOURNAL_VERSION})"
+        )
+
+    lengths: Dict[str, int] = {}
+    images: List[PyTuple[str, int, bytes]] = []
+    seen_pages = set()
+    offset = _FILE_HEADER.size
+    size = len(data)
+    while offset < size:
+        if offset + _ENTRY_HEADER.size > size:
+            return JournalContents(lengths, images)  # torn trailing header
+        kind, name_length, value, crc = _ENTRY_HEADER.unpack_from(data, offset)
+        payload_length = PAGE_SIZE if kind == KIND_PAGE else 0
+        end = offset + _ENTRY_HEADER.size + name_length + payload_length
+        if kind not in (KIND_PAGE, KIND_FILE_LEN):
+            raise StorageError(
+                f"undo journal {path} has an entry of unknown kind {kind} at "
+                f"offset {offset}; recovery halted"
+            )
+        if end > size:
+            return JournalContents(lengths, images)  # torn trailing entry
+        name_start = offset + _ENTRY_HEADER.size
+        name_bytes = data[name_start : name_start + name_length]
+        payload = data[name_start + name_length : end]
+        if _entry_crc(kind, name_bytes, value, payload) != crc:
+            raise StorageError(
+                f"undo journal {path} has a corrupted entry at offset "
+                f"{offset} (checksum mismatch); recovery halted"
+            )
+        file_name = name_bytes.decode("utf-8")
+        if kind == KIND_FILE_LEN:
+            lengths.setdefault(file_name, value)
+        else:
+            key = (file_name, value)
+            if key not in seen_pages:
+                seen_pages.add(key)
+                images.append((file_name, value, payload))
+        offset = end
+    return JournalContents(lengths, images)

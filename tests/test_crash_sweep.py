@@ -1,0 +1,403 @@
+"""The crash sweep: enumerate every storage injection point across a
+transactional workload — crash there, reopen, verify invariants.
+
+Invariants checked after every schedule:
+
+* the directory reopens (recovery runs) and leaves no journal behind;
+* committed data is intact, byte-for-byte at the tuple level;
+* aborted and in-flight data is absent;
+* any B-tree index agrees exactly with the heap;
+* the store stays usable (one more transactional round trip succeeds).
+
+The sweep is deterministic: a probe run with a passive injector counts how
+often each injection point is reached, then one schedule is generated per
+(point, hit) pair plus torn-write and failed-fsync variants.  A separate
+``chaos``-marked test runs a seeded randomized sweep over randomized
+insert/delete/commit/abort workloads (``pytest -m chaos``).
+"""
+
+import os
+import random
+import shutil
+
+import pytest
+
+from repro.errors import StorageError
+from repro.faults import FaultInjector, SimulatedCrash
+from repro.relations import Tuple
+from repro.storage import PAGE_SIZE, BufferPool, PersistentRelation, StorageServer
+from repro.storage.xact import _ENTRY_HEADER, _FILE_HEADER
+from repro.terms import Int, Str
+
+JOURNAL = "undo.journal"
+
+
+# -- the workload ------------------------------------------------------------
+
+
+class Model:
+    """Python-level mirror of what the relation must contain.
+
+    ``committed`` advances only when ``commit_transaction`` *returns* —
+    journal removal is the commit point, so a crash anywhere inside commit
+    legitimately rolls back."""
+
+    def __init__(self):
+        self.committed = set()
+        self.working = set()
+
+    def commit(self):
+        self.committed = set(self.working)
+
+    def abort(self):
+        self.working = set(self.committed)
+
+
+def _payload(i):
+    return f"{i:03d}" + "x" * 500  # ~500B records: several pages of heap
+
+
+def _row(i):
+    return (i, _payload(i))
+
+
+#: the deterministic workload: four transactions over a relation with a
+#: B-tree index — inserts, deletes, a commit/commit/abort/commit pattern,
+#: enough volume to allocate pages mid-transaction and force pool evictions
+SCRIPT = [
+    ("commit", [("insert", _row(i)) for i in range(12)]),
+    (
+        "commit",
+        [("insert", _row(i)) for i in range(12, 18)]
+        + [("delete", _row(2)), ("delete", _row(5))],
+    ),
+    (
+        "abort",
+        [("insert", _row(i)) for i in range(90, 96)] + [("delete", _row(7))],
+    ),
+    (
+        "commit",
+        [("insert", _row(i)) for i in range(40, 50)] + [("delete", _row(12))],
+    ),
+]
+
+
+def _execute(directory, faults, model, script=SCRIPT):
+    """Run the workload; a scheduled fault escapes as SimulatedCrash (the
+    server object is then simply abandoned, like a killed process) or as
+    StorageError (a failed I/O call)."""
+    server = StorageServer(directory, faults=faults)
+    # a deliberately tiny pool: dirty evictions (write-backs) happen
+    # mid-transaction, so those paths land in the sweep too
+    pool = BufferPool(server, capacity=3)
+    relation = None
+    for outcome, ops in script:
+        server.begin_transaction()
+        if relation is None:
+            relation = PersistentRelation("acct", 2, pool)
+            relation.create_index([0])
+        for op, (key, payload) in ops:
+            tup = Tuple((Int(key), Str(payload)))
+            if op == "insert":
+                relation.insert(tup)
+                model.working.add((key, payload))
+            else:
+                relation.delete(tup)
+                model.working.discard((key, payload))
+        pool.flush_all()
+        if outcome == "commit":
+            server.commit_transaction()
+            model.commit()
+        else:
+            pool.drop_all()
+            server.abort_transaction()
+            model.abort()
+            # in-memory relation state (counts, last-page hint) is stale
+            # after an abort; re-open from the catalog
+            relation = PersistentRelation("acct", 2, pool)
+    server.close()
+
+
+def _reopen_and_verify(directory, expected, context=""):
+    """Open the directory (running recovery) and check every invariant."""
+    server = StorageServer(directory)
+    try:
+        assert not os.path.exists(
+            os.path.join(directory, JOURNAL)
+        ), f"{context}: recovery left a journal behind"
+        pool = BufferPool(server, capacity=8)
+        relation = PersistentRelation("acct", 2, pool)
+        actual = {(t[0].value, t[1].value) for t in relation.scan()}
+        assert actual == expected, (
+            f"{context}: recovered state diverged "
+            f"(missing {sorted(expected - actual)[:3]}, "
+            f"extra {sorted(actual - expected)[:3]})"
+        )
+        assert len(relation) == len(expected), f"{context}: count mismatch"
+        if (0,) in relation._indexes:
+            via_index = {
+                (t[0].value, t[1].value) for t in relation.scan_ordered([0])
+            }
+            assert via_index == actual, f"{context}: index diverged from heap"
+        # the store must stay usable after recovery
+        server.begin_transaction()
+        relation.insert(Tuple((Int(999), Str("probe"))))
+        pool.flush_all()
+        server.commit_transaction()
+        assert len(relation) == len(expected) + 1, f"{context}: store unusable"
+    finally:
+        server.close()
+
+
+def _probe_counts(directory):
+    """Run the workload fault-free and count arrivals per injection point."""
+    injector = FaultInjector()
+    model = Model()
+    _execute(directory, injector, model)
+    assert model.committed == model.working
+    return dict(injector.counts), model.committed
+
+
+# -- schedule enumeration -----------------------------------------------------
+
+CRASH_POINTS = [
+    "disk.write_page",
+    "disk.read_page",
+    "disk.allocate",
+    "disk.sync",
+    "disk.truncate",
+    "journal.record",
+    "journal.sync",
+    "buffer.writeback",
+    "buffer.flush",
+    "server.write_page",
+    "server.commit",
+    "server.commit.cleanup",
+    "server.abort",
+]
+
+
+def _spread(count, *fractions):
+    """A deterministic spread of 1-based hit numbers across ``count``."""
+    if count < 1:
+        return []
+    picks = {1, 2, 3, count}
+    for fraction in fractions:
+        picks.add(max(1, int(count * fraction)))
+    return sorted(h for h in picks if 1 <= h <= count)
+
+
+def _build_schedules(counts):
+    schedules = []
+    for point in CRASH_POINTS:
+        for hit in _spread(counts.get(point, 0), 0.25, 0.5, 0.75):
+            schedules.append(("crash", point, hit, None))
+    for hit in _spread(counts.get("disk.write_page", 0), 0.4, 0.8):
+        for keep in (0, 1, PAGE_SIZE // 2, PAGE_SIZE - 1):
+            schedules.append(("tear", "disk.write_page", hit, keep))
+    for hit in _spread(counts.get("journal.record", 0), 0.5):
+        for keep in (0, 3, 11, 200):
+            schedules.append(("tear", "journal.record", hit, keep))
+    for point in ("disk.sync", "journal.sync"):
+        for hit in _spread(counts.get(point, 0), 0.5):
+            schedules.append(("fail", point, hit, None))
+    return schedules
+
+
+def _injector_for(action, point, hit, keep):
+    injector = FaultInjector()
+    if action == "crash":
+        injector.crash_at(point, hit)
+    elif action == "fail":
+        injector.fail_at(point, hit)
+    else:
+        injector.tear_at(point, hit, keep_bytes=keep)
+    return injector
+
+
+def _run_schedule(directory, action, point, hit, keep):
+    injector = _injector_for(action, point, hit, keep)
+    model = Model()
+    crashed = False
+    try:
+        _execute(directory, injector, model)
+    except (SimulatedCrash, StorageError):
+        crashed = True
+    assert crashed, f"schedule {action}@{point}#{hit} never fired"
+    _reopen_and_verify(
+        directory, model.committed, context=f"{action}@{point}#{hit} keep={keep}"
+    )
+
+
+# -- the sweep ---------------------------------------------------------------
+
+
+def test_crash_sweep_covers_every_injection_point(tmp_path):
+    counts, _ = _probe_counts(str(tmp_path / "probe"))
+    # the workload must actually reach the interesting points
+    for point in (
+        "disk.write_page",
+        "disk.allocate",
+        "disk.sync",
+        "disk.truncate",
+        "journal.record",
+        "journal.sync",
+        "buffer.flush",
+        "buffer.writeback",
+        "server.commit",
+        "server.commit.cleanup",
+        "server.abort",
+    ):
+        assert counts.get(point, 0) > 0, f"workload never reaches {point}"
+
+    schedules = _build_schedules(counts)
+    assert len(schedules) >= 50, (
+        f"sweep shrank to {len(schedules)} schedules; the acceptance bar is 50"
+    )
+    for index, (action, point, hit, keep) in enumerate(schedules):
+        _run_schedule(str(tmp_path / f"s{index}"), action, point, hit, keep)
+
+
+def test_crash_during_recovery_then_recover_again(tmp_path):
+    """Re-crash during recovery, recover again: recovery is idempotent."""
+    crashed_dir = str(tmp_path / "crashed")
+    model = Model()
+    with pytest.raises(SimulatedCrash):
+        # the third commit is the last transaction's: its journal holds
+        # before-images of pre-existing pages plus file lengths
+        _execute(crashed_dir, FaultInjector().crash_at("server.commit", 3), model)
+    assert os.path.exists(os.path.join(crashed_dir, JOURNAL))
+
+    # probe how many recovery steps there are (on a copy: recovery consumes
+    # the journal)
+    probe_dir = str(tmp_path / "probe")
+    shutil.copytree(crashed_dir, probe_dir)
+    probe = FaultInjector()
+    StorageServer(probe_dir, faults=probe).close()
+    entry_count = probe.counts.get("server.recover.entry", 0)
+    assert entry_count > 0, "recovery applied no before-images"
+
+    recovery_points = [("server.recover.start", 1), ("server.recover.cleanup", 1)]
+    recovery_points += [
+        ("server.recover.entry", hit) for hit in _spread(entry_count, 0.5)
+    ]
+    for index, (point, hit) in enumerate(recovery_points):
+        directory = str(tmp_path / f"r{index}")
+        shutil.copytree(crashed_dir, directory)
+        with pytest.raises(SimulatedCrash):
+            StorageServer(directory, faults=FaultInjector().crash_at(point, hit))
+        assert os.path.exists(
+            os.path.join(directory, JOURNAL)
+        ), f"crash at {point}#{hit} lost the journal before recovery finished"
+        _reopen_and_verify(
+            directory, model.committed, context=f"re-crash {point}#{hit}"
+        )
+
+
+class TestCorruptedJournal:
+    def _crashed_directory(self, tmp_path):
+        directory = str(tmp_path / "crashed")
+        model = Model()
+        with pytest.raises(SimulatedCrash):
+            _execute(
+                directory, FaultInjector().crash_at("server.commit", 3), model
+            )
+        return directory, model
+
+    def test_corrupted_entry_halts_recovery(self, tmp_path):
+        directory, _model = self._crashed_directory(tmp_path)
+        journal = os.path.join(directory, JOURNAL)
+        with open(journal, "rb") as handle:
+            data = bytearray(handle.read())
+        # flip a byte inside the first entry's name — the entry is complete
+        # (more entries follow), so this is corruption, not truncation
+        offset = _FILE_HEADER.size + _ENTRY_HEADER.size + 1
+        assert len(data) > offset + PAGE_SIZE, "journal too small to corrupt"
+        data[offset] ^= 0xFF
+        with open(journal, "wb") as handle:
+            handle.write(data)
+        with pytest.raises(StorageError, match="corrupt|checksum"):
+            StorageServer(directory)
+        # recovery halted before applying anything: the journal survives so
+        # an operator can intervene
+        assert os.path.exists(journal)
+        with pytest.raises(StorageError):
+            StorageServer(directory)  # and it halts again, deterministically
+
+    def test_bad_magic_halts_recovery(self, tmp_path):
+        directory, _model = self._crashed_directory(tmp_path)
+        journal = os.path.join(directory, JOURNAL)
+        with open(journal, "r+b") as handle:
+            handle.write(b"GARBAGE!")
+        with pytest.raises(StorageError, match="magic"):
+            StorageServer(directory)
+
+    def test_truncated_tail_is_forgiven(self, tmp_path):
+        directory, model = self._crashed_directory(tmp_path)
+        journal = os.path.join(directory, JOURNAL)
+        with open(journal, "ab") as handle:
+            handle.write(b"\x01\x00\x05\x00\x00")  # torn mid-header
+        _reopen_and_verify(directory, model.committed, context="torn tail")
+
+
+# -- the seeded randomized sweep (the long arm; `pytest -m chaos`) -----------
+
+
+def _random_script(rng):
+    """A random insert/delete/commit/abort workload; first txn commits so
+    the relation and index exist."""
+    script = []
+    live = set()
+    for txn in range(rng.randint(3, 5)):
+        ops = []
+        for _ in range(rng.randint(4, 14)):
+            if live and rng.random() < 0.3:
+                key = rng.choice(sorted(live))
+                ops.append(("delete", _row(key)))
+                live.discard(key)
+            else:
+                key = rng.randint(0, 60)
+                ops.append(("insert", _row(key)))
+                live.add(key)
+        outcome = "commit" if txn == 0 or rng.random() < 0.7 else "abort"
+        script.append((outcome, ops))
+    return script
+
+
+@pytest.mark.chaos
+def test_randomized_crash_sweep(tmp_path):
+    """Seeded, reproducible: random workloads x random crash points."""
+    rng = random.Random(20260806)
+    runs = 0
+    for round_index in range(12):
+        script = _random_script(rng)
+        probe_dir = str(tmp_path / f"probe{round_index}")
+        injector = FaultInjector()
+        model = Model()
+        _execute(probe_dir, injector, model, script=script)
+        counts = {p: c for p, c in injector.counts.items() if c > 0}
+        points = sorted(counts)
+        for pick in range(5):
+            point = rng.choice(points)
+            hit = rng.randint(1, counts[point])
+            action = "crash"
+            keep = None
+            if point in ("disk.write_page", "journal.record") and rng.random() < 0.4:
+                action = "tear"
+                keep = rng.randint(0, PAGE_SIZE - 1)
+            elif point.endswith(".sync") and rng.random() < 0.5:
+                action = "fail"
+            directory = str(tmp_path / f"c{round_index}_{pick}")
+            faulted = _injector_for(action, point, hit, keep)
+            chaos_model = Model()
+            try:
+                _execute(directory, faulted, chaos_model, script=script)
+            except (SimulatedCrash, StorageError):
+                pass
+            _reopen_and_verify(
+                directory,
+                chaos_model.committed,
+                context=f"chaos {action}@{point}#{hit} round {round_index}",
+            )
+            runs += 1
+    assert runs == 60

@@ -21,6 +21,7 @@ from repro import Session
 from repro.relations import Tuple
 from repro.storage import BufferPool, PersistentRelation, StorageServer
 from repro.terms import Int, Var
+from emit import emit, timed
 from workloads import report
 
 ROWS = 3000
@@ -106,6 +107,47 @@ class TestE11Storage:
         )
         assert len(session.query("path(30, Y)").all()) == 30
         session.close()
+
+    def test_emit_bench_json(self, tmp_path):
+        """Persist storage counters as BENCH_e11_storage.json for the CI
+        trend job: a profiled query over an indexed persistent relation,
+        with the full repro.obs storage section as counters."""
+        rows = 500
+        session = Session(data_directory=str(tmp_path / "emit"), buffer_capacity=16)
+        relation = session.persistent_relation("edge", 2)
+        relation.create_index([0])
+        for i in range(rows):
+            relation.insert_values(i, i + 1)
+        session.consult_string(
+            """
+            module tc.
+            export path(bf).
+            path(X, Y) :- edge(X, Y).
+            path(X, Y) :- edge(X, Z), path(Z, Y).
+            end_module.
+            """
+        )
+        session.storage_pool.drop_all()
+        with timed() as t, session.profile(trace=False) as prof:
+            answers = len(session.query("path(450, Y)").all())
+        session.close()
+        profile = prof.profile
+        path = emit(
+            "e11_storage",
+            workload={
+                "relation_rows": rows,
+                "query": "path(450, Y)",
+                "answers": answers,
+            },
+            wall_time_seconds=t.seconds,
+            counters=dict(
+                profile.storage,
+                buffer_hit_rate=profile.buffer_hit_rate,
+                eval=profile.eval,
+            ),
+        )
+        assert answers == rows - 451 + 1
+        assert path.endswith("BENCH_e11_storage.json")
 
     def test_scan_speed_warm(self, tmp_path, benchmark):
         server, pool, relation = _build(tmp_path / "warm", 256)

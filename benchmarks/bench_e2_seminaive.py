@@ -24,6 +24,7 @@ from repro.rewriting.graph import (
     recursive_predicates,
 )
 
+from emit import emit, timed
 from workloads import chain_edges, cycle_edges, edge_facts, report
 
 REGISTRY = default_registry()
@@ -101,6 +102,28 @@ class TestE2SemiNaive:
         bsn_stats, bsn_answers = _evaluate(cycle_edges(12), "bsn")
         assert naive_answers == bsn_answers == 144  # complete digraph closure
         assert bsn_stats.inferences < naive_stats.inferences
+
+    def test_emit_bench_json(self):
+        """Persist the headline comparison as BENCH_e2_seminaive.json for
+        the CI trend job (see benchmarks/emit.py for the schema)."""
+        length = 32
+        edges = chain_edges(length)
+        with timed() as naive_t:
+            naive_stats, answers = _evaluate(edges, "naive")
+        with timed() as bsn_t:
+            bsn_stats, _ = _evaluate(edges, "bsn")
+        path = emit(
+            "e2_seminaive",
+            workload={"graph": "chain", "length": length, "facts": answers},
+            wall_time_seconds=bsn_t.seconds,
+            counters={
+                "bsn": dict(bsn_stats.snapshot(), wall_time_seconds=bsn_t.seconds),
+                "naive": dict(
+                    naive_stats.snapshot(), wall_time_seconds=naive_t.seconds
+                ),
+            },
+        )
+        assert path.endswith("BENCH_e2_seminaive.json")
 
     def test_bsn_speed(self, benchmark):
         edges = chain_edges(32)

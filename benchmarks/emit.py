@@ -1,0 +1,84 @@
+"""Machine-readable benchmark results.
+
+Every ``bench_e*.py`` file prints human tables (``workloads.report``); the
+CI trend job needs the same numbers as data.  :func:`emit` writes one
+``BENCH_<name>.json`` per benchmark into the repository root (override with
+``REPRO_BENCH_DIR``), carrying the workload description, the wall time, and
+whatever counters the benchmark collected — evaluation statistics, profiler
+storage counters, or both.
+
+The schema is deliberately flat and stable::
+
+    {
+      "name": "e2_seminaive",
+      "workload": {"graph": "chain", "length": 32},
+      "wall_time_seconds": 0.0123,
+      "counters": {"inferences": 1234, ...}
+    }
+
+Consumers must tolerate extra keys inside ``workload`` and ``counters`` but
+can rely on the four top-level keys always being present.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, Optional
+
+#: repository root: the default landing spot for BENCH_*.json artifacts
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def bench_output_dir() -> str:
+    """Where BENCH_*.json files go: ``REPRO_BENCH_DIR`` or the repo root."""
+    return os.environ.get("REPRO_BENCH_DIR", _REPO_ROOT)
+
+
+def emit(
+    name: str,
+    workload: Dict[str, Any],
+    wall_time_seconds: float,
+    counters: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    ``counters`` values must already be JSON-serializable (ints, floats,
+    strings, or nested dicts of those) — pass ``ctx.stats.snapshot()`` or a
+    :class:`repro.obs.QueryProfile`'s ``storage`` dict, not live objects.
+    """
+    if not name or any(ch in name for ch in "/\\"):
+        raise ValueError(f"bench name must be a bare file stem, got {name!r}")
+    payload = {
+        "name": name,
+        "workload": dict(workload),
+        "wall_time_seconds": wall_time_seconds,
+        "counters": dict(counters) if counters else {},
+    }
+    # round-trip before touching the file so a bad counter can't leave a
+    # truncated artifact for CI to choke on
+    blob = json.dumps(payload, indent=2, sort_keys=True)
+    directory = bench_output_dir()
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    with open(path, "w") as handle:
+        handle.write(blob + "\n")
+    return path
+
+
+class timed:
+    """Context manager measuring one wall-clock interval::
+
+        with timed() as t:
+            run_workload()
+        emit("e2_seminaive", workload, t.seconds, counters)
+    """
+
+    def __enter__(self) -> "timed":
+        self.seconds = 0.0
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.seconds = time.perf_counter() - self._start

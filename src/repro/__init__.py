@@ -33,7 +33,8 @@ packages can also be used directly:
   coral_export, ScanDescriptor);
 * :mod:`repro.compilemod` — the compiled-evaluation mode (Section 2);
 * :mod:`repro.shell` — the interactive interface;
-* :mod:`repro.explain` — derivation tracing.
+* :mod:`repro.explain` — derivation tracing;
+* :mod:`repro.obs` — metrics, query profiling, and event tracing.
 """
 
 from .api import Answer, QueryResult, ScanDescriptor, Session, coral_export
@@ -50,6 +51,7 @@ from .errors import (
 )
 from .eval.limits import ResourceLimits
 from .faults import FaultInjector, SimulatedCrash
+from .obs import EventTracer, MetricsRegistry, Profiler, QueryProfile
 from .relations import Relation, Tuple
 from .terms import Arg, Atom, Double, Functor, Int, Str, Var, from_arg, make_list, to_arg
 
@@ -62,11 +64,15 @@ __all__ = [
     "CoralError",
     "Double",
     "EvaluationError",
+    "EventTracer",
     "FaultInjector",
     "Functor",
     "Int",
+    "MetricsRegistry",
     "ModuleError",
     "ParseError",
+    "Profiler",
+    "QueryProfile",
     "QueryResult",
     "Relation",
     "ResourceLimitError",

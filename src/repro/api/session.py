@@ -317,6 +317,10 @@ class Session:
                 variable_names.setdefault(var.vid, var.name)
 
         def answers() -> Iterator[Answer]:
+            # observability is sampled at first pull, not at query() time —
+            # a profiler installed between the two still sees the query
+            obs = self.ctx.obs
+            started = obs.begin_span() if obs is not None else 0.0
             env = BindEnv()
             trail = Trail()
             cursor = relation.scan(literal.args, env)
@@ -345,6 +349,13 @@ class Session:
                     trail.undo_to(mark)
             finally:
                 cursor.close()
+                if obs is not None:
+                    obs.end_span(
+                        "query",
+                        "eval",
+                        started,
+                        query=f"{literal.pred}/{literal.arity}",
+                    )
 
         return QueryResult(answers(), ctx=self.ctx, limits=self.limits)
 
@@ -404,3 +415,30 @@ class Session:
 
     def disable_tracing(self) -> None:
         self.ctx.tracer = None
+
+    # -- observability (repro.obs) -------------------------------------------------
+
+    def profile(self, trace: bool = True, trace_limit: int = 200_000):
+        """Profile everything evaluated inside a ``with`` block::
+
+            with session.profile() as prof:
+                session.query("path(1, X)").all()
+            print(prof.profile.render())
+
+        Returns a :class:`repro.obs.Profiler` context manager; on exit its
+        ``profile`` attribute holds the structured :class:`QueryProfile`
+        (rule applications, fixpoint iterations, subgoal timings, storage
+        counters) plus the metrics registry and — unless ``trace=False`` —
+        an event tracer exportable to JSON lines or ``chrome://tracing``.
+        Profilers do not nest; the hooks cost one branch per site when no
+        profiler is installed.
+        """
+        from ..obs import Profiler
+
+        return Profiler(
+            self.ctx,
+            pool=self._pool,
+            server=self._server,
+            trace=trace,
+            trace_limit=trace_limit,
+        )

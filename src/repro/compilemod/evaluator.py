@@ -44,8 +44,19 @@ class CompiledSCCEvaluator(SCCEvaluator):
             return
         stats = self.scope.ctx.stats
         stats.rule_applications += 1
+        obs = self.scope.ctx.obs
+        entry = started = None
+        if obs is not None:
+            entry, started = obs.begin_rule(rule)
         insert = self.scope.insert_fact
         pred, arity = compiled.head_pred, compiled.head_arity
         for head_args in compiled.run(self.scope, self._ranges):
             stats.inferences += 1
-            insert(pred, arity, Tuple(head_args))
+            inserted = insert(pred, arity, Tuple(head_args))
+            if entry is not None:
+                if inserted:
+                    entry.derived += 1
+                else:
+                    entry.duplicates += 1
+        if entry is not None:
+            obs.end_rule(entry, started)

@@ -61,6 +61,10 @@ class EvalContext:
         self.tracer = None
         #: optional ResourceLimits guarding the current evaluation; None = off
         self.limits = None
+        #: optional observability hook (a repro.obs Profiler); None = off.
+        #: Every instrumentation site guards with `if ctx.obs is not None`,
+        #: so a session that never profiles pays one branch per site.
+        self.obs = None
 
     def check_limits(self) -> None:
         """Raise ResourceLimitError if the active guard's budget is spent;

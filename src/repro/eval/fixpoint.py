@@ -100,6 +100,8 @@ class SCCEvaluator:
         self.prev: Dict[PredKey, int] = {}
         self.cur: Dict[PredKey, int] = {}
         self._started = False
+        #: lazy SCC label for profiling spans ("pred/arity,...")
+        self._label: Optional[str] = None
         for pred in plan.preds:
             scope.declare_local(pred[0], pred[1])
         self._once_executors = [
@@ -177,14 +179,28 @@ class SCCEvaluator:
 
     # -- evaluation ---------------------------------------------------------------
 
+    def _obs_label(self) -> str:
+        label = self._label
+        if label is None:
+            label = self._label = ",".join(
+                f"{name}/{arity}" for name, arity in sorted(self.plan.preds)
+            )
+        return label
+
     def _apply(self, rule: SNRule, executor: BodyExecutor) -> None:
         """Evaluate one semi-naive rule version, inserting derived heads."""
         stats = self.scope.ctx.stats
         stats.rule_applications += 1
+        obs = self.scope.ctx.obs
+        entry = started = None
+        if obs is not None:
+            entry, started = obs.begin_rule(rule)
         env = BindEnv()
         trail = Trail()
         if rule.head_aggregates:
             self._apply_aggregate(rule, executor, env, trail)
+            if entry is not None:
+                obs.end_rule(entry, started)
             return
         head = rule.head
         tracer = self.scope.ctx.tracer
@@ -206,8 +222,15 @@ class SCCEvaluator:
                         )
                     ),
                 )
-            self.scope.insert_fact(head.pred, len(head.args), fact)
+            inserted = self.scope.insert_fact(head.pred, len(head.args), fact)
+            if entry is not None:
+                if inserted:
+                    entry.derived += 1
+                else:
+                    entry.duplicates += 1
         trail.undo_to(0)
+        if entry is not None:
+            obs.end_rule(entry, started)
 
     def _apply_aggregate(self, rule: SNRule, executor: BodyExecutor, env, trail):
         """A grouping rule (``min(<C>)`` heads): enumerate the complete body,
@@ -260,6 +283,8 @@ class SCCEvaluator:
         Calling it again after new facts were seeded resumes incrementally
         (the save-module facility, Section 5.4.2)."""
         stats = self.scope.ctx.stats
+        obs = self.scope.ctx.obs
+        seed_started = obs.begin_span() if obs is not None else None
         if not self._started:
             self._started = True
             for pred in self.plan.recursive:
@@ -279,6 +304,10 @@ class SCCEvaluator:
         produced = sum(
             self._relation(pred).count_since(0) for pred in self.plan.recursive
         )
+        if obs is not None:
+            obs.end_span(
+                "fixpoint.seed", "eval", seed_started, scc=self._obs_label()
+            )
         yield produced
 
         if self.strategy == "naive":
@@ -286,9 +315,17 @@ class SCCEvaluator:
             self._advance_ext_seen()
             return
 
+        iteration_index = 0
         while True:
             if self.scope.ctx.limits is not None:
                 self.scope.ctx.limits.checkpoint(stats)
+            obs = self.scope.ctx.obs
+            iteration_index += 1
+            iteration_started = (
+                obs.begin_iteration(self._obs_label(), iteration_index)
+                if obs is not None
+                else None
+            )
             new_facts = 0
             for head_key, group in self._groups:
                 for rule, executor in group:
@@ -309,6 +346,11 @@ class SCCEvaluator:
                     self.prev[pred] = self.cur[pred]
                     self.cur[pred] = relation.mark()
             stats.iterations += 1
+            if obs is not None:
+                obs.end_iteration(
+                    self._obs_label(), iteration_index, new_facts,
+                    iteration_started,
+                )
             if new_facts == 0:
                 self._advance_ext_seen()
                 return
@@ -316,10 +358,17 @@ class SCCEvaluator:
 
     def _naive_loop(self) -> Iterator[int]:
         stats = self.scope.ctx.stats
+        iteration_index = 0
         while True:
             if self.scope.ctx.limits is not None:
                 self.scope.ctx.limits.checkpoint(stats)
-            before = sum(len(self._relation(p)) for p in self.plan.recursive)
+            obs = self.scope.ctx.obs
+            iteration_index += 1
+            iteration_started = (
+                obs.begin_iteration(self._obs_label(), iteration_index)
+                if obs is not None
+                else None
+            )
             marks = {
                 pred: self._relation(pred).mark() for pred in self.plan.recursive
             }
@@ -330,6 +379,11 @@ class SCCEvaluator:
                 self._relation(pred).count_since(marks[pred])
                 for pred in self.plan.recursive
             )
+            if obs is not None:
+                obs.end_iteration(
+                    self._obs_label(), iteration_index, new_facts,
+                    iteration_started,
+                )
             if new_facts == 0:
                 return
             yield new_facts

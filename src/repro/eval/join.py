@@ -53,16 +53,35 @@ def positive_solutions(
         )
     else:
         cursor = relation.scan(literal.args, env)
+    obs = scope.ctx.obs
     try:
-        while True:
-            candidate = cursor.get_next()
-            if candidate is None:
-                return
-            fact = candidate.renamed()
-            mark = trail.mark()
-            if unify_fact(literal.args, env, fact.args, trail):
-                yield None
-            trail.undo_to(mark)
+        if obs is None:
+            while True:
+                candidate = cursor.get_next()
+                if candidate is None:
+                    return
+                fact = candidate.renamed()
+                mark = trail.mark()
+                if unify_fact(literal.args, env, fact.args, trail):
+                    yield None
+                trail.undo_to(mark)
+        # profiled twin of the loop above: counts the probe side of the
+        # nested-loops join (tuples consulted, unifications that stuck)
+        probed = matched = 0
+        try:
+            while True:
+                candidate = cursor.get_next()
+                if candidate is None:
+                    return
+                probed += 1
+                fact = candidate.renamed()
+                mark = trail.mark()
+                if unify_fact(literal.args, env, fact.args, trail):
+                    matched += 1
+                    yield None
+                trail.undo_to(mark)
+        finally:
+            obs.on_scan(literal.key, probed, matched)
     finally:
         cursor.close()
 

@@ -104,7 +104,22 @@ class OrderedSearchEvaluator:
 
     def _solve(self, pred: str, pattern: PyTuple[Arg, ...]) -> PyTuple[_Subgoal, int]:
         """Returns (subgoal, lowlink): lowlink is the shallowest context
-        depth this subgoal (transitively) depends on; _COMPLETE when done."""
+        depth this subgoal (transitively) depends on; _COMPLETE when done.
+
+        With a profiler installed, every call (memo hits included) counts
+        one ``ordered`` subgoal activation; time is inclusive of callees."""
+        obs = self.scope.ctx.obs
+        if obs is None:
+            return self._solve_subgoal(pred, pattern)
+        token = obs.begin_subgoal("ordered", pred, len(pattern))
+        try:
+            return self._solve_subgoal(pred, pattern)
+        finally:
+            obs.end_subgoal(token)
+
+    def _solve_subgoal(
+        self, pred: str, pattern: PyTuple[Arg, ...]
+    ) -> PyTuple[_Subgoal, int]:
         if self.scope.ctx.limits is not None:
             self.scope.ctx.limits.check(self.scope.ctx.stats)
         key = Tuple(pattern).key()

@@ -68,7 +68,28 @@ class PipelinedModule:
         depth: int = 0,
     ) -> Iterator[None]:
         """Enumerate proofs of ``literal``; bindings are in ``env`` while the
-        consumer holds each one."""
+        consumer holds each one.
+
+        When a profiler is installed, each subgoal's activation count and
+        *inclusive* wall time (first pull to exhaustion, callees included)
+        are recorded under the ``pipeline`` subgoal kind."""
+        obs = self.ctx.obs
+        if obs is None:
+            yield from self._solve(literal, env, trail, depth)
+            return
+        token = obs.begin_subgoal("pipeline", literal.pred, literal.arity)
+        try:
+            yield from self._solve(literal, env, trail, depth)
+        finally:
+            obs.end_subgoal(token)
+
+    def _solve(
+        self,
+        literal: Literal,
+        env: BindEnv,
+        trail: Trail,
+        depth: int = 0,
+    ) -> Iterator[None]:
         if self.ctx.limits is not None:
             # pipelined evaluation derives no stored facts, so the guard is
             # consulted per subgoal instead of per insertion

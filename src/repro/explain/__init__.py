@@ -40,6 +40,9 @@ class DerivationTracer:
         self.limit = limit
         self._by_fact: Dict[str, List[Derivation]] = {}
         self._count = 0
+        #: True once any derivation was dropped because the limit was hit;
+        #: ``why`` answers are incomplete from that point on and say so
+        self.overflowed = False
 
     # -- recording (called by the evaluator) ----------------------------------
 
@@ -51,6 +54,7 @@ class DerivationTracer:
         body_facts: Sequence[str],
     ) -> None:
         if self._count >= self.limit:
+            self.overflowed = True
             return
         self._count += 1
         self._by_fact.setdefault(fact, []).append(
@@ -83,10 +87,21 @@ class DerivationTracer:
 
         Shows the first recorded derivation at each level (a fact may have
         many); facts with no recorded derivation are base facts or arrived
-        from outside the traced module."""
+        from outside the traced module.
+
+        Once the tracer has overflowed its recording limit, every answer
+        carries a warning: a "[base]" line may then mean "dropped", not
+        "underived"."""
         lines: List[str] = []
         self._why(fact, 0, depth, lines, set())
-        return "\n".join(lines) if lines else f"{fact}: no derivation recorded"
+        text = "\n".join(lines) if lines else f"{fact}: no derivation recorded"
+        if self.overflowed:
+            text += (
+                f"\n(warning: trace overflowed its limit of {self.limit} "
+                f"derivations; this proof may be incomplete — raise the "
+                f"limit in enable_tracing)"
+            )
+        return text
 
     def _why(
         self,

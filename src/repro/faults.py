@@ -53,6 +53,30 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+#: Every named injection point, in stack order.  These names double as the
+#: storage *trace event* names emitted by :mod:`repro.obs` — a profiler
+#: installs itself as the injector's ``observer`` and receives one callback
+#: per arrival, so a Chrome trace and a crash schedule share one vocabulary
+#: (docs/OBSERVABILITY.md cross-links the two).
+INJECTION_POINTS = (
+    "disk.read_page",
+    "disk.write_page",
+    "disk.allocate",
+    "disk.sync",
+    "disk.truncate",
+    "journal.record",
+    "journal.sync",
+    "buffer.writeback",
+    "buffer.flush",
+    "server.write_page",
+    "server.commit",
+    "server.commit.cleanup",
+    "server.abort",
+    "server.recover.start",
+    "server.recover.entry",
+    "server.recover.cleanup",
+)
+
 
 class SimulatedCrash(Exception):
     """An injected process crash.
@@ -101,6 +125,9 @@ class FaultInjector:
         #: arrivals per point, over the injector's lifetime
         self.counts: Dict[str, int] = {}
         self._rules: Dict[str, List[_Rule]] = {}
+        #: optional observability hook (a repro.obs Profiler): receives
+        #: ``storage_event(point)`` per arrival while installed; None = off
+        self.observer = None
 
     # -- scheduling ----------------------------------------------------------
 
@@ -146,6 +173,8 @@ class FaultInjector:
         """
         count = self.counts.get(point, 0) + 1
         self.counts[point] = count
+        if self.observer is not None:
+            self.observer.storage_event(point)
         rules = self._rules.get(point)
         if not rules:
             return None

@@ -107,9 +107,22 @@ class ModuleManager:
         key = (module_name, pred, adornment)
         compiled = self._compiled.get(key)
         if compiled is None:
-            compiled = self.optimizer.compile(
-                self.modules[module_name], pred, adornment
-            )
+            obs = self.ctx.obs
+            if obs is None:
+                compiled = self.optimizer.compile(
+                    self.modules[module_name], pred, adornment
+                )
+            else:
+                with obs.span(
+                    "rewrite",
+                    cat="compile",
+                    module=module_name,
+                    pred=pred,
+                    form=adornment,
+                ):
+                    compiled = self.optimizer.compile(
+                        self.modules[module_name], pred, adornment
+                    )
             self._compiled[key] = compiled
         return compiled
 
@@ -178,6 +191,14 @@ class ExportedRelation(Relation):
         env: Optional[BindEnv] = None,
     ) -> TupleIterator:
         self.manager.ctx.stats.module_calls += 1
+        obs = self.manager.ctx.obs
+        if obs is not None:
+            obs.event(
+                "module.call",
+                cat="module",
+                module=self.module_name,
+                pred=f"{self.name}/{self.arity}",
+            )
         if pattern is None:
             resolved: List[Arg] = [  # an open scan: all-free call
                 *(resolve(v, None) for v in _fresh_vars(self.arity))

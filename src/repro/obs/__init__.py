@@ -1,0 +1,42 @@
+"""repro.obs — the observability subsystem: metrics, query profiling, and
+structured event tracing across evaluation and storage.
+
+Three layers, one install point:
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` with labeled
+  :class:`Counter` / :class:`Gauge` / :class:`Histogram` (fixed bucket
+  boundaries);
+* :mod:`repro.obs.trace` — :class:`EventTracer` spans and instants with
+  JSON-lines and Chrome ``chrome://tracing`` exporters;
+* :mod:`repro.obs.profiler` — :class:`Profiler`, the context manager
+  ``session.profile()`` returns, producing a :class:`QueryProfile`.
+
+Everything hot is gated behind ``ctx.obs is None`` single-branch guards;
+see docs/OBSERVABILITY.md for metric names and the span taxonomy.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    SIZE_BUCKETS,
+    TIME_BUCKETS,
+)
+from .profiler import Profiler, QueryProfile
+from .trace import EventTracer, TraceEvent
+
+__all__ = [
+    "Counter",
+    "EventTracer",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "Profiler",
+    "QueryProfile",
+    "SIZE_BUCKETS",
+    "TIME_BUCKETS",
+    "TraceEvent",
+]

@@ -1,0 +1,332 @@
+"""The metrics registry: typed, labeled counters for the whole system.
+
+Brass & Stephan (*Bottom-Up Evaluation of Datalog*, PAPERS.md) compare
+evaluation strategies via rule-application and tuple-derivation counts;
+Behrend's uniform fixpoint treatment motivates iteration-level accounting.
+This module makes those counters first-class: a :class:`MetricsRegistry`
+holds named metrics of three kinds —
+
+* :class:`Counter` — a monotonically increasing count (rule applications,
+  tuples derived, buffer misses);
+* :class:`Gauge` — a value that can go both ways (live subgoal stack depth,
+  pool occupancy);
+* :class:`Histogram` — observations bucketed against *fixed* boundaries
+  (per-rule evaluation time, iteration sizes), so merging and rendering
+  never re-bins.
+
+Metrics may declare label names (``("rule",)``, ``("pred",)``,
+``("file",)``); each distinct label tuple gets its own time series.  Hot
+paths bind a label tuple once (:meth:`Counter.labels`) and increment a cell
+— one dict hit at bind time, one float add per event afterwards.
+
+Cost discipline: the evaluator and storage layers never consult a registry
+directly.  They hold an optional observer (``ctx.obs``, installed by
+:class:`~repro.obs.profiler.Profiler`) and guard every hook with a single
+``if obs is not None`` branch; with observability off that branch is the
+*entire* cost.  A registry constructed with ``enabled=False`` additionally
+returns shared null metrics whose mutators are no-ops, so library code can
+keep unconditional ``metric.inc()`` calls if it prefers that style.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple as PyTuple
+
+from ..errors import CoralError
+
+
+class MetricError(CoralError):
+    """Registry misuse: kind mismatch, bad labels, unknown metric."""
+
+
+#: default histogram boundaries for durations in seconds (powers of ~4 from
+#: 100 microseconds to ~1.6 s; the +inf bucket is implicit)
+TIME_BUCKETS = (0.0001, 0.0004, 0.0016, 0.0064, 0.0256, 0.1024, 0.4096, 1.6384)
+
+#: default boundaries for sizes/counts (powers of 4; +inf implicit)
+SIZE_BUCKETS = (1, 4, 16, 64, 256, 1024, 4096, 16384)
+
+
+class _BoundCounter:
+    """A counter cell bound to one label tuple: the hot-path handle."""
+
+    __slots__ = ("_cell",)
+
+    def __init__(self, cell: List[float]) -> None:
+        self._cell = cell
+
+    def inc(self, amount: float = 1) -> None:
+        self._cell[0] += amount
+
+    @property
+    def value(self) -> float:
+        return self._cell[0]
+
+
+class Counter:
+    """A monotonically increasing metric, optionally labeled."""
+
+    kind = "counter"
+    __slots__ = ("name", "help", "labelnames", "_cells")
+
+    def __init__(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._cells: Dict[PyTuple[str, ...], List[float]] = {}
+
+    def labels(self, *labelvalues: str) -> _BoundCounter:
+        if len(labelvalues) != len(self.labelnames):
+            raise MetricError(
+                f"{self.name} expects labels {self.labelnames}, "
+                f"got {labelvalues!r}"
+            )
+        cell = self._cells.get(labelvalues)
+        if cell is None:
+            cell = self._cells[labelvalues] = [0.0]
+        return _BoundCounter(cell)
+
+    def inc(self, amount: float = 1, *labelvalues: str) -> None:
+        if amount < 0:
+            raise MetricError(f"counter {self.name} cannot decrease")
+        self.labels(*labelvalues).inc(amount)
+
+    def value(self, *labelvalues: str) -> float:
+        cell = self._cells.get(labelvalues)
+        return cell[0] if cell else 0.0
+
+    def collect(self) -> Dict[PyTuple[str, ...], float]:
+        return {labels: cell[0] for labels, cell in self._cells.items()}
+
+
+class Gauge:
+    """A metric that can rise and fall."""
+
+    kind = "gauge"
+    __slots__ = ("name", "help", "labelnames", "_cells")
+
+    def __init__(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._cells: Dict[PyTuple[str, ...], List[float]] = {}
+
+    def _cell(self, labelvalues: PyTuple[str, ...]) -> List[float]:
+        if len(labelvalues) != len(self.labelnames):
+            raise MetricError(
+                f"{self.name} expects labels {self.labelnames}, "
+                f"got {labelvalues!r}"
+            )
+        cell = self._cells.get(labelvalues)
+        if cell is None:
+            cell = self._cells[labelvalues] = [0.0]
+        return cell
+
+    def set(self, value: float, *labelvalues: str) -> None:
+        self._cell(labelvalues)[0] = value
+
+    def inc(self, amount: float = 1, *labelvalues: str) -> None:
+        self._cell(labelvalues)[0] += amount
+
+    def dec(self, amount: float = 1, *labelvalues: str) -> None:
+        self._cell(labelvalues)[0] -= amount
+
+    def value(self, *labelvalues: str) -> float:
+        cell = self._cells.get(labelvalues)
+        return cell[0] if cell else 0.0
+
+    def collect(self) -> Dict[PyTuple[str, ...], float]:
+        return {labels: cell[0] for labels, cell in self._cells.items()}
+
+
+class _HistogramSeries:
+    __slots__ = ("bucket_counts", "sum", "count")
+
+    def __init__(self, num_buckets: int) -> None:
+        self.bucket_counts = [0] * num_buckets  # one extra for +inf
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram:
+    """Observations bucketed against fixed boundaries.
+
+    ``boundaries`` are upper-inclusive bucket edges; an implicit final
+    bucket collects everything above the last edge.  Fixed edges mean two
+    histograms of the same metric are mergeable bucket-by-bucket — the
+    property the benchmark trajectory relies on.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "help", "labelnames", "boundaries", "_series")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        boundaries: Sequence[float] = TIME_BUCKETS,
+    ) -> None:
+        edges = tuple(boundaries)
+        if not edges or list(edges) != sorted(edges):
+            raise MetricError(
+                f"histogram {name} needs sorted, non-empty boundaries"
+            )
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self.boundaries = edges
+        self._series: Dict[PyTuple[str, ...], _HistogramSeries] = {}
+
+    def _get(self, labelvalues: PyTuple[str, ...]) -> _HistogramSeries:
+        if len(labelvalues) != len(self.labelnames):
+            raise MetricError(
+                f"{self.name} expects labels {self.labelnames}, "
+                f"got {labelvalues!r}"
+            )
+        series = self._series.get(labelvalues)
+        if series is None:
+            series = self._series[labelvalues] = _HistogramSeries(
+                len(self.boundaries) + 1
+            )
+        return series
+
+    def observe(self, value: float, *labelvalues: str) -> None:
+        series = self._get(labelvalues)
+        # bisect_left keeps edges upper-inclusive (Prometheus 'le' style):
+        # a value equal to an edge lands in that edge's bucket
+        series.bucket_counts[bisect_left(self.boundaries, value)] += 1
+        series.sum += value
+        series.count += 1
+
+    def snapshot(self, *labelvalues: str) -> Dict[str, object]:
+        series = self._get(labelvalues)
+        return {
+            "boundaries": list(self.boundaries),
+            "bucket_counts": list(series.bucket_counts),
+            "sum": series.sum,
+            "count": series.count,
+        }
+
+    def collect(self) -> Dict[PyTuple[str, ...], Dict[str, object]]:
+        return {labels: self.snapshot(*labels) for labels in self._series}
+
+
+class _NullBound:
+    __slots__ = ()
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    value = 0.0
+
+
+class _NullMetric:
+    """Shared do-nothing stand-in handed out by a disabled registry."""
+
+    __slots__ = ()
+    kind = "null"
+    name = ""
+    labelnames = ()
+
+    def labels(self, *labelvalues: str) -> _NullBound:
+        return _NULL_BOUND
+
+    def inc(self, amount: float = 1, *labelvalues: str) -> None:
+        pass
+
+    def dec(self, amount: float = 1, *labelvalues: str) -> None:
+        pass
+
+    def set(self, value: float, *labelvalues: str) -> None:
+        pass
+
+    def observe(self, value: float, *labelvalues: str) -> None:
+        pass
+
+    def value(self, *labelvalues: str) -> float:
+        return 0.0
+
+    def collect(self) -> dict:
+        return {}
+
+
+_NULL_BOUND = _NullBound()
+_NULL_METRIC = _NullMetric()
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use and type-checked thereafter.
+
+    A disabled registry (``enabled=False``) returns a shared null metric
+    from every factory: the single branch lives here, at *registration*
+    time, and instrumented code pays nothing per event.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._metrics: Dict[str, object] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def _register(self, factory, name: str, **kwargs):
+        if not self.enabled:
+            return _NULL_METRIC
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = factory(name, **kwargs)
+            return metric
+        if not isinstance(metric, factory):
+            raise MetricError(
+                f"metric {name} already registered as {metric.kind}"
+            )
+        return metric
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._register(Counter, name, help=help, labelnames=labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        return self._register(Gauge, name, help=help, labelnames=labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        boundaries: Sequence[float] = TIME_BUCKETS,
+    ) -> Histogram:
+        return self._register(
+            Histogram, name, help=help, labelnames=labelnames,
+            boundaries=boundaries,
+        )
+
+    def get(self, name: str) -> Optional[object]:
+        return self._metrics.get(name)
+
+    def collect(self) -> Dict[str, Dict[str, object]]:
+        """Everything, JSON-friendly: label tuples become '|'-joined keys."""
+        out: Dict[str, Dict[str, object]] = {}
+        for name, metric in sorted(self._metrics.items()):
+            out[name] = {
+                "kind": metric.kind,
+                "help": metric.help,
+                "labels": list(metric.labelnames),
+                "values": {
+                    "|".join(labels) if labels else "": value
+                    for labels, value in metric.collect().items()
+                },
+            }
+        return out

@@ -1,0 +1,598 @@
+"""The query profiler: one context manager that turns every counter the
+system keeps into a structured, renderable :class:`QueryProfile`.
+
+Usage (the only public entry points are ``session.profile()`` and the
+shell's ``@profile`` command)::
+
+    with session.profile() as prof:
+        session.query("path(1, X)").all()
+    print(prof.profile.render())
+    prof.profile.write_chrome_trace("query.trace.json")
+
+While the ``with`` block is active the profiler is installed as the
+evaluation context's *observer* (``ctx.obs``) and as the storage fault
+injector's observer; the instrumentation hooks in ``eval/`` and ``storage/``
+are all guarded by a single ``if obs is not None`` branch, so a session that
+never profiles pays one predictable branch per hook site and nothing else.
+
+What a profile contains:
+
+* **eval** — deltas of the session's :class:`~repro.eval.context.EvalStats`
+  (inferences, facts inserted, duplicates, iterations, rule applications,
+  subgoals, module calls);
+* **rules** — per semi-naive rule: applications, tuples derived vs.
+  rejected as duplicates, and inclusive evaluation time;
+* **iterations** — per fixpoint iteration: new facts and wall time;
+* **subgoals** — per pipelined / ordered-search subgoal predicate: calls
+  and *inclusive* wall time (a recursive subgoal's time includes its
+  callees');
+* **scans** — per body predicate: scans opened, tuples probed, unification
+  matches (the nested-loops join's probe-side accounting);
+* **storage** — buffer pool hits/misses/evictions/writebacks, server page
+  I/O, B-tree node reads/writes/splits, journal appends/fsyncs, and the
+  raw per-injection-point arrival deltas of :mod:`repro.faults`;
+* **metrics** — the same data as a :class:`~repro.obs.metrics.MetricsRegistry`
+  snapshot (stable names, see docs/OBSERVABILITY.md);
+* a bounded :class:`~repro.obs.trace.EventTracer` with the span taxonomy
+  query > rewrite > fixpoint iteration > rule application, exportable to
+  JSON-lines and Chrome ``chrome://tracing`` format.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional, Tuple as PyTuple
+
+from ..errors import CoralError
+from .metrics import MetricsRegistry, SIZE_BUCKETS, TIME_BUCKETS
+from .trace import EventTracer
+
+PredKey = PyTuple[str, int]
+
+
+class _RuleEntry:
+    """Hot-path accumulator for one semi-naive rule; merged by rule text
+    into the profile at exit."""
+
+    __slots__ = ("text", "applications", "derived", "duplicates", "time")
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.applications = 0
+        self.derived = 0
+        self.duplicates = 0
+        self.time = 0.0
+
+
+class _SubgoalEntry:
+    __slots__ = ("calls", "time")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.time = 0.0
+
+
+class _ScanEntry:
+    __slots__ = ("scans", "tuples", "matches")
+
+    def __init__(self) -> None:
+        self.scans = 0
+        self.tuples = 0
+        self.matches = 0
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f} s"
+    if seconds >= 0.001:
+        return f"{seconds * 1e3:.1f} ms"
+    return f"{seconds * 1e6:.0f} us"
+
+
+class QueryProfile:
+    """The immutable result of one profiled block."""
+
+    def __init__(
+        self,
+        wall_time: float,
+        eval_stats: Dict[str, int],
+        rules: List[Dict[str, object]],
+        iterations: List[Dict[str, object]],
+        subgoals: Dict[str, Dict[str, Dict[str, object]]],
+        scans: Dict[str, Dict[str, int]],
+        storage: Optional[Dict[str, object]],
+        registry: MetricsRegistry,
+        tracer: Optional[EventTracer],
+    ) -> None:
+        self.wall_time = wall_time
+        self.eval = eval_stats
+        self.rules = rules
+        self.iterations = iterations
+        self.subgoals = subgoals
+        self.scans = scans
+        self.storage = storage
+        self.registry = registry
+        self.tracer = tracer
+
+    # -- the headline numbers ------------------------------------------------
+
+    @property
+    def iteration_count(self) -> int:
+        return self.eval.get("iterations", 0)
+
+    @property
+    def rule_applications(self) -> int:
+        return self.eval.get("rule_applications", 0)
+
+    @property
+    def buffer_hit_rate(self) -> Optional[float]:
+        if not self.storage:
+            return None
+        buffer = self.storage["buffer"]
+        total = buffer["hits"] + buffer["misses"]
+        return buffer["hits"] / total if total else 0.0
+
+    # -- export --------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe structured form (what the benchmarks emit)."""
+        return {
+            "wall_time": self.wall_time,
+            "eval": dict(self.eval),
+            "rules": [dict(rule) for rule in self.rules],
+            "iterations": [dict(item) for item in self.iterations],
+            "subgoals": {
+                kind: {pred: dict(entry) for pred, entry in by_pred.items()}
+                for kind, by_pred in self.subgoals.items()
+            },
+            "scans": {pred: dict(entry) for pred, entry in self.scans.items()},
+            "storage": self.storage,
+            "metrics": self.registry.collect(),
+        }
+
+    def save_json(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+
+    def chrome_trace(self) -> Dict[str, object]:
+        if self.tracer is None:
+            raise CoralError("profiling ran with trace=False; no trace to export")
+        return self.tracer.chrome_trace()
+
+    def write_chrome_trace(self, target) -> None:
+        if self.tracer is None:
+            raise CoralError("profiling ran with trace=False; no trace to export")
+        self.tracer.write_chrome_trace(target)
+
+    def write_jsonl(self, target) -> None:
+        if self.tracer is None:
+            raise CoralError("profiling ran with trace=False; no trace to export")
+        self.tracer.write_jsonl(target)
+
+    # -- rendering -----------------------------------------------------------
+
+    def render(self, max_rules: int = 10) -> str:
+        """A human-readable profile tree (the ``@profile`` output)."""
+        lines: List[str] = [f"query profile ({_fmt_seconds(self.wall_time)} wall)"]
+
+        lines.append("+- evaluation")
+        e = self.eval
+        lines.append(
+            f"|    iterations: {e.get('iterations', 0)}"
+            f"   rule applications: {e.get('rule_applications', 0)}"
+            f"   inferences: {e.get('inferences', 0)}"
+        )
+        lines.append(
+            f"|    facts inserted: {e.get('facts_inserted', 0)}"
+            f"   duplicates: {e.get('duplicates', 0)}"
+            f"   subgoals: {e.get('subgoals', 0)}"
+            f"   module calls: {e.get('module_calls', 0)}"
+        )
+
+        if self.rules:
+            lines.append(f"+- rules (top {min(max_rules, len(self.rules))} by time)")
+            for rule in self.rules[:max_rules]:
+                lines.append(
+                    f"|    {rule['applications']:>5} apps"
+                    f"  {rule['derived']:>6} derived"
+                    f"  {rule['duplicates']:>6} dup"
+                    f"  {_fmt_seconds(rule['time']):>8}"
+                    f"  {rule['rule']}"
+                )
+
+        if self.iterations:
+            lines.append(f"+- fixpoint iterations ({len(self.iterations)})")
+            shown = self.iterations[:8]
+            for item in shown:
+                lines.append(
+                    f"|    #{item['index']:<3} {item['new_facts']:>6} new facts"
+                    f"  {_fmt_seconds(item['time']):>8}  [{item['scc']}]"
+                )
+            if len(self.iterations) > len(shown):
+                lines.append(f"|    ... {len(self.iterations) - len(shown)} more")
+
+        for kind in sorted(self.subgoals):
+            by_pred = self.subgoals[kind]
+            if not by_pred:
+                continue
+            lines.append(f"+- subgoal timings ({kind}, inclusive)")
+            ranked = sorted(
+                by_pred.items(), key=lambda item: item[1]["time"], reverse=True
+            )
+            for pred, entry in ranked[:max_rules]:
+                lines.append(
+                    f"|    {pred}: {entry['calls']} calls,"
+                    f" {_fmt_seconds(entry['time'])}"
+                )
+
+        if self.scans:
+            lines.append("+- join scans (probe side)")
+            ranked = sorted(
+                self.scans.items(), key=lambda item: item[1]["tuples"], reverse=True
+            )
+            for pred, entry in ranked[:max_rules]:
+                lines.append(
+                    f"|    {pred}: {entry['scans']} scans,"
+                    f" {entry['tuples']} tuples probed,"
+                    f" {entry['matches']} matches"
+                )
+
+        if self.storage is not None:
+            s = self.storage
+            buffer, server = s["buffer"], s["server"]
+            rate = self.buffer_hit_rate
+            lines.append("+- storage")
+            lines.append(
+                f"     buffer: {buffer['hits']} hits / {buffer['misses']} misses"
+                f" ({rate:.1%} hit rate), {buffer['evictions']} evictions,"
+                f" {buffer['writebacks']} writebacks"
+            )
+            lines.append(
+                f"     server: {server['page_reads']} page reads,"
+                f" {server['page_writes']} page writes,"
+                f" {server['allocations']} allocations"
+            )
+            btree = s["btree"]
+            lines.append(
+                f"     b-tree: {btree['node_reads']} node reads,"
+                f" {btree['node_writes']} node writes, {btree['splits']} splits"
+            )
+            journal = s["journal"]
+            lines.append(
+                f"     journal: {journal['appends']} appends,"
+                f" {journal['fsyncs']} fsyncs"
+            )
+        if self.tracer is not None:
+            suffix = (
+                f" (+{self.tracer.dropped} dropped)" if self.tracer.dropped else ""
+            )
+            lines.append(f"+- trace: {len(self.tracer)} events{suffix}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"<QueryProfile wall={self.wall_time:.4f}s"
+            f" iterations={self.iteration_count}"
+            f" rule_applications={self.rule_applications}>"
+        )
+
+
+class Profiler:
+    """The installable observer; a context manager yielding itself.
+
+    ``Profiler(ctx=...)`` is the embedding-level constructor (the benchmarks
+    use it directly); ``session.profile()`` fills in the session's context,
+    buffer pool, and storage server.  Only one profiler may be installed on
+    a context at a time.
+    """
+
+    def __init__(
+        self,
+        ctx,
+        pool=None,
+        server=None,
+        trace: bool = True,
+        trace_limit: int = 200_000,
+        clock=time.perf_counter,
+    ) -> None:
+        self.ctx = ctx
+        self.pool = pool
+        self.server = server
+        self.registry = MetricsRegistry()
+        self.tracer = EventTracer(limit=trace_limit, clock=clock) if trace else None
+        self.profile: Optional[QueryProfile] = None
+        self._clock = clock
+        self._rules: Dict[int, _RuleEntry] = {}
+        self._subgoals: Dict[PyTuple[str, str], _SubgoalEntry] = {}
+        self._scans: Dict[PredKey, _ScanEntry] = {}
+        self._iterations: List[Dict[str, object]] = []
+        self._storage_counter = None
+        self._installed = False
+
+    # -- install / uninstall -------------------------------------------------
+
+    def __enter__(self) -> "Profiler":
+        if self.ctx.obs is not None:
+            raise CoralError("a profiler is already installed on this context")
+        self._t0 = self._clock()
+        self._eval_before = self.ctx.stats.snapshot()
+        if self.pool is not None:
+            self._buffer_before = self.pool.stats.snapshot()
+            btree = self.pool.btree_stats
+            self._btree_before = btree.snapshot() if btree is not None else None
+        if self.server is not None:
+            self._server_before = self.server.stats.snapshot()
+            self._faults_before = dict(self.server.faults.counts)
+            self._prev_faults_observer = self.server.faults.observer
+            self.server.faults.observer = self
+        self._storage_counter = self.registry.counter(
+            "storage.events", "arrivals per fault-injection point", ("point",)
+        )
+        self.ctx.obs = self
+        self._installed = True
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        wall = self._clock() - self._t0
+        self.ctx.obs = None
+        if self.server is not None:
+            self.server.faults.observer = self._prev_faults_observer
+        self._installed = False
+        self.profile = self._finalize(wall)
+        return False
+
+    # -- hooks: fixpoint rules -----------------------------------------------
+
+    def begin_rule(self, rule) -> PyTuple[_RuleEntry, float]:
+        entry = self._rules.get(id(rule))
+        if entry is None:
+            entry = self._rules[id(rule)] = _RuleEntry(str(rule))
+        entry.applications += 1
+        return entry, self._clock()
+
+    def end_rule(self, entry: _RuleEntry, start: float) -> None:
+        elapsed = self._clock() - start
+        entry.time += elapsed
+        if self.tracer is not None:
+            self.tracer.complete(
+                f"rule {entry.text.split('(', 1)[0]}", "eval", start,
+                rule=entry.text,
+            )
+
+    # -- hooks: fixpoint iterations ------------------------------------------
+
+    def begin_iteration(self, scc_label: str, index: int) -> float:
+        return self._clock()
+
+    def end_iteration(
+        self, scc_label: str, index: int, new_facts: int, start: float
+    ) -> None:
+        elapsed = self._clock() - start
+        self._iterations.append(
+            {
+                "scc": scc_label,
+                "index": index,
+                "new_facts": new_facts,
+                "time": elapsed,
+            }
+        )
+        if self.tracer is not None:
+            self.tracer.complete(
+                "fixpoint.iteration", "eval", start,
+                scc=scc_label, index=index, new_facts=new_facts,
+            )
+
+    # -- hooks: pipelined / ordered-search subgoals --------------------------
+
+    def begin_subgoal(
+        self, kind: str, pred: str, arity: int
+    ) -> PyTuple[_SubgoalEntry, float, str]:
+        key = (kind, f"{pred}/{arity}")
+        entry = self._subgoals.get(key)
+        if entry is None:
+            entry = self._subgoals[key] = _SubgoalEntry()
+        entry.calls += 1
+        return entry, self._clock(), key[1]
+
+    def end_subgoal(self, token: PyTuple[_SubgoalEntry, float, str]) -> None:
+        entry, start, label = token
+        entry.time += self._clock() - start
+        if self.tracer is not None:
+            self.tracer.complete("subgoal", "eval", start, pred=label)
+
+    # -- hooks: join scans ----------------------------------------------------
+
+    def on_scan(self, key: PredKey, tuples: int, matches: int) -> None:
+        entry = self._scans.get(key)
+        if entry is None:
+            entry = self._scans[key] = _ScanEntry()
+        entry.scans += 1
+        entry.tuples += tuples
+        entry.matches += matches
+
+    # -- hooks: storage (called by FaultInjector.check) ----------------------
+
+    def storage_event(self, point: str) -> None:
+        self._storage_counter.inc(1, point)
+        if self.tracer is not None:
+            self.tracer.instant(point, "storage")
+
+    # -- hooks: generic spans (query, rewrite, module calls) -----------------
+
+    def begin_span(self) -> float:
+        return self._clock()
+
+    def end_span(self, name: str, cat: str, start: float, **args) -> None:
+        if self.tracer is not None:
+            self.tracer.complete(name, cat, start, **args)
+
+    def span(self, name: str, cat: str = "eval", **args):
+        """Context-manager form for non-generator call sites."""
+        if self.tracer is not None:
+            return self.tracer.span(name, cat, **args)
+        import contextlib
+
+        return contextlib.nullcontext()
+
+    def event(self, name: str, cat: str = "eval", **args) -> None:
+        if self.tracer is not None:
+            self.tracer.instant(name, cat, **args)
+
+    # -- finalization ---------------------------------------------------------
+
+    def _delta(self, before: Dict[str, float], after: Dict[str, float]):
+        return {key: after[key] - before.get(key, 0) for key in after}
+
+    def _finalize(self, wall: float) -> QueryProfile:
+        eval_after = self.ctx.stats.snapshot()
+        eval_stats = self._delta(self._eval_before, eval_after)
+
+        # merge rule entries by text (the same rule object exists once per
+        # evaluator instance; a re-compiled module yields equal text)
+        merged: Dict[str, Dict[str, object]] = {}
+        for entry in self._rules.values():
+            slot = merged.get(entry.text)
+            if slot is None:
+                merged[entry.text] = {
+                    "rule": entry.text,
+                    "applications": entry.applications,
+                    "derived": entry.derived,
+                    "duplicates": entry.duplicates,
+                    "time": entry.time,
+                }
+            else:
+                slot["applications"] += entry.applications
+                slot["derived"] += entry.derived
+                slot["duplicates"] += entry.duplicates
+                slot["time"] += entry.time
+        rules = sorted(merged.values(), key=lambda r: r["time"], reverse=True)
+
+        subgoals: Dict[str, Dict[str, Dict[str, object]]] = {}
+        for (kind, pred), entry in self._subgoals.items():
+            subgoals.setdefault(kind, {})[pred] = {
+                "calls": entry.calls,
+                "time": entry.time,
+            }
+        scans = {
+            f"{pred}/{arity}": {
+                "scans": entry.scans,
+                "tuples": entry.tuples,
+                "matches": entry.matches,
+            }
+            for (pred, arity), entry in self._scans.items()
+        }
+
+        storage: Optional[Dict[str, object]] = None
+        if self.pool is not None or self.server is not None:
+            storage = {}
+            if self.pool is not None:
+                storage["buffer"] = self._delta(
+                    self._buffer_before, self.pool.stats.snapshot()
+                )
+                btree = self.pool.btree_stats
+                if btree is not None:
+                    before = self._btree_before or {
+                        key: 0 for key in btree.snapshot()
+                    }
+                    storage["btree"] = self._delta(before, btree.snapshot())
+                else:
+                    storage["btree"] = {
+                        "node_reads": 0, "node_writes": 0, "splits": 0,
+                    }
+            if self.server is not None:
+                storage["server"] = self._delta(
+                    self._server_before, self.server.stats.snapshot()
+                )
+                faults_after = dict(self.server.faults.counts)
+                points = self._delta(self._faults_before, faults_after)
+                storage["fault_points"] = {
+                    point: count for point, count in sorted(points.items()) if count
+                }
+                storage["journal"] = {
+                    "appends": points.get("journal.record", 0),
+                    "fsyncs": points.get("journal.sync", 0),
+                }
+            storage.setdefault("buffer", {
+                "hits": 0, "misses": 0, "evictions": 0, "writebacks": 0,
+            })
+            storage.setdefault("server", {
+                "page_reads": 0, "page_writes": 0, "allocations": 0,
+            })
+            storage.setdefault("btree", {
+                "node_reads": 0, "node_writes": 0, "splits": 0,
+            })
+            storage.setdefault("journal", {"appends": 0, "fsyncs": 0})
+            storage.setdefault("fault_points", {})
+
+        self._publish_metrics(eval_stats, rules, subgoals, scans, storage)
+        return QueryProfile(
+            wall_time=wall,
+            eval_stats=eval_stats,
+            rules=rules,
+            iterations=list(self._iterations),
+            subgoals=subgoals,
+            scans=scans,
+            storage=storage,
+            registry=self.registry,
+            tracer=self.tracer,
+        )
+
+    def _publish_metrics(self, eval_stats, rules, subgoals, scans, storage):
+        """Flush the hot-path accumulators into the registry so a single
+        ``registry.collect()`` (or ``profile.to_dict()["metrics"]``) carries
+        every counter under its stable name."""
+        registry = self.registry
+        eval_counter = registry.counter(
+            "eval.stats", "EvalStats deltas over the profiled block", ("stat",)
+        )
+        for stat, value in eval_stats.items():
+            if value:
+                eval_counter.inc(value, stat)
+        rule_apps = registry.counter(
+            "eval.rule.applications", "rule applications", ("rule",)
+        )
+        rule_derived = registry.counter(
+            "eval.rule.derived", "tuples derived (pre-dedup)", ("rule",)
+        )
+        rule_dups = registry.counter(
+            "eval.rule.duplicates", "derivations rejected as duplicates", ("rule",)
+        )
+        rule_time = registry.histogram(
+            "eval.rule.seconds", "inclusive per-application time", ("rule",),
+            boundaries=TIME_BUCKETS,
+        )
+        for rule in rules:
+            rule_apps.inc(rule["applications"], rule["rule"])
+            rule_derived.inc(rule["derived"], rule["rule"])
+            rule_dups.inc(rule["duplicates"], rule["rule"])
+            rule_time.observe(rule["time"], rule["rule"])
+        iteration_sizes = registry.histogram(
+            "eval.iteration.new_facts", "facts per fixpoint iteration",
+            boundaries=SIZE_BUCKETS,
+        )
+        for item in self._iterations:
+            iteration_sizes.observe(item["new_facts"])
+        subgoal_calls = registry.counter(
+            "eval.subgoal.calls", "subgoal activations", ("kind", "pred")
+        )
+        for kind, by_pred in subgoals.items():
+            for pred, entry in by_pred.items():
+                subgoal_calls.inc(entry["calls"], kind, pred)
+        scan_tuples = registry.counter(
+            "eval.scan.tuples", "tuples probed by the join", ("pred",)
+        )
+        scan_matches = registry.counter(
+            "eval.scan.matches", "tuples that unified", ("pred",)
+        )
+        for pred, entry in scans.items():
+            scan_tuples.inc(entry["tuples"], pred)
+            scan_matches.inc(entry["matches"], pred)
+        if storage:
+            for group in ("buffer", "server", "btree", "journal"):
+                counter = registry.counter(
+                    f"storage.{group}", f"{group} counters", ("stat",)
+                )
+                for stat, value in storage[group].items():
+                    if value:
+                        counter.inc(value, stat)

@@ -1,0 +1,189 @@
+"""Structured event tracing: spans and instants, exportable to JSON-lines
+and the Chrome ``chrome://tracing`` / Perfetto trace-event format.
+
+The span taxonomy mirrors the evaluation pipeline::
+
+    query                   one QueryResult drain (api/session.py)
+      rewrite               one optimizer compilation (modules/manager.py)
+      fixpoint.seed         the once-rules pass of an SCC (eval/fixpoint.py)
+      fixpoint.iteration    one semi-naive iteration
+        rule                one rule application
+      subgoal               one pipelined / ordered-search subgoal
+    <fault-point name>      storage instants (buffer.writeback, journal.sync,
+                            disk.write_page, ... — exactly the injection-point
+                            names of :mod:`repro.faults`, so a trace and a
+                            crash schedule speak the same vocabulary)
+
+Events carry ``time.perf_counter`` timestamps; exporters rebase them to
+microseconds from the tracer's first event, which is what the Chrome format
+expects.  The tracer is bounded (``limit``): past the cap events are counted
+but dropped, so profiling a pathological query cannot exhaust memory.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Dict, IO, List, Optional, Union
+
+
+class TraceEvent:
+    """One trace event: a completed span (phase ``X``) or an instant (``i``)."""
+
+    __slots__ = ("name", "cat", "ph", "ts", "dur", "args")
+
+    def __init__(
+        self,
+        name: str,
+        cat: str,
+        ph: str,
+        ts: float,
+        dur: float = 0.0,
+        args: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.name = name
+        self.cat = cat
+        self.ph = ph
+        self.ts = ts  # perf_counter seconds (rebased at export)
+        self.dur = dur  # seconds; 0 for instants
+        self.args = args
+
+    def __repr__(self) -> str:
+        return f"<TraceEvent {self.ph} {self.cat}:{self.name} @{self.ts:.6f}>"
+
+
+class _Span:
+    """Context-manager handle returned by :meth:`EventTracer.span`."""
+
+    __slots__ = ("_tracer", "_name", "_cat", "_args", "_start")
+
+    def __init__(self, tracer: "EventTracer", name: str, cat: str, args) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._cat = cat
+        self._args = args
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = self._tracer._clock()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._tracer.complete(
+            self._name, self._cat, self._start, **(self._args or {})
+        )
+
+
+class EventTracer:
+    """An append-only, bounded buffer of trace events."""
+
+    def __init__(
+        self,
+        limit: int = 200_000,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.events: List[TraceEvent] = []
+        self.limit = limit
+        self.dropped = 0
+        self._clock = clock
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- recording -----------------------------------------------------------
+
+    def now(self) -> float:
+        return self._clock()
+
+    def _append(self, event: TraceEvent) -> None:
+        if len(self.events) >= self.limit:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    def complete(self, name: str, cat: str, start: float, **args) -> None:
+        """Record a span that began at ``start`` (a :meth:`now` value) and
+        ends now — the Chrome 'complete' (X) phase."""
+        end = self._clock()
+        self._append(
+            TraceEvent(name, cat, "X", start, end - start, args or None)
+        )
+
+    def instant(self, name: str, cat: str, **args) -> None:
+        self._append(TraceEvent(name, cat, "i", self._clock(), 0.0, args or None))
+
+    def span(self, name: str, cat: str = "eval", **args) -> _Span:
+        """``with tracer.span("rewrite", module="tc"): ...``"""
+        return _Span(self, name, cat, args)
+
+    # -- export --------------------------------------------------------------
+
+    def _origin(self) -> float:
+        return min((event.ts for event in self.events), default=0.0)
+
+    def chrome_trace(self, pid: int = 1, tid: int = 1) -> Dict[str, object]:
+        """The trace as a Chrome/Perfetto trace-event JSON object.
+
+        Load the written file at ``chrome://tracing`` or ui.perfetto.dev.
+        Timestamps/durations are microseconds relative to the first event.
+        """
+        origin = self._origin()
+        trace_events: List[Dict[str, object]] = []
+        for event in self.events:
+            entry: Dict[str, object] = {
+                "name": event.name,
+                "cat": event.cat,
+                "ph": event.ph,
+                "ts": round((event.ts - origin) * 1e6, 3),
+                "pid": pid,
+                "tid": tid,
+            }
+            if event.ph == "X":
+                entry["dur"] = round(event.dur * 1e6, 3)
+            if event.ph == "i":
+                entry["s"] = "t"  # thread-scoped instant
+            if event.args:
+                entry["args"] = event.args
+            trace_events.append(entry)
+        return {
+            "traceEvents": trace_events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "producer": "repro.obs",
+                "dropped_events": self.dropped,
+            },
+        }
+
+    def write_chrome_trace(self, target: Union[str, IO[str]]) -> None:
+        payload = self.chrome_trace()
+        if hasattr(target, "write"):
+            json.dump(payload, target)
+        else:
+            with open(target, "w") as handle:
+                json.dump(payload, handle)
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line per event (ingestion-friendly)."""
+        origin = self._origin()
+        lines = []
+        for event in self.events:
+            record: Dict[str, object] = {
+                "name": event.name,
+                "cat": event.cat,
+                "ph": event.ph,
+                "ts_us": round((event.ts - origin) * 1e6, 3),
+            }
+            if event.ph == "X":
+                record["dur_us"] = round(event.dur * 1e6, 3)
+            if event.args:
+                record["args"] = event.args
+            lines.append(json.dumps(record, sort_keys=True))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_jsonl(self, target: Union[str, IO[str]]) -> None:
+        text = self.to_jsonl()
+        if hasattr(target, "write"):
+            target.write(text)
+        else:
+            with open(target, "w") as handle:
+                handle.write(text)

@@ -15,7 +15,12 @@ Shell commands::
     @listing module pred form. show a rewritten program (debugging aid)
     @trace on. / @trace off.   derivation tracing
     @why "path(1, 3)".         proof tree for a traced fact
-    @quit.                     leave
+    @profile "path(1, X)".     run a query under the profiler, print its report
+    @modules.                  loaded modules, their exports and flags
+    @dump pred arity "file".   write a base relation as re-consultable facts
+    @check.                    lint loaded modules for likely mistakes
+    @help.                     this text
+    @quit. (or @exit.)         leave
 """
 
 from __future__ import annotations
@@ -112,8 +117,18 @@ class Shell:
             tracer = self.session.ctx.tracer
             if tracer is None:
                 return "tracing is off (@trace on. first)."
-            fact = body[len("why") :].strip().strip('"')
+            fact = body[len("@why") :].strip().strip('"')
             return tracer.why(fact)
+        if name == "profile":
+            query_text = body[len("@profile") :].strip().strip('"')
+            if not query_text:
+                return 'usage: @profile "path(1, X)".'
+            try:
+                with self.session.profile() as profiler:
+                    answers = self.session.query(query_text).all()
+            except CoralError as error:
+                return f"error: {error}"
+            return f"{len(answers)} answer(s).\n" + profiler.profile.render()
         if name == "modules":
             loaded = self.session.modules.modules
             if not loaded:

@@ -127,12 +127,51 @@ def _decode_key(blob: bytes) -> PyTuple:
     return sort_key(decode_tuple(blob))
 
 
+class BTreeStats:
+    """Node-level accounting shared by every B-tree on one buffer pool.
+
+    Counts logical node operations (deserializations, serializations,
+    splits); whether a node read also costs a server round trip is the
+    buffer pool's story, so the two sets of counters compose rather than
+    double-count.
+    """
+
+    __slots__ = ("node_reads", "node_writes", "splits")
+
+    def __init__(self) -> None:
+        self.node_reads = 0
+        self.node_writes = 0
+        self.splits = 0
+
+    def reset(self) -> None:
+        self.node_reads = 0
+        self.node_writes = 0
+        self.splits = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "node_reads": self.node_reads,
+            "node_writes": self.node_writes,
+            "splits": self.splits,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<BTreeStats reads={self.node_reads} writes={self.node_writes} "
+            f"splits={self.splits}>"
+        )
+
+
 class BTree:
     """The index proper: insert/delete/search/range over (key, rid) pairs."""
 
     def __init__(self, pool: BufferPool, file_name: str) -> None:
         self.pool = pool
         self.file_name = file_name
+        stats = getattr(pool, "btree_stats", None)
+        if stats is None:
+            stats = pool.btree_stats = BTreeStats()
+        self.stats = stats
         if self.pool.server.num_pages(file_name) == 0:
             meta = self.pool.new_page(file_name)  # page 0
             root = self.pool.new_page(file_name)  # page 1: empty leaf root
@@ -170,6 +209,7 @@ class BTree:
     # -- node I/O ---------------------------------------------------------------
 
     def _read_node(self, page_id: int) -> _Node:
+        self.stats.node_reads += 1
         page = self.pool.fetch_page(self.file_name, page_id)
         try:
             return _Node.deserialize(page_id, bytes(page.data))
@@ -177,6 +217,7 @@ class BTree:
             self.pool.unpin(page)
 
     def _write_node(self, node: _Node) -> None:
+        self.stats.node_writes += 1
         page = self.pool.fetch_page(self.file_name, node.page_id)
         try:
             blob = node.serialize()
@@ -229,6 +270,7 @@ class BTree:
         return None
 
     def _split(self, node: _Node) -> PyTuple[PyTuple, int]:
+        self.stats.splits += 1
         middle = len(node.keys) // 2
         right = self._new_node(node.is_leaf)
         if node.is_leaf:

@@ -45,6 +45,15 @@ class BufferStats:
         self.evictions = 0
         self.writebacks = 0
 
+    def snapshot(self) -> Dict[str, int]:
+        """Point-in-time copy; the profiler diffs two of these."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "writebacks": self.writebacks,
+        }
+
     def __repr__(self) -> str:
         return (
             f"<BufferStats hits={self.hits} misses={self.misses} "
@@ -63,6 +72,10 @@ class BufferPool:
         #: (file, page_id) -> Page, in LRU order (oldest first)
         self._frames: "OrderedDict[PyTuple[str, int], Page]" = OrderedDict()
         self.stats = BufferStats()
+        #: node-level B-tree counters; lazily attached by the first
+        #: :class:`~repro.storage.btree.BTree` opened over this pool (kept
+        #: here so every index on the pool shares one accounting object)
+        self.btree_stats = None
 
     def __len__(self) -> int:
         return len(self._frames)

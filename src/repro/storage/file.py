@@ -199,6 +199,14 @@ class ServerStats:
         self.allocations = 0
         self.simulated_latency = 0.0
 
+    def snapshot(self) -> Dict[str, int]:
+        """Point-in-time copy; the profiler diffs two of these."""
+        return {
+            "page_reads": self.page_reads,
+            "page_writes": self.page_writes,
+            "allocations": self.allocations,
+        }
+
     def __repr__(self) -> str:
         return (
             f"<ServerStats reads={self.page_reads} writes={self.page_writes} "

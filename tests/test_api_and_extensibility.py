@@ -305,6 +305,48 @@ class TestExplanation:
         session = Session()
         assert session.ctx.tracer is None
 
+    def test_overflow_is_not_silent(self):
+        """Regression: dropping derivations past the limit used to be
+        invisible — a truncated trace answered ``why`` as if complete.  The
+        tracer must raise its ``overflowed`` flag and say so in ``why``."""
+        from repro.explain import DerivationTracer
+
+        tracer = DerivationTracer(limit=3)
+        for i in range(5):
+            tracer.record("p", f"p({i})", "p(X) :- q(X).", (f"q({i})",))
+        assert tracer.overflowed
+        assert len(tracer) == 3
+        # recorded facts warn...
+        assert "overflowed" in tracer.why("p(0)")
+        # ...and so do unrecorded ones, where truncation masquerades as [base]
+        assert "overflowed" in tracer.why("p(4)")
+
+    def test_no_overflow_no_warning(self):
+        from repro.explain import DerivationTracer
+
+        tracer = DerivationTracer(limit=10)
+        tracer.record("p", "p(1)", "p(X) :- q(X).", ("q(1)",))
+        assert not tracer.overflowed
+        assert "overflowed" not in tracer.why("p(1)")
+
+    def test_session_overflow_end_to_end(self):
+        session = Session()
+        tracer = session.enable_tracing(limit=2)
+        session.consult_string(
+            """
+            edge(1, 2). edge(2, 3). edge(3, 4).
+
+            module tc.
+            export path(bf).
+            path(X, Y) :- edge(X, Y).
+            path(X, Y) :- edge(X, Z), path(Z, Y).
+            end_module.
+            """
+        )
+        session.query("path(1, Y)").all()
+        assert tracer.overflowed
+        assert "overflowed" in tracer.why("path_bf(1, 2)")
+
 
 class TestShell:
     def test_facts_and_query(self):

@@ -1,0 +1,371 @@
+"""The repro.obs subsystem: metrics registry, event tracer, query profiler,
+the profiler-overhead guard, and the Chrome-trace golden schema."""
+
+import json
+import os
+import statistics
+import time
+
+import pytest
+
+from repro import Session
+from repro.errors import CoralError
+from repro.obs import (
+    Counter,
+    EventTracer,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    SIZE_BUCKETS,
+)
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+TC_MODULE = """
+module tc.
+export path(bf).
+path(X, Y) :- edge(X, Y).
+path(X, Y) :- edge(X, Z), path(Z, Y).
+end_module.
+"""
+
+
+def _chain_session(length):
+    session = Session()
+    facts = " ".join(f"edge({i}, {i + 1})." for i in range(1, length + 1))
+    session.consult_string(facts + "\n" + TC_MODULE)
+    return session
+
+
+# ---------------------------------------------------------------------------
+# metrics
+# ---------------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_counter_labels_and_values(self):
+        counter = Counter("apps", "rule applications", ("rule",))
+        cell = counter.labels("r1")
+        cell.inc()
+        cell.inc(2)
+        counter.inc(5, "r2")
+        assert counter.value("r1") == 3
+        assert counter.value("r2") == 5
+        assert counter.value("never") == 0
+        assert counter.collect() == {("r1",): 3, ("r2",): 5}
+
+    def test_counter_rejects_decrease_and_bad_labels(self):
+        counter = Counter("c", labelnames=("a",))
+        with pytest.raises(MetricError):
+            counter.inc(-1, "x")
+        with pytest.raises(MetricError):
+            counter.labels("x", "y")
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge("depth")
+        gauge.set(4)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value() == 3
+
+    def test_histogram_fixed_buckets(self):
+        histogram = Histogram("sizes", boundaries=SIZE_BUCKETS)
+        for value in (0, 1, 2, 5, 100_000):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["boundaries"] == list(SIZE_BUCKETS)
+        # 0 and 1 land in the first bucket (upper-inclusive edges),
+        # 2 in (1, 4], 5 in (4, 16], 100000 in the implicit +inf bucket
+        assert snap["bucket_counts"][0] == 2
+        assert snap["bucket_counts"][1] == 1
+        assert snap["bucket_counts"][2] == 1
+        assert snap["bucket_counts"][-1] == 1
+        assert snap["count"] == 5
+        assert snap["sum"] == 100_008
+
+    def test_histogram_rejects_unsorted_boundaries(self):
+        with pytest.raises(MetricError):
+            Histogram("bad", boundaries=(3, 1, 2))
+
+    def test_registry_reuses_and_typechecks(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x")
+        assert registry.counter("x") is first
+        with pytest.raises(MetricError):
+            registry.gauge("x")
+
+    def test_disabled_registry_is_noop(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("x", labelnames=("a",))
+        counter.inc(5, "l")
+        counter.labels("l").inc()
+        registry.histogram("h").observe(1.0)
+        assert counter.value("l") == 0.0
+        assert len(registry) == 0
+        assert registry.collect() == {}
+
+    def test_collect_schema(self):
+        registry = MetricsRegistry()
+        registry.counter("apps", "help text", ("rule",)).inc(2, "r1")
+        out = registry.collect()
+        assert out["apps"]["kind"] == "counter"
+        assert out["apps"]["help"] == "help text"
+        assert out["apps"]["labels"] == ["rule"]
+        assert out["apps"]["values"] == {"r1": 2}
+        json.dumps(out)  # must be JSON-safe as-is
+
+
+# ---------------------------------------------------------------------------
+# tracer
+# ---------------------------------------------------------------------------
+
+
+class TestTracer:
+    def test_complete_instant_and_span(self):
+        tracer = EventTracer()
+        start = tracer.now()
+        tracer.complete("query", "eval", start, query="p/1")
+        tracer.instant("disk.sync", "storage")
+        with tracer.span("rewrite", "compile", module="m"):
+            pass
+        assert [event.ph for event in tracer.events] == ["X", "i", "X"]
+        assert tracer.events[0].args == {"query": "p/1"}
+
+    def test_limit_drops_but_counts(self):
+        tracer = EventTracer(limit=2)
+        for _ in range(5):
+            tracer.instant("e", "t")
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+        assert tracer.chrome_trace()["otherData"]["dropped_events"] == 3
+
+    def test_chrome_trace_schema(self):
+        tracer = EventTracer()
+        first = tracer.now()
+        tracer.complete("a", "eval", first)
+        tracer.instant("b", "storage")
+        trace = tracer.chrome_trace()
+        events = trace["traceEvents"]
+        assert trace["displayTimeUnit"] == "ms"
+        for event in events:
+            assert set(event) >= {"name", "cat", "ph", "ts", "pid", "tid"}
+            assert event["ts"] >= 0
+        assert min(event["ts"] for event in events) == 0  # rebased
+        assert "dur" in events[0] and events[0]["dur"] >= 0
+        assert events[1]["s"] == "t"
+
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = EventTracer()
+        tracer.complete("a", "eval", tracer.now(), k=1)
+        tracer.instant("b", "storage")
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(str(path))
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == 2
+        assert lines[0]["name"] == "a" and lines[0]["args"] == {"k": 1}
+        assert "dur_us" in lines[0] and "dur_us" not in lines[1]
+
+
+# ---------------------------------------------------------------------------
+# profiler
+# ---------------------------------------------------------------------------
+
+
+class TestProfiler:
+    def test_profiled_query_counts_rules_and_iterations(self):
+        session = _chain_session(6)
+        with session.profile() as prof:
+            answers = session.query("path(1, X)").all()
+        profile = prof.profile
+        assert len(answers) == 6
+        assert profile.eval["rule_applications"] > 0
+        assert profile.eval["facts_inserted"] > 0
+        assert profile.iterations, "no fixpoint iterations recorded"
+        assert sum(rule["applications"] for rule in profile.rules) == (
+            profile.eval["rule_applications"]
+        )
+        derived = sum(rule["derived"] for rule in profile.rules)
+        duplicates = sum(rule["duplicates"] for rule in profile.rules)
+        # facts_inserted also counts magic seed facts inserted at module-call
+        # setup (one per subgoal), which no rule application derives
+        seeds = profile.eval["facts_inserted"] - derived
+        assert 0 <= seeds <= profile.eval["subgoals"]
+        assert duplicates == profile.eval["duplicates"]
+        rendered = profile.render()
+        for section in ("evaluation", "rules", "fixpoint iterations", "trace:"):
+            assert section in rendered
+
+    def test_profiler_uninstalls_cleanly(self):
+        session = _chain_session(3)
+        with session.profile():
+            pass
+        assert session.ctx.obs is None
+        # a second profile on the same session must work
+        with session.profile() as prof:
+            session.query("path(1, X)").all()
+        assert prof.profile is not None
+
+    def test_profilers_do_not_nest(self):
+        session = _chain_session(3)
+        with session.profile():
+            with pytest.raises(CoralError):
+                with session.profile():
+                    pass
+
+    def test_uninstall_on_exception(self):
+        session = _chain_session(3)
+        with pytest.raises(RuntimeError):
+            with session.profile():
+                raise RuntimeError("boom")
+        assert session.ctx.obs is None
+
+    def test_trace_false_skips_tracer(self):
+        session = _chain_session(3)
+        with session.profile(trace=False) as prof:
+            session.query("path(1, X)").all()
+        assert prof.profile.tracer is None
+        with pytest.raises(CoralError):
+            prof.profile.chrome_trace()
+
+    def test_pipelined_subgoals_recorded(self):
+        session = Session()
+        session.consult_string(
+            """
+            edge(1, 2). edge(2, 3).
+
+            module pipe. @pipelining.
+            export reach(bf).
+            reach(X, Y) :- edge(X, Y).
+            end_module.
+            """
+        )
+        with session.profile() as prof:
+            session.query("reach(1, X)").all()
+        pipeline = prof.profile.subgoals["pipeline"]
+        assert pipeline["reach/2"]["calls"] >= 1
+        assert pipeline["edge/2"]["calls"] >= 1
+
+    def test_storage_counters_and_fault_observer_restored(self, tmp_path):
+        session = Session(data_directory=str(tmp_path), buffer_capacity=4)
+        relation = session.persistent_relation("edge", 2)
+        for i in range(1, 40):
+            relation.insert_values(i, i + 1)
+        session.consult_string(TC_MODULE)
+        session.storage_pool.drop_all()
+        injector = session._server.faults
+        assert injector.observer is None
+        with session.profile() as prof:
+            session.query("path(30, X)").all()
+        assert injector.observer is None  # restored on exit
+        storage = prof.profile.storage
+        assert storage["buffer"]["hits"] + storage["buffer"]["misses"] > 0
+        assert storage["server"]["page_reads"] > 0  # pool was dropped cold
+        assert prof.profile.buffer_hit_rate is not None
+        assert "disk.read_page" in storage["fault_points"]
+        # storage instants share the fault-injection vocabulary
+        names = {event.name for event in prof.profile.tracer.events}
+        assert "disk.read_page" in names
+        session.close()
+
+    def test_to_dict_is_json_safe(self):
+        session = _chain_session(4)
+        with session.profile() as prof:
+            session.query("path(1, X)").all()
+        blob = json.dumps(prof.profile.to_dict())
+        data = json.loads(blob)
+        assert set(data) == {
+            "wall_time", "eval", "rules", "iterations", "subgoals",
+            "scans", "storage", "metrics",
+        }
+        assert data["metrics"]["eval.rule.applications"]["kind"] == "counter"
+
+
+# ---------------------------------------------------------------------------
+# overhead guard
+# ---------------------------------------------------------------------------
+
+
+class TestOverheadGuard:
+    def test_disabled_observability_is_near_free(self):
+        """With no profiler installed every hook is one ``is not None``
+        branch; evaluation speed after a profiled run must stay within
+        1.15x of a never-profiled session (median of 5 runs each)."""
+
+        def run(session):
+            start = time.perf_counter()
+            count = len(session.query("path(X, Y)").all())
+            elapsed = time.perf_counter() - start
+            assert count == 40 * 41 // 2
+            return elapsed
+
+        baseline_session = _chain_session(40)
+        run(baseline_session)  # warm the compile cache
+        baseline = statistics.median(run(baseline_session) for _ in range(5))
+
+        profiled_session = _chain_session(40)
+        run(profiled_session)
+        with profiled_session.profile():
+            profiled_session.query("path(X, Y)").all()
+        assert profiled_session.ctx.obs is None
+        after = statistics.median(run(profiled_session) for _ in range(5))
+
+        # +1ms absolute slack keeps sub-millisecond jitter from flaking CI
+        assert after <= baseline * 1.15 + 0.001, (
+            f"disabled-observability overhead: {after:.4f}s vs "
+            f"baseline {baseline:.4f}s"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Chrome-trace golden schema
+# ---------------------------------------------------------------------------
+
+
+def _normalized_trace(trace):
+    """Reduce a Chrome trace to its timing-independent schema: exactly what
+    must stay stable for saved traces to keep loading in chrome://tracing."""
+    events = trace["traceEvents"]
+    return {
+        "top_level_keys": sorted(trace.keys()),
+        "displayTimeUnit": trace["displayTimeUnit"],
+        "producer": trace["otherData"]["producer"],
+        "phases": sorted({event["ph"] for event in events}),
+        "categories": sorted({event["cat"] for event in events}),
+        "names": sorted({event["name"] for event in events}),
+        "complete_events_have_dur": all(
+            "dur" in event for event in events if event["ph"] == "X"
+        ),
+        "instants_are_thread_scoped": all(
+            event.get("s") == "t" for event in events if event["ph"] == "i"
+        ),
+    }
+
+
+class TestChromeTraceGolden:
+    def _trace(self):
+        session = _chain_session(4)
+        with session.profile() as prof:
+            session.query("path(1, X)").all()
+        return prof.profile.chrome_trace()
+
+    def test_matches_golden_schema(self):
+        golden_path = os.path.join(GOLDEN_DIR, "chrome_trace_tc.json")
+        with open(golden_path) as handle:
+            golden = json.load(handle)
+        assert _normalized_trace(self._trace()) == golden
+
+    def test_events_well_formed(self):
+        trace = self._trace()
+        events = trace["traceEvents"]
+        assert events, "profiled TC query produced no trace events"
+        assert min(event["ts"] for event in events) == 0
+        for event in events:
+            assert set(event) >= {"name", "cat", "ph", "ts", "pid", "tid"}
+            assert event["ph"] in ("X", "i")
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+        # the query span must bracket the evaluation
+        query_spans = [e for e in events if e["name"] == "query"]
+        assert len(query_spans) == 1
+        assert query_spans[0]["args"]["query"] == "path/2"

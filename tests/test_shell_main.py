@@ -83,3 +83,48 @@ class TestCheckCommand:
             "module m. export p(bf). p(X, Y) :- edge(X, Y). end_module."
         )
         assert shell.execute("@check.") == "no problems found."
+
+
+class TestHelpCommand:
+    def test_help_lists_every_command(self):
+        """@help must not drift from the dispatcher: every command name
+        handled in Shell._command appears in the help text."""
+        import inspect
+        import re
+
+        source = inspect.getsource(Shell._command)
+        commands = set(re.findall(r'name == "(\w+)"', source))
+        assert commands, "no commands found in Shell._command — regex drifted"
+        help_text = Shell().execute("@help.")
+        missing = sorted(
+            name for name in commands if f"@{name}" not in help_text
+        )
+        assert not missing, f"@help omits: {missing}"
+
+    def test_help_mentions_previously_missing_commands(self):
+        help_text = Shell().execute("@help.")
+        for name in ("@modules", "@dump", "@check", "@profile"):
+            assert name in help_text
+
+
+class TestProfileCommand:
+    def test_profile_renders_report(self):
+        shell = Shell()
+        shell.execute("edge(1, 2). edge(2, 3).")
+        shell.execute(
+            "module tc. export path(bf).\n"
+            "path(X, Y) :- edge(X, Y).\n"
+            "path(X, Y) :- edge(X, Z), path(Z, Y).\n"
+            "end_module."
+        )
+        output = shell.execute('@profile "path(1, X)".')
+        assert "2 answer(s)." in output
+        assert "query profile" in output
+        assert "rule applications" in output
+
+    def test_profile_usage_and_errors(self):
+        shell = Shell()
+        assert "usage" in shell.execute("@profile.")
+        assert shell.execute('@profile "path(1, X".').startswith("error:")
+        # a failed profile must uninstall the hook (session stays usable)
+        assert shell.session.ctx.obs is None

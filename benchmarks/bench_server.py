@@ -1,0 +1,144 @@
+"""Server — concurrent client-server query throughput over the wire.
+
+The client-server layer (repro.server / repro.client) replaces the paper's
+EXODUS client-server deployment (Section 2) with a real TCP boundary.
+Measured: request throughput and latency percentiles for 4 concurrent
+clients issuing bound transitive-closure queries against one shared server,
+each answer set streamed through a server-side cursor.
+"""
+
+import statistics
+import threading
+import time
+
+from repro import Session
+from repro.client import RemoteSession
+from repro.server import CoralServer
+
+from emit import emit, timed
+from workloads import chain_edges, edge_facts, report
+
+CLIENTS = 4
+QUERIES_PER_CLIENT = 50
+CHAIN = 24
+
+TC_MODULE = """
+    module tc.
+    export path(bf, ff).
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- edge(X, Z), path(Z, Y).
+    end_module.
+"""
+
+
+def _server_session():
+    session = Session()
+    session.consult_string(edge_facts(chain_edges(CHAIN)) + TC_MODULE)
+    return session
+
+
+def _percentile(samples, fraction):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(len(ordered) * fraction))
+    return ordered[index]
+
+
+def _run_clients(address, n_clients, queries_per_client):
+    """Each client drains one bound TC query per round; returns the
+    per-request wall-clock latencies (query open + full cursor drain)."""
+    latencies = [[] for _ in range(n_clients)]
+    errors = []
+
+    def worker(index):
+        start_node = 1 + (index % 4)
+        expected = CHAIN - start_node
+        try:
+            with RemoteSession(*address, batch_size=16) as db:
+                for _ in range(queries_per_client):
+                    began = time.perf_counter()
+                    answers = db.query(f"path({start_node}, Y)").all()
+                    latencies[index].append(time.perf_counter() - began)
+                    if len(answers) != expected:
+                        errors.append((index, len(answers), expected))
+        except Exception as exc:  # noqa: BLE001 - surfaced by the assert
+            errors.append((index, repr(exc)))
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(n_clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert not errors, errors
+    return [sample for per_client in latencies for sample in per_client]
+
+
+class TestServerThroughput:
+    def test_emit_bench_json(self):
+        session = _server_session()
+        with CoralServer(session, port=0) as server:
+            # warm the evaluation caches so the numbers measure the wire +
+            # cursor machinery, not first-query materialization
+            with RemoteSession(*server.address) as db:
+                db.query("path(1, Y)").all()
+            with timed() as t:
+                latencies = _run_clients(
+                    server.address, CLIENTS, QUERIES_PER_CLIENT
+                )
+            stats = server.stats()
+        requests = CLIENTS * QUERIES_PER_CLIENT
+        throughput = requests / t.seconds
+        p50 = _percentile(latencies, 0.50)
+        p99 = _percentile(latencies, 0.99)
+        report(
+            "Server: concurrent remote TC queries (drain per request)",
+            ["clients", "requests", "req/s", "p50 ms", "p99 ms"],
+            [
+                (
+                    CLIENTS,
+                    requests,
+                    round(throughput, 1),
+                    round(p50 * 1e3, 3),
+                    round(p99 * 1e3, 3),
+                )
+            ],
+        )
+        path = emit(
+            "server",
+            workload={
+                "graph": "chain",
+                "length": CHAIN,
+                "clients": CLIENTS,
+                "queries_per_client": QUERIES_PER_CLIENT,
+            },
+            wall_time_seconds=t.seconds,
+            counters={
+                "requests_per_second": throughput,
+                "latency_p50_seconds": p50,
+                "latency_p99_seconds": p99,
+                "latency_mean_seconds": statistics.fmean(latencies),
+                "wire_requests_total": stats["requests"],
+                "cursors_opened": stats["cursors"]["opened"],
+                "answers_sent": int(
+                    sum(
+                        stats["metrics"]
+                        .get("server.answers.sent", {})
+                        .get("values", {})
+                        .values()
+                    )
+                ),
+            },
+        )
+        assert path.endswith("BENCH_server.json")
+
+    def test_single_client_roundtrip_speed(self, benchmark):
+        session = _server_session()
+        with CoralServer(session, port=0) as server:
+            with RemoteSession(*server.address) as db:
+                db.query("path(1, Y)").all()  # warm
+                benchmark.pedantic(
+                    lambda: db.query("path(1, Y)").all(),
+                    rounds=5,
+                    iterations=1,
+                )

@@ -34,7 +34,12 @@ packages can also be used directly:
 * :mod:`repro.compilemod` — the compiled-evaluation mode (Section 2);
 * :mod:`repro.shell` — the interactive interface;
 * :mod:`repro.explain` — derivation tracing;
-* :mod:`repro.obs` — metrics, query profiling, and event tracing.
+* :mod:`repro.obs` — metrics, query profiling, and event tracing;
+* :mod:`repro.server` / :mod:`repro.client` — the concurrent client-server
+  query layer with streaming get-next-tuple cursors over TCP.
+
+``RemoteSession`` is importable lazily (``from repro.client import
+RemoteSession``) to keep the core import light.
 """
 
 from .api import Answer, QueryResult, ScanDescriptor, Session, coral_export
@@ -43,6 +48,7 @@ from .errors import (
     EvaluationError,
     ModuleError,
     ParseError,
+    ProtocolError,
     ResourceLimitError,
     RewriteError,
     StorageError,
@@ -72,6 +78,7 @@ __all__ = [
     "ModuleError",
     "ParseError",
     "Profiler",
+    "ProtocolError",
     "QueryProfile",
     "QueryResult",
     "Relation",

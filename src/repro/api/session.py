@@ -112,6 +112,25 @@ class QueryResult:
         self._cache.append(answer)
         return answer
 
+    def set_limits(self, limits: Optional["ResourceLimits"]) -> "QueryResult":
+        """Swap in a fresh guard for subsequent pulls (re-arming the timeout
+        clock).  The server uses this to bound each ``FETCH`` request
+        independently; ``None`` removes the guard."""
+        self._limits = limits
+        self._armed = False
+        return self
+
+    def close(self) -> None:
+        """Abandon the cursor (Section 5.4.3): no further answers will be
+        pulled, and the underlying evaluation generator is closed so its
+        relation cursors release immediately.  Idempotent; already-cached
+        answers stay readable via :meth:`all`."""
+        if not self._done:
+            self._done = True
+            closer = getattr(self._source, "close", None)
+            if closer is not None:
+                closer()
+
     def all(
         self,
         timeout: Optional[float] = None,
@@ -242,12 +261,24 @@ class Session:
         return relation
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.flush_all()
-        if self._server is not None:
-            self._server.close()
-        self._server = None
+        """Flush dirty pages and release the storage stack.
+
+        Idempotent and exception-safe: a second ``close()`` is a no-op, and
+        a ``close()`` after the storage server was already torn down (an
+        injected crash, an earlier explicit close) skips the flush instead
+        of raising from ``flush_all()`` against closed page files.  If the
+        flush itself fails, the server is still closed and the session's
+        references cleared before the error propagates, so retrying cannot
+        double-fault."""
+        pool, server = self._pool, self._server
         self._pool = None
+        self._server = None
+        try:
+            if pool is not None and server is not None and not server.closed:
+                pool.flush_all()
+        finally:
+            if server is not None:
+                server.close()
 
     def __enter__(self) -> "Session":
         return self

@@ -1,0 +1,10 @@
+"""repro.client — the remote counterpart of :class:`repro.api.Session`.
+
+``RemoteSession`` speaks the :mod:`repro.server` wire protocol; its
+``RemoteQueryResult`` lazily issues FETCH per batch, so iterating a remote
+query drives the server's get-next-tuple cursor on demand.
+"""
+
+from .remote import RemoteQueryResult, RemoteSession
+
+__all__ = ["RemoteQueryResult", "RemoteSession"]

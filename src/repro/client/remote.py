@@ -1,0 +1,300 @@
+"""The remote session: the :class:`~repro.api.Session` API over a socket.
+
+:class:`RemoteSession` mirrors the local embedding interface (paper
+Section 6) so host code can switch between in-process and client-server
+deployment by changing one constructor::
+
+    with RemoteSession("127.0.0.1", 4242) as db:
+        for answer in db.query("path(msn, X)"):
+            print(answer["X"])
+
+Iteration is *lazy across the wire*: a query opens a server-side cursor and
+each batch is pulled with ``FETCH`` only when iteration needs it — the
+get-next-tuple discipline of Sections 3/5.6, with the network hop amortized
+over ``batch_size`` answers.  Abandoning a result (:meth:`RemoteQueryResult.
+close`, or just dropping it and closing the session) closes the server-side
+cursor, exactly like abandoning a local lazy evaluation (Section 5.4.3).
+
+Answers reuse the local :class:`~repro.api.session.Answer` class, so
+``answer["X"]``, ``answer.tuple`` and ``answer.variables()`` behave
+identically on both sides of the wire.  Server-side failures are re-raised
+under their original :class:`~repro.errors.CoralError` subclass; transport
+failures raise :class:`~repro.errors.ProtocolError`.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, Dict, Iterator, List, Optional, Tuple as PyTuple
+
+from .. import errors as _errors
+from ..api.session import Answer
+from ..errors import CoralError, ProtocolError
+from ..relations import Tuple
+from ..server.protocol import PROTOCOL_VERSION, read_frame, write_frame
+from ..storage.serde import decode_batch
+
+#: error-name -> exception class, so remote failures re-raise as their
+#: original type (unknown names fall back to CoralError)
+_ERROR_CLASSES: Dict[str, type] = {
+    name: value
+    for name, value in vars(_errors).items()
+    if isinstance(value, type) and issubclass(value, CoralError)
+}
+
+
+class RemoteQueryResult:
+    """A pull-based cursor over a remote query's answers — the client half
+    of a server-side cursor.  Mirrors :class:`~repro.api.session.QueryResult`:
+    iterate lazily, or ``all()`` / ``list(...)`` / ``len(...)`` to drain."""
+
+    def __init__(
+        self,
+        session: "RemoteSession",
+        cursor_id: int,
+        variables: List[str],
+        arity: int,
+        batch_size: int,
+    ) -> None:
+        self._session = session
+        self._cursor_id = cursor_id
+        self._vars = variables
+        self._arity = arity
+        self._batch_size = batch_size
+        self._cache: List[Answer] = []
+        self._pending: List[Answer] = []
+        self._done = False
+
+    # -- the get-next-tuple interface ---------------------------------------
+
+    def get_next(self) -> Optional[Answer]:
+        if not self._pending and not self._done:
+            self._fetch_batch()
+        if self._pending:
+            answer = self._pending.pop(0)
+            self._cache.append(answer)
+            return answer
+        return None
+
+    def __iter__(self) -> Iterator[Answer]:
+        for answer in self._cache:
+            yield answer
+        while True:
+            answer = self.get_next()
+            if answer is None:
+                return
+            yield answer
+
+    def all(self) -> List[Answer]:
+        while self.get_next() is not None:
+            pass
+        return list(self._cache)
+
+    def __len__(self) -> int:
+        return len(self.all())
+
+    def tuples(self) -> List[tuple]:
+        from ..terms import from_arg
+
+        return [
+            tuple(from_arg(arg) for arg in answer.tuple.args)
+            for answer in self.all()
+        ]
+
+    def close(self) -> None:
+        """Abandon the cursor: tells the server to free it.  Idempotent;
+        already-fetched answers stay readable."""
+        if self._done:
+            return
+        self._done = True
+        try:
+            self._session._request(
+                {"op": "CLOSE_CURSOR", "cursor": self._cursor_id}
+            )
+        except (ProtocolError, OSError):
+            pass  # connection already gone: the server freed it on its side
+
+    # -- internals ----------------------------------------------------------
+
+    def _fetch_batch(self) -> None:
+        try:
+            header, body = self._session._request(
+                {
+                    "op": "FETCH",
+                    "cursor": self._cursor_id,
+                    "max": self._batch_size,
+                }
+            )
+        except CoralError:
+            self._done = True  # server freed the cursor before erroring
+            raise
+        rows = decode_batch(body)
+        for row in rows:
+            args = tuple(row[: self._arity])
+            bindings = dict(zip(self._vars, row[self._arity :]))
+            self._pending.append(Answer(Tuple(args), bindings))
+        if header.get("done"):
+            self._done = True
+
+    def __repr__(self) -> str:
+        state = "done" if self._done else "open"
+        return (
+            f"<RemoteQueryResult cursor={self._cursor_id} {state} "
+            f"cached={len(self._cache)}>"
+        )
+
+
+class RemoteSession:
+    """A connection to a :class:`~repro.server.CoralServer`.
+
+    Constructor arguments: server ``host``/``port``, the answer
+    ``batch_size`` each FETCH requests, and a socket-level ``timeout``
+    (seconds) bounding how long any single round trip may block.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 4242,
+        batch_size: int = 64,
+        timeout: Optional[float] = 30.0,
+    ) -> None:
+        if batch_size < 1:
+            raise ProtocolError(f"batch_size must be >= 1, got {batch_size}")
+        self.batch_size = batch_size
+        self._lock = threading.Lock()
+        self._closed = False
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise ProtocolError(
+                f"cannot connect to coral server at {host}:{port}: {exc}"
+            ) from exc
+        self.address = (host, port)
+        header, _ = self._request(
+            {"op": "HELLO", "version": PROTOCOL_VERSION, "client": "repro.client/1"}
+        )
+        self.server_info = header.get("server", "?")
+
+    # -- queries ------------------------------------------------------------
+
+    def query(self, text: str, batch_size: Optional[int] = None) -> RemoteQueryResult:
+        """Open a server-side cursor for a textual query."""
+        header, _ = self._request({"op": "QUERY", "query": text})
+        return RemoteQueryResult(
+            self,
+            int(header["cursor"]),
+            list(header["vars"]),
+            int(header["arity"]),
+            batch_size or self.batch_size,
+        )
+
+    def query_values(self, pred: str, *values: Any) -> RemoteQueryResult:
+        """Programmatic query mirroring :meth:`Session.query_values`:
+        ``None`` leaves an argument free."""
+        parts = []
+        for index, value in enumerate(values):
+            parts.append(f"V{index}" if value is None else _format_value(value))
+        return self.query(f"{pred}({', '.join(parts)})" if parts else pred)
+
+    def consult_string(self, source: str) -> List[RemoteQueryResult]:
+        """Load program text into the shared server database; queries in the
+        text come back as open cursors (one per query, in order)."""
+        header, _ = self._request({"op": "CONSULT", "source": source})
+        return [
+            RemoteQueryResult(
+                self,
+                int(item["cursor"]),
+                list(item["vars"]),
+                int(item["arity"]),
+                self.batch_size,
+            )
+            for item in header.get("cursors", [])
+        ]
+
+    # -- updates and introspection ------------------------------------------
+
+    def insert(self, pred: str, *values: Any) -> bool:
+        header, _ = self._request(
+            {"op": "INSERT", "pred": pred, "values": list(values)}
+        )
+        return bool(header.get("changed"))
+
+    def delete(self, pred: str, *values: Any) -> bool:
+        header, _ = self._request(
+            {"op": "DELETE", "pred": pred, "values": list(values)}
+        )
+        return bool(header.get("changed"))
+
+    def stats(self) -> Dict[str, Any]:
+        """The server's STATS payload: connections, cursors, requests, the
+        shared session's evaluation counters, and the metrics registry."""
+        header, _ = self._request({"op": "STATS"})
+        return header["stats"]
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Say BYE and drop the connection.  Idempotent; the server frees
+        any cursors this connection still holds."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            with self._lock:
+                write_frame(self._sock, {"op": "BYE"})
+                read_frame(self._sock)
+        except (ProtocolError, OSError):
+            pass
+        finally:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "RemoteSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- the wire ------------------------------------------------------------
+
+    def _request(
+        self, header: Dict[str, object], body: bytes = b""
+    ) -> PyTuple[Dict[str, object], bytes]:
+        """One round trip; raises the server's error as its original class."""
+        if self._closed:
+            raise ProtocolError("remote session is closed")
+        with self._lock:
+            write_frame(self._sock, header, body)
+            frame = read_frame(self._sock)
+        if frame is None:
+            self._closed = True
+            raise ProtocolError(
+                "server closed the connection mid-conversation"
+            )
+        response, rbody = frame
+        if not response.get("ok"):
+            name = str(response.get("error", "CoralError"))
+            message = str(response.get("message", "remote error"))
+            raise _ERROR_CLASSES.get(name, CoralError)(message)
+        return response, rbody
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"<RemoteSession {self.address[0]}:{self.address[1]} {state}>"
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):  # bool before int; matches terms.to_arg
+        return "true" if value else "false"
+    if isinstance(value, str):
+        if value.isidentifier() and value[:1].islower():
+            return value
+        escaped = value.replace('"', '\\"')
+        return f'"{escaped}"'
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_format_value(item) for item in value) + "]"
+    return repr(value)

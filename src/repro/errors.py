@@ -80,3 +80,14 @@ class ResourceLimitError(CoralError):
 
 class ExtensibilityError(CoralError):
     """Invalid registration of a user-defined type, relation, or index."""
+
+
+class ProtocolError(CoralError):
+    """A failure at the client-server wire boundary (:mod:`repro.server` /
+    :mod:`repro.client`): a malformed or oversized frame, a codec version
+    mismatch, an unknown request, or a connection that died mid-stream.
+
+    Raised on the client when the server becomes unreachable (so a dropped
+    connection surfaces as one clean exception rather than a raw
+    ``OSError``), and on the server when a client speaks garbage — in which
+    case only that connection is dropped; the server keeps serving."""

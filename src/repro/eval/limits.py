@@ -72,6 +72,15 @@ class ResourceLimits:
         self._checks = 0
         return self
 
+    def clone(self) -> "ResourceLimits":
+        """A fresh, unarmed copy with the same bounds.
+
+        The server hands each request its own clone so one slow client's
+        deadline (or cancellation) never bleeds into another connection's
+        guard — the configured limits are shared, the mutable arming state
+        is not."""
+        return ResourceLimits(timeout=self.timeout, max_tuples=self.max_tuples)
+
     def cancel(self) -> None:
         """Request cooperative cancellation: the next guard check raises.
         Safe to call from another thread (it only sets a flag)."""

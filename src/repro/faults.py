@@ -33,7 +33,15 @@ point                      where it fires
 ``server.recover.start``   recovery, after the journal was found
 ``server.recover.entry``   recovery, before applying each before-image
 ``server.recover.cleanup`` recovery, before the recovered journal is removed
+``net.accept``             :mod:`repro.server`, after accepting a connection
+``net.read``               before reading a request frame from a client
+``net.write``              before writing a response frame to a client
 ========================== ====================================================
+
+The three ``net.*`` points sit at the query server's I/O boundaries
+(:mod:`repro.server`); a *fail* there simulates a client that died or a
+socket reset mid-stream — the server must drop only that connection (and
+free its cursors) while continuing to serve everyone else.
 
 A *crash* raises :class:`SimulatedCrash`; the test harness abandons the
 server object (exactly what a process kill does to in-memory state) and
@@ -75,6 +83,9 @@ INJECTION_POINTS = (
     "server.recover.start",
     "server.recover.entry",
     "server.recover.cleanup",
+    "net.accept",
+    "net.read",
+    "net.write",
 )
 
 

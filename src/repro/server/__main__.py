@@ -1,0 +1,98 @@
+"""``python -m repro.server`` — host one CORAL database over TCP.
+
+Examples::
+
+    python -m repro.server --port 4242 --consult examples/graph.crl
+    python -m repro.server --port 0 --data-dir /var/coral   # ephemeral port
+
+The server prints ``coral-server listening on HOST:PORT`` once it is
+accepting (with the real port when 0 was requested — the line scripts and
+the CI smoke job parse), then serves until SIGINT/SIGTERM, shutting down
+cleanly: open cursors are freed and the storage pool, if any, is flushed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+from typing import List, Optional
+
+from ..api import Session
+from ..eval.limits import ResourceLimits
+from .core import CoralServer, DEFAULT_BATCH
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="coral-server",
+        description="Serve one CORAL database to concurrent remote clients.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=4242,
+        help="TCP port; 0 picks an ephemeral one (printed on stdout)",
+    )
+    parser.add_argument(
+        "--data-dir", default=None,
+        help="open this page-storage directory on the shared session",
+    )
+    parser.add_argument(
+        "--consult", action="append", default=[], metavar="FILE",
+        help="program/data file(s) to consult before serving",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=DEFAULT_BATCH,
+        help="default answers per FETCH (client may override per request)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-request evaluation timeout in seconds",
+    )
+    parser.add_argument(
+        "--max-tuples", type=int, default=None,
+        help="per-request cap on derived tuples",
+    )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="record per-connection trace events (repro.obs)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    session = Session(data_directory=args.data_dir)
+    for path in args.consult:
+        session.consult(path)
+    limits = None
+    if args.timeout is not None or args.max_tuples is not None:
+        limits = ResourceLimits(timeout=args.timeout, max_tuples=args.max_tuples)
+    server = CoralServer(
+        session,
+        host=args.host,
+        port=args.port,
+        limits=limits,
+        batch_size=args.batch_size,
+        trace=args.trace,
+    )
+    host, port = server.address
+    print(f"coral-server listening on {host}:{port}", flush=True)
+
+    def _stop(signum, frame):  # pragma: no cover - signal path
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _stop)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        session.close()
+    print("coral-server: clean shutdown", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

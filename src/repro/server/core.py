@@ -1,0 +1,551 @@
+"""The concurrent query server: one shared database, N client connections,
+demand-driven answer streaming.
+
+The paper's CORAL ran as an EXODUS *client* talking to a page server
+(Section 2); our storage stand-in accounts that hop per page fault.  This
+module supplies the complementary boundary the ROADMAP's "serve heavy
+traffic" north star needs: a TCP server hosting one :class:`~repro.api.Session`
+behind many concurrent connections, where each query opens a **server-side
+cursor** and answers travel only when the client asks for them — the
+get-next-tuple interface (Sections 3, 5.6) lifted onto the wire, batch by
+batch.  A client that stops fetching stops server work (backpressure); a
+client that disconnects mid-stream has its cursors closed exactly like any
+abandoned evaluation (Section 5.4.3).
+
+Concurrency model: one handler thread per connection
+(``socketserver.ThreadingTCPServer``), all database work serialized under a
+single lock.  Evaluation itself is single-threaded Python either way (and
+the paper's CORAL was single-user); the lock is held per *request*, not per
+connection, so many clients interleave at batch granularity — a slow
+consumer never blocks the server, because between its fetches it holds
+nothing.
+
+Per-request resource limits reuse :class:`repro.eval.limits.ResourceLimits`:
+the server's configured limits are cloned for every ``FETCH``/``QUERY``, so
+each request gets a fresh timeout/tuple budget and one abusive query cannot
+starve the rest beyond a single bounded request.
+
+Observability: the server owns a :class:`repro.obs.MetricsRegistry`
+(connection/request/cursor/answer counters, a request-latency histogram)
+and, optionally, an :class:`repro.obs.EventTracer` recording per-connection
+accept/request/close events.  Fault injection reuses :mod:`repro.faults`
+with three new points — ``net.accept``, ``net.read``, ``net.write`` — so
+chaos tests can kill connections at every I/O boundary.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+import time
+from typing import Dict, List, Optional, Tuple as PyTuple
+
+from ..api import Session
+from ..api.session import QueryResult
+from ..errors import CoralError, ProtocolError
+from ..eval.limits import ResourceLimits
+from ..faults import FaultInjector, SimulatedCrash
+from ..language import Literal, parse_program, parse_query
+from ..obs import EventTracer, MetricsRegistry
+from ..storage.serde import encode_batch
+from .protocol import (
+    PROTOCOL_VERSION,
+    read_frame,
+    write_frame,
+)
+
+#: default answers per FETCH when the client does not say
+DEFAULT_BATCH = 64
+
+
+def query_variable_names(literal: Literal) -> List[str]:
+    """The query's variable names in first-occurrence order (the order
+    answer batches carry binding values on the wire)."""
+    names: List[str] = []
+    seen = set()
+    for arg in literal.args:
+        for var in arg.variables():
+            if var.name != "_" and var.name not in seen:
+                seen.add(var.name)
+                names.append(var.name)
+    return names
+
+
+class _Cursor:
+    """One server-side cursor: a lazy :class:`QueryResult` plus the wire
+    metadata the client needs to decode its batches."""
+
+    __slots__ = ("cursor_id", "result", "vars", "arity", "query")
+
+    def __init__(
+        self,
+        cursor_id: int,
+        result: QueryResult,
+        variables: List[str],
+        arity: int,
+        query: str,
+    ) -> None:
+        self.cursor_id = cursor_id
+        self.result = result
+        self.vars = variables
+        self.arity = arity
+        self.query = query
+
+
+class _Connection:
+    """Per-connection server state: identity, handshake flag, open cursors."""
+
+    __slots__ = ("conn_id", "peer", "greeted", "cursors")
+
+    def __init__(self, conn_id: int, peer: str) -> None:
+        self.conn_id = conn_id
+        self.peer = peer
+        self.greeted = False
+        self.cursors: Dict[int, _Cursor] = {}
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    def handle(self) -> None:  # pragma: no cover - thin shim, logic in server
+        self.server.coral._handle_connection(self.request)
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    coral: "CoralServer"
+
+    def handle_error(self, request, client_address) -> None:
+        # an unhandled exception in one handler thread (e.g. an injected
+        # SimulatedCrash) must neither kill the server nor spray a stack
+        # trace; the connection's cursors were already freed by the
+        # handler's finally block
+        self.coral.metrics.counter(
+            "server.errors", "request failures by kind", ("kind",)
+        ).inc(1, "unhandled")
+
+
+class CoralServer:
+    """A TCP query server around one shared :class:`~repro.api.Session`.
+
+    ::
+
+        server = CoralServer(session, port=0)      # 0 = ephemeral
+        server.start()                             # background thread
+        host, port = server.address
+        ... RemoteSession(host, port) ...
+        server.shutdown()
+
+    ``limits`` (a :class:`ResourceLimits`) is cloned per request so every
+    ``FETCH`` gets a fresh timeout/tuple budget; ``faults`` threads a
+    :class:`FaultInjector` through the ``net.*`` injection points;
+    ``trace=True`` records per-connection events in ``server.tracer``.
+    """
+
+    def __init__(
+        self,
+        session: Optional[Session] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        limits: Optional[ResourceLimits] = None,
+        batch_size: int = DEFAULT_BATCH,
+        faults: Optional[FaultInjector] = None,
+        trace: bool = False,
+        trace_limit: int = 100_000,
+    ) -> None:
+        self.session = session if session is not None else Session()
+        self.limits = limits
+        self.batch_size = batch_size
+        self.faults = faults if faults is not None else FaultInjector()
+        self.metrics = MetricsRegistry()
+        self.tracer = EventTracer(limit=trace_limit) if trace else None
+        #: serializes all database work (parse, evaluate, update)
+        self._db_lock = threading.RLock()
+        #: guards the connection/cursor registry (never held during eval)
+        self._state_lock = threading.Lock()
+        self._connections: Dict[int, _Connection] = {}
+        self._next_conn = 0
+        self._next_cursor = 0
+        self._requests_total = 0
+        self._connections_total = 0
+        self._cursors_opened = 0
+        self._cursors_closed = 0
+        self._tcp = _TCPServer((host, port), _Handler, bind_and_activate=True)
+        self._tcp.coral = self
+        self._thread: Optional[threading.Thread] = None
+        self._serving = False
+
+        m = self.metrics
+        self._m_conns = m.counter("server.connections.total", "connections accepted")
+        self._m_active = m.gauge("server.connections.active", "open connections")
+        self._m_requests = m.counter("server.requests", "requests by op", ("op",))
+        self._m_errors = m.counter("server.errors", "request failures by kind", ("kind",))
+        self._m_latency = m.histogram(
+            "server.request.seconds", "request service time", ("op",)
+        )
+        self._m_cursors_opened = m.counter("server.cursors.opened", "cursors opened")
+        self._m_cursors_closed = m.counter("server.cursors.closed", "cursors closed")
+        self._m_cursors_open = m.gauge("server.cursors.open", "cursors currently open")
+        self._m_pulls = m.counter(
+            "server.cursor.pulls", "answers pulled from evaluation (get-next calls)"
+        )
+        self._m_answers = m.counter("server.answers.sent", "answers shipped to clients")
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def address(self) -> PyTuple[str, int]:
+        host, port = self._tcp.server_address[:2]
+        return host, port
+
+    def start(self) -> "CoralServer":
+        """Serve in a daemon thread; returns immediately."""
+        if self._thread is not None:
+            raise ProtocolError("server already started")
+        self._serving = True
+        self._thread = threading.Thread(
+            target=self._tcp.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="coral-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown`."""
+        self._serving = True
+        self._tcp.serve_forever(poll_interval=0.05)
+
+    def shutdown(self) -> None:
+        """Stop accepting, close the listening socket, free all cursors."""
+        if self._serving:
+            # BaseServer.shutdown blocks forever if serve_forever never ran
+            self._tcp.shutdown()
+            self._serving = False
+        self._tcp.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        with self._state_lock:
+            leftovers = list(self._connections.values())
+            self._connections.clear()
+        for conn in leftovers:
+            self._free_cursors(conn)
+
+    def __enter__(self) -> "CoralServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- connection loop -----------------------------------------------------
+
+    def _handle_connection(self, sock) -> None:
+        try:
+            self.faults.check("net.accept")
+        except OSError:
+            self._m_errors.inc(1, "accept")
+            return
+        conn = self._register(sock)
+        try:
+            while True:
+                try:
+                    self.faults.check("net.read")
+                    frame = read_frame(sock)
+                except (ProtocolError, OSError):
+                    # client vanished or spoke garbage mid-frame: drop it
+                    self._m_errors.inc(1, "read")
+                    return
+                if frame is None:
+                    return  # clean EOF
+                header, body = frame
+                if not self._serve_request(conn, sock, header, body):
+                    return
+        finally:
+            self._unregister(conn)
+
+    def _serve_request(self, conn, sock, header, body) -> bool:
+        """Dispatch one request and send its response; False ends the
+        connection (BYE, handshake refusal, or a dead socket)."""
+        op = str(header.get("op", ""))
+        started = time.perf_counter()
+        keep_going = True
+        try:
+            response, rbody, keep_going = self._dispatch(conn, op, header, body)
+        except SimulatedCrash:
+            raise  # chaos tests: nothing may swallow a simulated crash
+        except CoralError as exc:
+            self._m_errors.inc(1, type(exc).__name__)
+            response = {
+                "ok": False,
+                "error": type(exc).__name__,
+                "message": str(exc),
+            }
+            rbody = b""
+        self._m_requests.inc(1, op or "?")
+        self._m_latency.observe(time.perf_counter() - started, op or "?")
+        if self.tracer is not None:
+            self.tracer.complete(
+                f"request.{op or '?'}", "server", started, conn=conn.conn_id
+            )
+        try:
+            self.faults.check("net.write")
+            write_frame(sock, response, rbody)
+        except (ProtocolError, OSError):
+            self._m_errors.inc(1, "write")
+            return False
+        return keep_going
+
+    def _register(self, sock) -> _Connection:
+        try:
+            peer = "%s:%s" % sock.getpeername()[:2]
+        except OSError:
+            peer = "?"
+        with self._state_lock:
+            self._next_conn += 1
+            conn = _Connection(self._next_conn, peer)
+            self._connections[conn.conn_id] = conn
+            self._connections_total += 1
+        self._m_conns.inc()
+        self._m_active.inc()
+        if self.tracer is not None:
+            self.tracer.instant("net.accept", "server", conn=conn.conn_id, peer=peer)
+        return conn
+
+    def _unregister(self, conn: _Connection) -> None:
+        with self._state_lock:
+            self._connections.pop(conn.conn_id, None)
+        self._free_cursors(conn)
+        self._m_active.dec()
+        if self.tracer is not None:
+            self.tracer.instant("net.close", "server", conn=conn.conn_id)
+
+    def _free_cursors(self, conn: _Connection) -> None:
+        for cursor in list(conn.cursors.values()):
+            self._close_cursor(conn, cursor.cursor_id)
+
+    def _close_cursor(self, conn: _Connection, cursor_id: int) -> bool:
+        cursor = conn.cursors.pop(cursor_id, None)
+        if cursor is None:
+            return False
+        with self._db_lock:
+            cursor.result.close()
+        with self._state_lock:
+            self._cursors_closed += 1
+        self._m_cursors_closed.inc()
+        self._m_cursors_open.dec()
+        return True
+
+    # -- request dispatch ----------------------------------------------------
+
+    def _dispatch(
+        self, conn: _Connection, op: str, header, body
+    ) -> PyTuple[Dict[str, object], bytes, bool]:
+        with self._state_lock:
+            self._requests_total += 1
+        if not conn.greeted:
+            if op != "HELLO":
+                return (
+                    {
+                        "ok": False,
+                        "error": "ProtocolError",
+                        "message": f"first request must be HELLO, got {op!r}",
+                    },
+                    b"",
+                    False,
+                )
+            version = header.get("version")
+            if version != PROTOCOL_VERSION:
+                return (
+                    {
+                        "ok": False,
+                        "error": "ProtocolError",
+                        "message": (
+                            f"protocol version mismatch: client speaks "
+                            f"{version!r}, server speaks {PROTOCOL_VERSION}"
+                        ),
+                    },
+                    b"",
+                    False,
+                )
+            conn.greeted = True
+            return (
+                {
+                    "ok": True,
+                    "server": "repro.server/1",
+                    "version": PROTOCOL_VERSION,
+                },
+                b"",
+                True,
+            )
+        if op == "BYE":
+            self._free_cursors(conn)
+            return {"ok": True, "bye": True}, b"", False
+        if op == "QUERY":
+            return self._op_query(conn, header), b"", True
+        if op == "FETCH":
+            return self._op_fetch(conn, header) + (True,)
+        if op == "CLOSE_CURSOR":
+            cursor_id = int(header.get("cursor", -1))
+            closed = self._close_cursor(conn, cursor_id)
+            return {"ok": True, "closed": closed}, b"", True
+        if op == "CONSULT":
+            return self._op_consult(conn, header), b"", True
+        if op == "INSERT":
+            return self._op_update(header, insert=True), b"", True
+        if op == "DELETE":
+            return self._op_update(header, insert=False), b"", True
+        if op == "STATS":
+            return {"ok": True, "stats": self.stats()}, b"", True
+        raise ProtocolError(f"unknown request op {op!r}")
+
+    def _open_cursor(
+        self,
+        conn: _Connection,
+        literal: Literal,
+        query_text: str,
+        result: Optional[QueryResult] = None,
+    ) -> _Cursor:
+        if result is None:
+            result = self.session.query_literal(literal)
+        if self.limits is not None:
+            result.set_limits(self.limits.clone())
+        with self._state_lock:
+            self._next_cursor += 1
+            self._cursors_opened += 1
+            cursor = _Cursor(
+                self._next_cursor,
+                result,
+                query_variable_names(literal),
+                literal.arity,
+                query_text,
+            )
+        conn.cursors[cursor.cursor_id] = cursor
+        self._m_cursors_opened.inc()
+        self._m_cursors_open.inc()
+        return cursor
+
+    def _op_query(self, conn: _Connection, header) -> Dict[str, object]:
+        text = str(header.get("query", ""))
+        with self._db_lock:
+            literal = parse_query(text).literal
+            cursor = self._open_cursor(conn, literal, text)
+        return {
+            "ok": True,
+            "cursor": cursor.cursor_id,
+            "vars": cursor.vars,
+            "arity": cursor.arity,
+        }
+
+    def _op_consult(self, conn: _Connection, header) -> Dict[str, object]:
+        source = str(header.get("source", ""))
+        with self._db_lock:
+            program = parse_program(source)
+            if any(c.name == "consult" for c in program.commands):
+                raise ProtocolError(
+                    "remote consult may not read server-side files"
+                )
+            results = self.session.load_program(program)
+            opened = []
+            for query, result in zip(program.queries, results):
+                literal = query.literal
+                cursor = self._open_cursor(
+                    conn, literal, str(literal), result=result
+                )
+                opened.append(
+                    {
+                        "cursor": cursor.cursor_id,
+                        "vars": cursor.vars,
+                        "arity": cursor.arity,
+                    }
+                )
+        return {"ok": True, "cursors": opened}
+
+    def _op_fetch(
+        self, conn: _Connection, header
+    ) -> PyTuple[Dict[str, object], bytes]:
+        cursor_id = int(header.get("cursor", -1))
+        cursor = conn.cursors.get(cursor_id)
+        if cursor is None:
+            raise ProtocolError(f"unknown cursor {cursor_id}")
+        limit = int(header.get("max", self.batch_size))
+        if limit < 1:
+            raise ProtocolError(f"FETCH max must be >= 1, got {limit}")
+        rows = []
+        done = False
+        with self._db_lock:
+            if self.limits is not None:
+                cursor.result.set_limits(self.limits.clone())
+            try:
+                for _ in range(limit):
+                    answer = cursor.result.get_next()
+                    self._m_pulls.inc()
+                    if answer is None:
+                        done = True
+                        break
+                    row = list(answer.tuple.args)
+                    for name in cursor.vars:
+                        row.append(answer.term(name))
+                    rows.append(row)
+            except CoralError:
+                # evaluation died (limits, storage, non-primitive answer):
+                # the cursor's state is unusable — free it, then report
+                self._close_cursor(conn, cursor_id)
+                raise
+        try:
+            body = encode_batch(rows)
+        except CoralError:
+            self._close_cursor(conn, cursor_id)
+            raise
+        if done:
+            self._close_cursor(conn, cursor_id)
+        self._m_answers.inc(len(rows))
+        return (
+            {"ok": True, "cursor": cursor_id, "count": len(rows), "done": done},
+            body,
+        )
+
+    def _op_update(self, header, insert: bool) -> Dict[str, object]:
+        pred = str(header.get("pred", ""))
+        values = header.get("values", [])
+        if not pred or not isinstance(values, list):
+            raise ProtocolError("INSERT/DELETE need a pred and a values list")
+        with self._db_lock:
+            if insert:
+                changed = self.session.insert(pred, *values)
+            else:
+                changed = self.session.delete(pred, *values)
+        return {"ok": True, "changed": bool(changed)}
+
+    # -- introspection -------------------------------------------------------
+
+    def open_cursors(self) -> int:
+        with self._state_lock:
+            return sum(len(c.cursors) for c in self._connections.values())
+
+    def stats(self) -> Dict[str, object]:
+        """The STATS payload: connection/cursor/request counters plus the
+        shared session's evaluation statistics and the metrics registry."""
+        with self._state_lock:
+            connections = {
+                "total": self._connections_total,
+                "active": len(self._connections),
+            }
+            cursors = {
+                "opened": self._cursors_opened,
+                "closed": self._cursors_closed,
+                "open": sum(
+                    len(c.cursors) for c in self._connections.values()
+                ),
+            }
+            requests_total = self._requests_total
+        with self._db_lock:
+            eval_stats = self.session.stats.snapshot()
+        return {
+            "connections": connections,
+            "cursors": cursors,
+            "requests": requests_total,
+            "eval": eval_stats,
+            "metrics": self.metrics.collect(),
+        }

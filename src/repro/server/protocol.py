@@ -1,0 +1,151 @@
+"""The wire protocol: length-prefixed frames carrying a JSON header and an
+optional binary tuple batch.
+
+CORAL ran over the EXODUS storage manager's client-server architecture
+(paper Section 2); this module makes that hop real for *queries* rather than
+pages.  The central design choice mirrors the paper's uniform get-next-tuple
+interface (Sections 3, 5.6): a query opens a **server-side cursor**, and the
+client pulls answers in batches with ``FETCH`` — a client that stops
+fetching stops server work.
+
+Frame layout (all integers big-endian)::
+
+    +-----------+------------+----------------------+---------------+
+    | u32 total | u32 hdrlen | header: JSON (UTF-8) | body: bytes   |
+    +-----------+------------+----------------------+---------------+
+
+``total`` counts everything after itself (4 + hdrlen + len(body)).  The
+header is a JSON object; requests carry ``{"op": ...}``, responses carry
+``{"ok": true/false}``.  The body, when present, is a tuple batch in the
+*storage* codec (:func:`repro.storage.serde.encode_batch`) — the same
+versioned, magic-prefixed encoding used for heap records, so the disk
+format and the wire format cannot drift apart.
+
+Request ops (client to server)::
+
+    HELLO         version handshake; must be the first frame
+    CONSULT       load program text into the shared database; contained
+                  queries become cursors
+    QUERY         open a cursor for one query string
+    FETCH         pull up to `max` answers from a cursor
+    CLOSE_CURSOR  abandon a cursor early (Section 5.4.3 on the wire)
+    INSERT        add one base fact
+    DELETE        remove one base fact
+    STATS         server counters: connections, cursors, requests, metrics
+    BYE           clean goodbye; the server closes the connection
+
+Error responses carry ``{"ok": false, "error": <class name>, "message":
+...}``; the client re-raises the matching :class:`~repro.errors.CoralError`
+subclass, so remote failures look exactly like local ones.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Dict, Optional, Tuple as PyTuple
+
+from ..errors import ProtocolError
+
+#: protocol version spoken by this build; HELLO negotiates equality
+PROTOCOL_VERSION = 1
+
+#: refuse frames larger than this (a garbage length prefix must not
+#: trigger a gigabyte allocation)
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: every legal request op, in lifecycle order
+REQUEST_OPS = (
+    "HELLO",
+    "CONSULT",
+    "QUERY",
+    "FETCH",
+    "CLOSE_CURSOR",
+    "INSERT",
+    "DELETE",
+    "STATS",
+    "BYE",
+)
+
+
+def encode_frame(header: Dict[str, object], body: bytes = b"") -> bytes:
+    """One wire frame from a JSON-able header and an optional binary body."""
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    total = 4 + len(header_bytes) + len(body)
+    if total > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {total} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    return b"".join(
+        (struct.pack(">II", total, len(header_bytes)), header_bytes, body)
+    )
+
+
+def decode_frame(payload: bytes) -> PyTuple[Dict[str, object], bytes]:
+    """Split a frame payload (everything after the total-length prefix)
+    back into its header dict and body bytes."""
+    if len(payload) < 4:
+        raise ProtocolError("truncated frame: missing header length")
+    (header_len,) = struct.unpack_from(">I", payload, 0)
+    if 4 + header_len > len(payload):
+        raise ProtocolError(
+            f"truncated frame: header claims {header_len} bytes, "
+            f"{len(payload) - 4} available"
+        )
+    try:
+        header = json.loads(payload[4 : 4 + header_len].decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"unparseable frame header: {exc}") from exc
+    if not isinstance(header, dict):
+        raise ProtocolError(
+            f"frame header must be a JSON object, got {type(header).__name__}"
+        )
+    return header, payload[4 + header_len :]
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes, or None on clean EOF at a frame
+    boundary.  EOF mid-frame raises :class:`ProtocolError`."""
+    chunks = []
+    remaining = count
+    while remaining:
+        try:
+            chunk = sock.recv(min(remaining, 1 << 20))
+        except OSError as exc:
+            raise ProtocolError(f"connection lost mid-frame: {exc}") from exc
+        if not chunk:
+            if remaining == count:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({count - remaining} of "
+                f"{count} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(
+    sock: socket.socket,
+) -> Optional[PyTuple[Dict[str, object], bytes]]:
+    """Read one frame; None on clean EOF before any bytes of a frame."""
+    prefix = _recv_exact(sock, 4)
+    if prefix is None:
+        return None
+    (total,) = struct.unpack(">I", prefix)
+    if total < 4 or total > MAX_FRAME_BYTES:
+        raise ProtocolError(f"implausible frame length {total}")
+    payload = _recv_exact(sock, total)
+    if payload is None:
+        raise ProtocolError("connection closed between length prefix and frame")
+    return decode_frame(payload)
+
+
+def write_frame(
+    sock: socket.socket, header: Dict[str, object], body: bytes = b""
+) -> None:
+    try:
+        sock.sendall(encode_frame(header, body))
+    except OSError as exc:
+        raise ProtocolError(f"connection lost while sending: {exc}") from exc

@@ -19,8 +19,15 @@ Shell commands::
     @modules.                  loaded modules, their exports and flags
     @dump pred arity "file".   write a base relation as re-consultable facts
     @check.                    lint loaded modules for likely mistakes
+    @connect host:port.        switch to remote mode: send everything to a
+                               coral-server (python -m repro.server)
+    @disconnect.               leave remote mode, back to the local session
     @help.                     this text
     @quit. (or @exit.)         leave
+
+In remote mode, program text and queries are consulted on the server's
+shared database and answers stream back through server-side cursors;
+``@stats.`` shows the server's connection/cursor/request counters.
 """
 
 from __future__ import annotations
@@ -42,6 +49,8 @@ class Shell:
     def __init__(self, session: Optional[Session] = None) -> None:
         self.session = session if session is not None else Session()
         self.done = False
+        #: a repro.client.RemoteSession while in remote mode, else None
+        self.remote = None
 
     # -- command execution -------------------------------------------------------
 
@@ -56,7 +65,10 @@ class Shell:
             if handled is not None:
                 return handled
         try:
-            results = self.session.consult_string(text)
+            if self.remote is not None:
+                results = self.remote.consult_string(text)
+            else:
+                results = self.session.consult_string(text)
         except CoralError as error:
             return f"error: {error}"
         lines: List[str] = []
@@ -79,9 +91,44 @@ class Shell:
         name = parts[0].lstrip("@")
 
         if name == "quit" or name == "exit":
+            if self.remote is not None:
+                self.remote.close()
+                self.remote = None
             self.done = True
             return "bye."
+        if name == "connect":
+            if len(parts) != 2 or ":" not in parts[1]:
+                return "usage: @connect host:port."
+            from ..client import RemoteSession
+
+            host, _, port_text = parts[1].strip('"').rpartition(":")
+            try:
+                remote = RemoteSession(host, int(port_text))
+            except (ValueError, CoralError) as error:
+                return f"error: {error}"
+            if self.remote is not None:
+                self.remote.close()
+            self.remote = remote
+            return f"connected to {parts[1]} ({remote.server_info})."
+        if name == "disconnect":
+            if self.remote is None:
+                return "not connected."
+            self.remote.close()
+            self.remote = None
+            return "disconnected; back to the local session."
         if name == "stats":
+            if self.remote is not None:
+                try:
+                    stats = self.remote.stats()
+                except CoralError as error:
+                    return f"error: {error}"
+                lines = [
+                    f"connections: {stats['connections']}",
+                    f"cursors: {stats['cursors']}",
+                    f"requests: {stats['requests']}",
+                ]
+                lines += [f"{k}: {v}" for k, v in stats["eval"].items()]
+                return "\n".join(lines)
             snapshot = self.session.stats.snapshot()
             return "\n".join(f"{key}: {value}" for key, value in snapshot.items())
         if name == "reset_stats":

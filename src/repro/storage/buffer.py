@@ -131,7 +131,10 @@ class BufferPool:
 
     def _evict(self, key: PyTuple[str, int], page: Page) -> None:
         if page.dirty:
-            self.server.faults.check("buffer.writeback")
+            try:
+                self.server.faults.check("buffer.writeback")
+            except OSError as exc:
+                raise StorageError(f"writeback failed: {exc}") from exc
             self.server.write_page(page.file_name, page.page_id, bytes(page.data))
             self.stats.writebacks += 1
         del self._frames[key]
@@ -141,7 +144,10 @@ class BufferPool:
         """Write every dirty page back to the server (pages stay cached)."""
         for page in self._frames.values():
             if page.dirty:
-                self.server.faults.check("buffer.flush")
+                try:
+                    self.server.faults.check("buffer.flush")
+                except OSError as exc:
+                    raise StorageError(f"flush failed: {exc}") from exc
                 self.server.write_page(
                     page.file_name, page.page_id, bytes(page.data)
                 )

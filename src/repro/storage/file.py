@@ -242,6 +242,10 @@ class StorageServer:
             ) from exc
         self.directory = directory
         self.request_delay = request_delay
+        #: set by :meth:`close`; a closed server accepts no further requests,
+        #: and ``Session.close`` skips its flush when the pool's server is
+        #: already gone (so tearing a session down twice cannot raise)
+        self.closed = False
         self._files: Dict[str, DiskFile] = {}
         self.stats = ServerStats()
         self._journal = None
@@ -304,6 +308,11 @@ class StorageServer:
             handle.sync()
 
     def close(self) -> None:
+        """Close every open page file.  Idempotent: a second close (e.g. a
+        ``Session.__exit__`` after an explicit ``close()``) is a no-op."""
+        if self.closed:
+            return
+        self.closed = True
         for handle in self._files.values():
             handle.close()
         self._files.clear()

@@ -10,10 +10,17 @@ and variables, mirroring the paper's restriction (Section 3.2 carries it
 forward: "tuples in a persistent relation are restricted to have fields of
 primitive types only").
 
-Two encodings are provided:
+Three encodings are provided:
 
 * :func:`encode_tuple` / :func:`decode_tuple` — the record format used in
   slotted heap pages;
+* :func:`encode_batch` / :func:`decode_batch` — a self-describing *batch* of
+  tuples under a versioned magic header, shared by the wire protocol
+  (:mod:`repro.server` answer batches) and any future bulk file format, so
+  the disk record format and the wire format cannot silently drift: both
+  sides go through the same per-argument codec, and a reader confronted
+  with a different codec version fails with a clear error instead of
+  misparsing;
 * :func:`sort_key` — an order-preserving in-memory key for B-tree
   comparisons (a tuple of ``(type-tag, value)`` pairs, giving a total order
   across mixed types).
@@ -101,6 +108,70 @@ def decode_tuple(data: bytes) -> List[Arg]:
         arg, offset = decode_arg(data, offset)
         args.append(arg)
     return args
+
+
+#: Magic bytes opening every tuple batch ("Coral Batch").
+BATCH_MAGIC = b"CB"
+
+#: Version of the per-argument codec above.  Bump whenever a tag's meaning
+#: or layout changes; readers refuse other versions outright.
+CODEC_VERSION = 1
+
+#: Refuse batches that claim more tuples than this (a corrupt or hostile
+#: header must not trigger a giant allocation before the payload runs out).
+_MAX_BATCH_TUPLES = 1 << 24
+
+
+def encode_batch(rows: Sequence[Sequence[Arg]]) -> bytes:
+    """Encode many tuples as one self-describing block.
+
+    Layout: ``BATCH_MAGIC`` (2 bytes) + version (1 byte) + tuple count
+    (``>I``) + for each tuple a ``>I`` length prefix and its
+    :func:`encode_tuple` record.  The same primitive-type restriction as
+    persistent relations applies (the paper's Section 3.1 boundary).
+    """
+    parts = [BATCH_MAGIC, struct.pack(">BI", CODEC_VERSION, len(rows))]
+    for row in rows:
+        record = encode_tuple(row)
+        parts.append(struct.pack(">I", len(record)))
+        parts.append(record)
+    return b"".join(parts)
+
+
+def decode_batch(data: bytes) -> List[List[Arg]]:
+    """Decode an :func:`encode_batch` block, verifying magic and version."""
+    if len(data) < 7:
+        raise StorageError(
+            f"tuple batch truncated: {len(data)} bytes is shorter than the "
+            f"magic header"
+        )
+    if data[:2] != BATCH_MAGIC:
+        raise StorageError(
+            f"not a tuple batch: bad magic {data[:2]!r} "
+            f"(expected {BATCH_MAGIC!r})"
+        )
+    version, count = struct.unpack_from(">BI", data, 2)
+    if version != CODEC_VERSION:
+        raise StorageError(
+            f"tuple codec version mismatch: batch is v{version}, this "
+            f"reader speaks v{CODEC_VERSION} — refusing to guess at the "
+            f"layout"
+        )
+    if count > _MAX_BATCH_TUPLES:
+        raise StorageError(f"corrupt tuple batch: implausible count {count}")
+    offset = 7
+    rows: List[List[Arg]] = []
+    for _ in range(count):
+        if offset + 4 > len(data):
+            raise StorageError("corrupt tuple batch: truncated record header")
+        (length,) = struct.unpack_from(">I", data, offset)
+        offset += 4
+        record = data[offset : offset + length]
+        if len(record) != length:
+            raise StorageError("corrupt tuple batch: truncated record body")
+        offset += length
+        rows.append(decode_tuple(record))
+    return rows
 
 
 def sort_key(args: Sequence[Arg]) -> PyTuple:

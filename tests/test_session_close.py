@@ -1,0 +1,81 @@
+"""Regression tests for :meth:`Session.close`: idempotent, exception-safe,
+and usable from ``finally`` blocks / context managers without double-fault
+hazards.  (A served session is long-lived and closed on shutdown paths that
+may already be handling an error — close() must never make things worse.)
+"""
+
+import pytest
+
+from repro import Session, StorageError
+from repro.faults import FaultInjector
+
+
+def _persist_some(session):
+    session.persistent_relation("kv", 2)
+    session.insert("kv", 1, "one")
+    session.insert("kv", 2, "two")
+
+
+class TestSessionClose:
+    def test_close_without_storage_is_a_noop(self):
+        session = Session()
+        session.close()
+        session.close()
+
+    def test_double_close_with_storage(self, tmp_path):
+        session = Session(data_directory=str(tmp_path))
+        _persist_some(session)
+        session.close()
+        session.close()  # second close: no flush, no raise
+
+    def test_close_after_external_server_close(self, tmp_path):
+        """If the storage server was already torn down (an injected crash
+        test abandoning it, an explicit close), Session.close must skip the
+        flush instead of raising against closed page files."""
+        session = Session(data_directory=str(tmp_path))
+        _persist_some(session)
+        session._server.close()
+        session.close()  # must not raise
+
+    def test_failed_flush_still_releases_and_second_close_is_clean(
+        self, tmp_path
+    ):
+        """A flush failure propagates (the caller must know the data did not
+        all reach disk) but the session's references are cleared first, so a
+        retry in an outer finally block is a clean no-op, not a double
+        fault."""
+        faults = FaultInjector()
+        session = Session()
+        session.open_storage(str(tmp_path), faults=faults)
+        _persist_some(session)
+        faults.fail_at("buffer.flush", hit=1)
+        with pytest.raises(StorageError):
+            session.close()
+        assert session._pool is None and session._server is None
+        session.close()  # the retry path: nothing left to do, no raise
+
+    def test_context_manager_closes(self, tmp_path):
+        with Session(data_directory=str(tmp_path)) as session:
+            _persist_some(session)
+        session.close()  # already closed by __exit__; still a no-op
+
+    def test_session_usable_for_memory_work_after_close(self, tmp_path):
+        session = Session(data_directory=str(tmp_path))
+        _persist_some(session)
+        session.close()
+        session.insert("scratch", 1)
+        assert session.query("scratch(X)").tuples() == [(1,)]
+
+
+class TestQueryResultClose:
+    def test_close_is_idempotent_and_keeps_cache(self):
+        session = Session()
+        for i in range(5):
+            session.insert("n", i)
+        result = session.query("n(X)")
+        first = result.get_next()
+        assert first is not None
+        result.close()
+        result.close()
+        assert result.get_next() is None
+        assert result.all() == [first]

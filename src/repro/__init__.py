@@ -51,11 +51,13 @@ from .errors import (
     ProtocolError,
     ResourceLimitError,
     RewriteError,
+    SessionClosedError,
     StorageError,
     StratificationError,
     TransactionError,
 )
 from .eval.limits import ResourceLimits
+from .eval.memo import MemoPolicy
 from .faults import FaultInjector, SimulatedCrash
 from .obs import EventTracer, MetricsRegistry, Profiler, QueryProfile
 from .relations import Relation, Tuple
@@ -74,6 +76,7 @@ __all__ = [
     "FaultInjector",
     "Functor",
     "Int",
+    "MemoPolicy",
     "MetricsRegistry",
     "ModuleError",
     "ParseError",
@@ -87,6 +90,7 @@ __all__ = [
     "RewriteError",
     "ScanDescriptor",
     "Session",
+    "SessionClosedError",
     "SimulatedCrash",
     "StorageError",
     "StratificationError",

@@ -14,9 +14,15 @@ import os
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
 
 from ..builtins import BuiltinRegistry
-from ..errors import CoralError, EvaluationError, ResourceLimitError
+from ..errors import (
+    CoralError,
+    EvaluationError,
+    ResourceLimitError,
+    SessionClosedError,
+)
 from ..eval.context import EvalContext
 from ..eval.limits import ResourceLimits
+from ..eval.memo import MemoCache, MemoPolicy
 from ..language import Literal, Program, Query, parse_program, parse_query
 from ..modules import ModuleManager
 from ..optimizer import index_spec_from_annotation
@@ -168,6 +174,7 @@ class Session:
         data_directory: Optional[str] = None,
         buffer_capacity: int = 64,
         limits: Optional[ResourceLimits] = None,
+        memo: Union[None, bool, str, MemoPolicy] = None,
     ) -> None:
         self.ctx = EvalContext(builtins)
         self.modules = ModuleManager(self.ctx)
@@ -179,6 +186,20 @@ class Session:
         self._server: Optional[StorageServer] = None
         self._pool: Optional[BufferPool] = None
         self._buffer_capacity = buffer_capacity
+        #: cross-query answer cache (docs/MEMO.md).  ``memo=True`` memoizes
+        #: every eligible module, ``memo="annotated"`` only modules carrying
+        #: ``@memo``, a :class:`~repro.eval.memo.MemoPolicy` tunes budget and
+        #: damage threshold; None/False disables.
+        self.memo: Optional[MemoCache] = None
+        if memo:
+            if isinstance(memo, MemoPolicy):
+                policy = memo
+            elif memo == "annotated":
+                policy = MemoPolicy(annotated_only=True)
+            else:
+                policy = MemoPolicy()
+            self.memo = MemoCache(self.modules, policy)
+            self.ctx.memo = self.memo
         self._install_update_builtins()
         if data_directory is not None:
             self.open_storage(data_directory, buffer_capacity)
@@ -203,17 +224,20 @@ class Session:
 
         def _assert_impl(args, env, trail):
             name, fact_args = _target(args, env)
-            self.ctx.base_relation(name, len(fact_args)).insert(
+            inserted = self.ctx.base_relation(name, len(fact_args)).insert(
                 Tuple(tuple(fact_args))
             )
+            if inserted and self.ctx.memo is not None:
+                self.ctx.memo.on_insert((name, len(fact_args)))
             yield None
 
         def _retract_impl(args, env, trail):
             name, fact_args = _target(args, env)
             relation = self.ctx.base_relations.get((name, len(fact_args)))
-            if relation is not None and relation.delete(
-                Tuple(tuple(fact_args))
-            ):
+            tup = Tuple(tuple(fact_args))
+            if relation is not None and relation.delete(tup):
+                if self.ctx.memo is not None:
+                    self.ctx.memo.on_delete((name, len(fact_args)), tup)
                 yield None
 
         self.ctx.builtins.register_function(
@@ -313,13 +337,18 @@ class Session:
                 self.consult(nested)
         for module in program.modules:
             self.modules.load(module)
+        changed_keys = set()
         for fact in program.facts:
             head = fact.head
             relation = self.ctx.base_relation(head.pred, len(head.args))
             args = head.args
             if len(self.types):
                 args = tuple(self.types.reconstruct(arg) for arg in args)
-            relation.insert(Tuple(tuple(args)))
+            if relation.insert(Tuple(tuple(args))):
+                changed_keys.add((head.pred, len(head.args)))
+        if self.ctx.memo is not None:
+            for key in changed_keys:
+                self.ctx.memo.on_insert(key)
         for annotation in program.index_annotations:
             relation = self.ctx.base_relation(annotation.pred, annotation.arity)
             if isinstance(relation, HashRelation):
@@ -342,6 +371,17 @@ class Session:
 
     def query_literal(self, literal: Literal) -> QueryResult:
         relation = self.ctx.resolve(literal.pred, literal.arity)
+        if (
+            isinstance(relation, PersistentRelation)
+            and relation.pool.server.closed
+        ):
+            # fail eagerly at query() time with a clear error, rather than
+            # letting the dead storage stack surface something cryptic (or,
+            # worse, silently resurrect closed page files) at first pull
+            raise SessionClosedError(
+                f"cannot query persistent relation {literal.pred}/"
+                f"{literal.arity}: the session's storage was closed"
+            )
         variable_names: Dict[int, str] = {}
         for arg in literal.args:
             for var in arg.variables():
@@ -422,11 +462,20 @@ class Session:
         return count
 
     def insert(self, pred: str, *values: Any) -> bool:
-        return self.ctx.base_relation(pred, len(values)).insert_values(*values)
+        inserted = self.ctx.base_relation(
+            pred, len(values)
+        ).insert_values(*values)
+        if inserted and self.ctx.memo is not None:
+            self.ctx.memo.on_insert((pred, len(values)))
+        return inserted
 
     def delete(self, pred: str, *values: Any) -> bool:
         relation = self.ctx.base_relation(pred, len(values), create=False)
-        return relation.delete(Tuple(tuple(to_arg(v) for v in values)))
+        tup = Tuple(tuple(to_arg(v) for v in values))
+        deleted = relation.delete(tup)
+        if deleted and self.ctx.memo is not None:
+            self.ctx.memo.on_delete((pred, len(values)), tup)
+        return deleted
 
     @property
     def stats(self):

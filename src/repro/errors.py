@@ -61,6 +61,17 @@ class StorageError(CoralError):
     this class — recovery halts rather than applying garbage."""
 
 
+class SessionClosedError(StorageError):
+    """A query or update touched persistent storage after the owning
+    :class:`~repro.api.session.Session` (or its storage server) was closed.
+
+    Before this class existed, the dead storage stack silently re-opened
+    page files on demand — a closed session could keep reading and writing
+    disk pages nobody would ever flush.  A subclass of
+    :class:`StorageError` so existing ``except StorageError`` handlers keep
+    working.  In-memory relations remain usable after ``close()``."""
+
+
 class TransactionError(StorageError):
     """Misuse of the transaction protocol: beginning a transaction while one
     is in progress (CORAL is single-user, Section 2), or committing/aborting

@@ -3,9 +3,10 @@
 
 from .aggregates import AggregateConstraint, AggregateFold, fold_aggregate
 from .context import EvalContext, EvalStats, LocalScope
-from .fixpoint import SCCEvaluator, SCCPlan
+from .fixpoint import SCCEvaluator, SCCPlan, apply_rule
 from .join import BodyExecutor, backtrack_points, instantiate_head
 from .limits import ResourceLimits
+from .memo import MemoCache, MemoEntry, MemoPolicy, MemoStats
 from .ordered import OrderedSearchEvaluator
 from .pipeline import PipelinedModule
 
@@ -16,11 +17,16 @@ __all__ = [
     "EvalContext",
     "EvalStats",
     "LocalScope",
+    "MemoCache",
+    "MemoEntry",
+    "MemoPolicy",
+    "MemoStats",
     "OrderedSearchEvaluator",
     "PipelinedModule",
     "ResourceLimits",
     "SCCEvaluator",
     "SCCPlan",
+    "apply_rule",
     "backtrack_points",
     "fold_aggregate",
     "instantiate_head",

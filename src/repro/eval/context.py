@@ -65,6 +65,10 @@ class EvalContext:
         #: Every instrumentation site guards with `if ctx.obs is not None`,
         #: so a session that never profiles pays one branch per site.
         self.obs = None
+        #: optional cross-query answer cache (a repro.eval.memo.MemoCache);
+        #: None = off.  Consulted by ExportedRelation.scan, invalidated by
+        #: Session.insert/delete and the assertz/retract builtins.
+        self.memo = None
 
     def check_limits(self) -> None:
         """Raise ResourceLimitError if the active guard's budget is spent;

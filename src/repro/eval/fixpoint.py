@@ -189,93 +189,7 @@ class SCCEvaluator:
 
     def _apply(self, rule: SNRule, executor: BodyExecutor) -> None:
         """Evaluate one semi-naive rule version, inserting derived heads."""
-        stats = self.scope.ctx.stats
-        stats.rule_applications += 1
-        obs = self.scope.ctx.obs
-        entry = started = None
-        if obs is not None:
-            entry, started = obs.begin_rule(rule)
-        env = BindEnv()
-        trail = Trail()
-        if rule.head_aggregates:
-            self._apply_aggregate(rule, executor, env, trail)
-            if entry is not None:
-                obs.end_rule(entry, started)
-            return
-        head = rule.head
-        tracer = self.scope.ctx.tracer
-        for _ in executor.solutions(env, trail, self._ranges):
-            stats.inferences += 1
-            fact = instantiate_head(head.args, env)
-            if tracer is not None:
-                tracer.record(
-                    head.pred,
-                    f"{head.pred}{fact}",
-                    str(rule),
-                    tuple(
-                        f"{item.literal.pred}"
-                        f"{instantiate_head(item.literal.args, env)}"
-                        for item in rule.body
-                        if not item.literal.negated
-                        and not self.scope.ctx.is_builtin(
-                            item.literal.pred, item.literal.arity
-                        )
-                    ),
-                )
-            inserted = self.scope.insert_fact(head.pred, len(head.args), fact)
-            if entry is not None:
-                if inserted:
-                    entry.derived += 1
-                else:
-                    entry.duplicates += 1
-        trail.undo_to(0)
-        if entry is not None:
-            obs.end_rule(entry, started)
-
-    def _apply_aggregate(self, rule: SNRule, executor: BodyExecutor, env, trail):
-        """A grouping rule (``min(<C>)`` heads): enumerate the complete body,
-        group by the non-aggregated head arguments, emit one fact per group.
-        Stratification guarantees the body's relations are complete here."""
-        stats = self.scope.ctx.stats
-        aggregates = dict(rule.head_aggregates)
-        plain_positions = [
-            position
-            for position in range(len(rule.head.args))
-            if position not in aggregates
-        ]
-        groups: Dict[tuple, Dict[int, list]] = {}
-        keys_seen: Dict[tuple, tuple] = {}
-        for _ in executor.solutions(env, trail, self._ranges):
-            stats.inferences += 1
-            plain_values = tuple(
-                resolve(rule.head.args[position], env)
-                for position in plain_positions
-            )
-            if not all(value.is_ground() for value in plain_values):
-                raise EvaluationError(
-                    f"non-ground grouping arguments in {rule.head.pred}"
-                )
-            group_key = tuple(value.ground_key() for value in plain_values)
-            keys_seen[group_key] = plain_values
-            per_position = groups.setdefault(group_key, {})
-            for position, aggregation in aggregates.items():
-                value = resolve(aggregation.expr, env)
-                per_position.setdefault(position, []).append(value)
-        trail.undo_to(0)
-
-        for group_key, plain_values in keys_seen.items():
-            args: List = [None] * len(rule.head.args)
-            for position, value in zip(plain_positions, plain_values):
-                args[position] = value
-            for position, aggregation in aggregates.items():
-                args[position] = fold_aggregate(
-                    aggregation.function, groups[group_key].get(position, [])
-                )
-            from ..relations import Tuple as RelTuple
-
-            self.scope.insert_fact(
-                rule.head.pred, len(args), RelTuple(tuple(args))
-            )
+        apply_rule(self.scope, rule, executor, self._ranges)
 
     def iterations(self) -> Iterator[int]:
         """Run to fixpoint, yielding the number of new facts after each
@@ -391,3 +305,101 @@ class SCCEvaluator:
     def run_to_completion(self) -> int:
         """Drive :meth:`iterations` to the fixpoint; returns total new facts."""
         return sum(self.iterations())
+
+
+def apply_rule(scope: LocalScope, rule: SNRule, executor: BodyExecutor, ranges) -> None:
+    """Evaluate one semi-naive rule version against ``scope``, inserting
+    derived heads.  ``ranges(pred, kind)`` maps each body literal's scan kind
+    to a mark window (or None for the full extent).
+
+    Shared by :class:`SCCEvaluator` and the memo cache's incremental-refresh
+    path (:mod:`repro.eval.memo`), which replays base-predicate deltas
+    through the same rule machinery."""
+    stats = scope.ctx.stats
+    stats.rule_applications += 1
+    obs = scope.ctx.obs
+    entry = started = None
+    if obs is not None:
+        entry, started = obs.begin_rule(rule)
+    env = BindEnv()
+    trail = Trail()
+    if rule.head_aggregates:
+        _apply_aggregate(scope, rule, executor, env, trail, ranges)
+        if entry is not None:
+            obs.end_rule(entry, started)
+        return
+    head = rule.head
+    tracer = scope.ctx.tracer
+    for _ in executor.solutions(env, trail, ranges):
+        stats.inferences += 1
+        fact = instantiate_head(head.args, env)
+        if tracer is not None:
+            tracer.record(
+                head.pred,
+                f"{head.pred}{fact}",
+                str(rule),
+                tuple(
+                    f"{item.literal.pred}"
+                    f"{instantiate_head(item.literal.args, env)}"
+                    for item in rule.body
+                    if not item.literal.negated
+                    and not scope.ctx.is_builtin(
+                        item.literal.pred, item.literal.arity
+                    )
+                ),
+            )
+        inserted = scope.insert_fact(head.pred, len(head.args), fact)
+        if entry is not None:
+            if inserted:
+                entry.derived += 1
+            else:
+                entry.duplicates += 1
+    trail.undo_to(0)
+    if entry is not None:
+        obs.end_rule(entry, started)
+
+
+def _apply_aggregate(scope: LocalScope, rule: SNRule, executor: BodyExecutor, env, trail, ranges):
+    """A grouping rule (``min(<C>)`` heads): enumerate the complete body,
+    group by the non-aggregated head arguments, emit one fact per group.
+    Stratification guarantees the body's relations are complete here."""
+    stats = scope.ctx.stats
+    aggregates = dict(rule.head_aggregates)
+    plain_positions = [
+        position
+        for position in range(len(rule.head.args))
+        if position not in aggregates
+    ]
+    groups: Dict[tuple, Dict[int, list]] = {}
+    keys_seen: Dict[tuple, tuple] = {}
+    for _ in executor.solutions(env, trail, ranges):
+        stats.inferences += 1
+        plain_values = tuple(
+            resolve(rule.head.args[position], env)
+            for position in plain_positions
+        )
+        if not all(value.is_ground() for value in plain_values):
+            raise EvaluationError(
+                f"non-ground grouping arguments in {rule.head.pred}"
+            )
+        group_key = tuple(value.ground_key() for value in plain_values)
+        keys_seen[group_key] = plain_values
+        per_position = groups.setdefault(group_key, {})
+        for position, aggregation in aggregates.items():
+            value = resolve(aggregation.expr, env)
+            per_position.setdefault(position, []).append(value)
+    trail.undo_to(0)
+
+    for group_key, plain_values in keys_seen.items():
+        args: List = [None] * len(rule.head.args)
+        for position, value in zip(plain_positions, plain_values):
+            args[position] = value
+        for position, aggregation in aggregates.items():
+            args[position] = fold_aggregate(
+                aggregation.function, groups[group_key].get(position, [])
+            )
+        from ..relations import Tuple as RelTuple
+
+        scope.insert_fact(
+            rule.head.pred, len(args), RelTuple(tuple(args))
+        )

@@ -1,0 +1,809 @@
+"""Cross-query answer memoization with incremental invalidation.
+
+CORAL's module system already retains materialized answers *within* a call
+(and across calls under ``@save_module``, Section 5.4.2); this module
+retains them **across queries**: a per-module answer cache keyed by
+(predicate, adornment, bound-argument values) that keeps the magic /
+semi-naive fixpoint results of a module invocation alive so the next query
+with the same — or a *less* bound — subgoal is answered without
+re-evaluation.
+
+Three mechanisms make the cache safe:
+
+* **Subsumption serving.**  An entry computed for query form ``F`` with
+  bound values ``v`` answers any call whose ground positions include ``F``'s
+  'b' positions with equal values: a cached ``anc(bf)`` with ``X = a``
+  serves ``anc(a, Y)`` *and* ``anc(a, b)``; a cached all-free result serves
+  any more-bound call by filtering.  This is sound because the relation scan
+  contract returns *candidates* — every caller unifies each tuple against
+  its own pattern anyway.
+
+* **Incremental invalidation.**  ``Session.insert/delete`` (and the
+  ``assertz``/``retract`` builtins) report base-predicate changes to the
+  cache.  For *maintainable* entries (positive, aggregation-free,
+  single-module, interpreted, non-multiset) inserts are absorbed lazily by
+  delta semi-naive: per-SCC cross-query delta rule versions (``EXT_DELTA``
+  on one base literal, the base relation's mark recording what the entry has
+  consumed) re-seed the retained evaluators, which then resume their
+  fixpoint — exactly the marks machinery of Section 3.2.  Deletes run
+  DRed-style delete-rederive: over-delete everything derivable from the
+  deleted tuples (joining the remaining body against the *pre-state*,
+  current ∪ removed), then re-derive over-deleted tuples that still have an
+  independent proof.  Magic/supplementary-magic *magic* predicates are
+  exempt from over-deletion: an over-complete magic set only gates
+  relevance, never truth.  Above a configurable damage threshold — or for
+  any entry the incremental path cannot maintain (negation, aggregation,
+  cross-module calls, compiled or ordered-search evaluation) — the whole
+  entry is evicted and recomputed on next use.
+
+* **Snapshot pinning.**  Served answers are an immutable list captured at
+  lookup time; a refresh *replaces* the list rather than mutating it, so a
+  streaming cursor (the server's ``FETCH`` loop) never observes a
+  concurrent invalidation mid-cursor.
+
+Entries live in an LRU keyed store under a byte budget
+(:class:`MemoPolicy`); ``@memo`` / ``@no_memo`` module annotations and the
+``Session(memo=...)`` policy select which modules participate.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple as PyTuple,
+)
+
+from ..relations import (
+    GeneratorTupleIterator,
+    MarkedRelation,
+    Relation,
+    Tuple,
+    TupleIterator,
+)
+from ..rewriting.magic import MAGIC_PREFIX
+from ..rewriting.seminaive import ScanKind, SNLiteral, SNRule
+from ..terms import Atom, BindEnv, Double, Functor, Int, Str, Trail, Var
+from ..terms.unify import unify_fact
+from .fixpoint import apply_rule
+from .join import BodyExecutor, instantiate_head
+
+PredKey = PyTuple[str, int]
+
+#: entry key: (module, pred, arity, adornment, bound values at 'b' positions)
+EntryKey = PyTuple[str, str, int, str, tuple]
+
+
+@dataclass
+class MemoPolicy:
+    """Knobs for the cross-query answer cache (``Session(memo=...)``)."""
+
+    #: total byte budget across entries; least recently used evicted first
+    max_bytes: int = 32 * 1024 * 1024
+    #: refuse to retain any single entry larger than this (0 = max_bytes/4)
+    max_entry_bytes: int = 0
+    #: DRed bail-out: evict instead of repairing when over-deletion touches
+    #: more than this fraction of an entry's derived facts
+    damage_threshold: float = 0.5
+    #: memoize only modules carrying the ``@memo`` annotation
+    annotated_only: bool = False
+
+    def entry_budget(self) -> int:
+        return self.max_entry_bytes or max(1, self.max_bytes // 4)
+
+
+@dataclass
+class MemoStats:
+    """Counters surfaced through ``MemoCache.stats()``, the server's STATS
+    op, and (when profiling) ``repro.obs`` metrics."""
+
+    hits: int = 0
+    misses: int = 0
+    subsumption_hits: int = 0
+    invalidations: int = 0  # entries marked stale or evicted by an update
+    evictions: int = 0  # entries dropped (budget, damage, unmaintainable)
+    insert_refreshes: int = 0
+    delete_refreshes: int = 0
+    dred_overdeleted: int = 0
+    dred_rederived: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(vars(self))
+
+
+@dataclass
+class _ModuleInfo:
+    """Transitive facts about a module's rule set (cached per module)."""
+
+    base_deps: FrozenSet[PredKey]
+    impure: bool  # reaches a side-effecting builtin (assertz/retract, ...)
+
+
+class _DamageExceeded(Exception):
+    """DRed over-deletion crossed the damage threshold; evict instead."""
+
+
+class MemoEntry:
+    """One retained module invocation: its answers, its evaluators, and the
+    bookkeeping needed to maintain them incrementally."""
+
+    __slots__ = (
+        "key",
+        "module_name",
+        "pred",
+        "arity",
+        "form",
+        "call_args",
+        "answers",
+        "instance",
+        "deps",
+        "maintainable",
+        "stale_inserts",
+        "pending_deletes",
+        "base_seen",
+        "base_delta_rules",
+        "nbytes",
+    )
+
+    def __init__(self, key: EntryKey, module_name: str, pred: str, arity: int,
+                 form: str, call_args: Sequence) -> None:
+        self.key = key
+        self.module_name = module_name
+        self.pred = pred
+        self.arity = arity
+        self.form = form
+        self.call_args = list(call_args)
+        self.answers: List[Tuple] = []
+        self.instance = None
+        self.deps: FrozenSet[PredKey] = frozenset()
+        self.maintainable = False
+        self.stale_inserts = False
+        self.pending_deletes: Dict[PredKey, List[Tuple]] = {}
+        #: per base dep: the relation mark up to which inserts are absorbed
+        self.base_seen: Dict[PredKey, int] = {}
+        #: per evaluator index: [(SNRule, BodyExecutor)] replaying base deltas
+        self.base_delta_rules: List[List] = []
+        self.nbytes = 0
+
+    @property
+    def stale(self) -> bool:
+        return self.stale_inserts or bool(self.pending_deletes)
+
+
+class MemoCache:
+    """The per-session answer cache.  Installed as ``ctx.memo``; consulted
+    by :meth:`repro.modules.manager.ExportedRelation.scan`."""
+
+    def __init__(self, manager, policy: Optional[MemoPolicy] = None) -> None:
+        self.manager = manager
+        self.ctx = manager.ctx
+        self.policy = policy or MemoPolicy()
+        self.stats = MemoStats()
+        self._entries: "OrderedDict[EntryKey, MemoEntry]" = OrderedDict()
+        #: secondary index: (module, pred, arity) -> entry keys (subsumption)
+        self._by_pred: Dict[PyTuple[str, str, int], Set[EntryKey]] = {}
+        #: reverse dependency index: base PredKey -> entry keys
+        self._by_dep: Dict[PredKey, Set[EntryKey]] = {}
+        self._module_info: Dict[str, _ModuleInfo] = {}
+        self._module_eligible: Dict[str, bool] = {}
+        self._building: Set[EntryKey] = set()
+        self.total_bytes = 0
+        #: bumped by every invalidation; guards mid-build staleness
+        self.generation = 0
+
+    # -- public bookkeeping ----------------------------------------------------
+
+    def snapshot(self) -> Dict[str, int]:
+        counters = self.stats.snapshot()
+        counters["entries"] = len(self._entries)
+        counters["bytes"] = self.total_bytes
+        return counters
+
+    def clear(self) -> None:
+        """Drop everything — called on module load/unload, which can change
+        what any predicate name resolves to."""
+        self.generation += 1
+        self._entries.clear()
+        self._by_pred.clear()
+        self._by_dep.clear()
+        self._module_info.clear()
+        self._module_eligible.clear()
+        self.total_bytes = 0
+
+    # -- invalidation hooks (Session.insert/delete, assertz/retract) -----------
+
+    def on_insert(self, key: PredKey) -> None:
+        self.generation += 1
+        for entry_key in list(self._by_dep.get(key, ())):
+            entry = self._entries.get(entry_key)
+            if entry is None:
+                continue
+            self.stats.invalidations += 1
+            self._trace("memo.invalidate", entry, change=f"+{key[0]}/{key[1]}")
+            if entry.maintainable:
+                entry.stale_inserts = True
+            else:
+                self._evict(entry)
+
+    def on_delete(self, key: PredKey, tup: Tuple) -> None:
+        self.generation += 1
+        for entry_key in list(self._by_dep.get(key, ())):
+            entry = self._entries.get(entry_key)
+            if entry is None:
+                continue
+            self.stats.invalidations += 1
+            self._trace("memo.invalidate", entry, change=f"-{key[0]}/{key[1]}")
+            if entry.maintainable:
+                entry.pending_deletes.setdefault(key, []).append(tup)
+            else:
+                self._evict(entry)
+
+    # -- lookup (the ExportedRelation.scan hook) -------------------------------
+
+    def lookup(
+        self,
+        module_name: str,
+        export,
+        resolved: Sequence,
+        bound: Sequence[bool],
+    ) -> Optional[TupleIterator]:
+        """Serve (or compute-and-retain) the call ``export.pred(resolved)``.
+        Returns None when the module is not memoizable — the caller then
+        falls through to the ordinary un-memoized path."""
+        if not self._eligible(module_name):
+            return None
+        form = self.manager.choose_form(export, bound)
+        key_values = tuple(
+            resolved[position].ground_key()
+            for position, flag in enumerate(form)
+            if flag == "b"
+        )
+        key: EntryKey = (module_name, export.pred, export.arity, form, key_values)
+        if key in self._building:
+            return None  # cross-module recursion back into a building entry
+
+        entry = self._entries.get(key)
+        if entry is not None and self._freshen(entry):
+            self.stats.hits += 1
+            self._entries.move_to_end(key)
+            self._trace("memo.hit", entry)
+            return _serve(entry.answers, resolved, form)
+        if entry is None:
+            served = self._subsumption_lookup(key, resolved, bound)
+            if served is not None:
+                return served
+        return self._build(key, module_name, export, form, resolved)
+
+    # -- internals -------------------------------------------------------------
+
+    def _trace(self, name: str, entry: MemoEntry, **extra) -> None:
+        obs = self.ctx.obs
+        if obs is not None:
+            obs.event(
+                name,
+                cat="memo",
+                module=entry.module_name,
+                pred=f"{entry.pred}/{entry.arity}",
+                form=entry.form,
+                **extra,
+            )
+
+    def _eligible(self, module_name: str) -> bool:
+        cached = self._module_eligible.get(module_name)
+        if cached is not None:
+            return cached
+        module = self.manager.modules.get(module_name)
+        ok = module is not None
+        if ok:
+            if module.has_flag("no_memo") or module.has_flag("pipelining") \
+                    or module.has_flag("save_module"):
+                ok = False
+            elif self.policy.annotated_only and not module.has_flag("memo"):
+                ok = False
+            else:
+                ok = not self._info(module_name).impure
+        self._module_eligible[module_name] = ok
+        return ok
+
+    def _info(self, module_name: str, _visiting: Optional[Set[str]] = None) -> _ModuleInfo:
+        cached = self._module_info.get(module_name)
+        if cached is not None:
+            return cached
+        visiting = _visiting or set()
+        visiting.add(module_name)
+        module = self.manager.modules[module_name]
+        defined = set(module.defined_predicates())
+        base: Set[PredKey] = set()
+        impure = False
+        for rule in module.rules:
+            for literal in rule.body:
+                lkey = literal.key
+                builtin = self.ctx.builtins.lookup(*lkey)
+                if builtin is not None:
+                    impure = impure or not builtin.pure
+                    continue
+                if lkey in defined:
+                    continue
+                exported = self.manager.exports.get(lkey)
+                if exported is not None:
+                    other = exported[0]
+                    if other in visiting:
+                        continue
+                    info = self._info(other, visiting)
+                    base |= info.base_deps
+                    impure = impure or info.impure
+                else:
+                    base.add(lkey)
+        info = _ModuleInfo(frozenset(base), impure)
+        self._module_info[module_name] = info
+        return info
+
+    def _subsumption_lookup(
+        self, key: EntryKey, resolved: Sequence, bound: Sequence[bool]
+    ) -> Optional[TupleIterator]:
+        """An existing entry whose bound positions are a subset of this
+        call's ground positions (with equal values) serves by filtering."""
+        module_name, pred, arity = key[0], key[1], key[2]
+        for entry_key in self._by_pred.get((module_name, pred, arity), ()):
+            entry = self._entries.get(entry_key)
+            if entry is None:
+                continue
+            form = entry.form
+            usable = all(
+                flag == "f"
+                or (bound[position]
+                    and resolved[position].ground_key() == entry.key[4][
+                        sum(1 for f in form[:position] if f == "b")])
+                for position, flag in enumerate(form)
+            )
+            if not usable:
+                continue
+            if not self._freshen(entry):
+                continue  # evicted during refresh; retry others
+            self.stats.hits += 1
+            self.stats.subsumption_hits += 1
+            self._entries.move_to_end(entry.key)
+            self._trace("memo.hit", entry, subsumed_by=entry.form)
+            return _serve(entry.answers, resolved)
+        return None
+
+    def _build(
+        self, key: EntryKey, module_name: str, export, form: str,
+        resolved: Sequence,
+    ) -> TupleIterator:
+        """Cache miss: evaluate the *canonical* call for this key (bound
+        values at the form's 'b' positions, fresh variables elsewhere),
+        retain the instance, and serve the caller by filtering."""
+        self.stats.misses += 1
+        generation = self.generation
+        call_args = [
+            resolved[position] if flag == "b" else Var("_")
+            for position, flag in enumerate(form)
+        ]
+        entry = MemoEntry(key, module_name, export.pred, export.arity, form,
+                          call_args)
+        instance = self.manager.instance_for(module_name, export.pred, form)
+        entry.instance = instance
+        self._analyze(entry)
+        self._record_base_marks(entry)
+        self._building.add(key)
+        try:
+            entry.answers = list(instance.call(call_args))
+        finally:
+            self._building.discard(key)
+        self._trace("memo.miss", entry, answers=len(entry.answers))
+        entry.nbytes = _estimate_entry_bytes(entry)
+        if generation == self.generation and \
+                entry.nbytes <= self.policy.entry_budget():
+            self._store(entry)
+        return _serve(entry.answers, resolved, form)
+
+    def _analyze(self, entry: MemoEntry) -> None:
+        """Direct base deps of the compiled form, the transitive deps of any
+        modules it calls, and whether incremental maintenance is possible."""
+        instance = entry.instance
+        compiled = instance.compiled
+        scope = instance.scope
+        deps: Set[PredKey] = set()
+        maintainable = not (
+            compiled.compiled
+            or compiled.ordered_search
+            or compiled.constraints
+            or compiled.multiset_preds
+        )
+        for rule in compiled.rewritten.rules:
+            if rule.head_aggregates:
+                maintainable = False
+            for literal in rule.body:
+                lkey = literal.key
+                if self.ctx.builtins.lookup(*lkey) is not None:
+                    continue
+                if literal.negated:
+                    maintainable = False
+                if scope.is_local(*lkey):
+                    continue
+                exported = self.manager.exports.get(lkey)
+                if exported is not None:
+                    maintainable = False  # cross-module: evict on update
+                    info = self._info(exported[0])
+                    deps |= info.base_deps
+                else:
+                    deps.add(lkey)
+        if maintainable:
+            for dep in deps:
+                relation = self.ctx.base_relation(*dep)
+                if not isinstance(relation, MarkedRelation):
+                    maintainable = False  # no marks: cannot track deltas
+                    break
+        entry.deps = frozenset(deps)
+        entry.maintainable = maintainable
+        if maintainable:
+            self._build_base_delta_rules(entry)
+
+    def _build_base_delta_rules(self, entry: MemoEntry) -> None:
+        """For every rule and every base body literal, a delta version
+        scanning that literal's *unconsumed* base facts (EXT_DELTA ranged by
+        ``entry.base_seen``) against the full extent of everything else —
+        the cross-query analogue of ``ext_rewrite``."""
+        instance = entry.instance
+        scope = instance.scope
+        use_backjumping = instance.compiled.use_backjumping
+        entry.base_delta_rules = []
+        for plan in instance.compiled.scc_plans:
+            versions = []
+            for rule in plan.rules:
+                for position, literal in enumerate(rule.body):
+                    if literal.negated or literal.key not in entry.deps:
+                        continue
+                    body = tuple(
+                        SNLiteral(
+                            item,
+                            ScanKind.EXT_DELTA if index == position
+                            else ScanKind.ALL,
+                        )
+                        for index, item in enumerate(rule.body)
+                    )
+                    sn_rule = SNRule(rule.head, body, rule.head_aggregates,
+                                     once=True)
+                    versions.append(
+                        (sn_rule, BodyExecutor(scope, body, use_backjumping))
+                    )
+            entry.base_delta_rules.append(versions)
+
+    def _record_base_marks(self, entry: MemoEntry) -> None:
+        if not entry.maintainable:
+            return
+        for dep in entry.deps:
+            relation = self.ctx.base_relation(*dep)
+            entry.base_seen[dep] = relation.mark()
+
+    def _store(self, entry: MemoEntry) -> None:
+        old = self._entries.get(entry.key)
+        if old is not None:
+            self._evict(old)
+        self._entries[entry.key] = entry
+        self._by_pred.setdefault(
+            (entry.module_name, entry.pred, entry.arity), set()
+        ).add(entry.key)
+        for dep in entry.deps:
+            self._by_dep.setdefault(dep, set()).add(entry.key)
+        self.total_bytes += entry.nbytes
+        while self.total_bytes > self.policy.max_bytes and self._entries:
+            oldest = next(iter(self._entries.values()))
+            self._evict(oldest)
+
+    def _evict(self, entry: MemoEntry) -> None:
+        if self._entries.pop(entry.key, None) is None:
+            return
+        self.stats.evictions += 1
+        self.total_bytes -= entry.nbytes
+        pred_key = (entry.module_name, entry.pred, entry.arity)
+        bucket = self._by_pred.get(pred_key)
+        if bucket is not None:
+            bucket.discard(entry.key)
+            if not bucket:
+                del self._by_pred[pred_key]
+        for dep in entry.deps:
+            bucket = self._by_dep.get(dep)
+            if bucket is not None:
+                bucket.discard(entry.key)
+                if not bucket:
+                    del self._by_dep[dep]
+
+    # -- incremental refresh ---------------------------------------------------
+
+    def _freshen(self, entry: MemoEntry) -> bool:
+        """Bring a stale entry up to date in place.  Returns False when the
+        entry was evicted instead (damage threshold, unexpected failure) —
+        the caller falls back to a rebuild."""
+        if not entry.stale:
+            return True
+        try:
+            if entry.pending_deletes:
+                self._refresh_deletes(entry)
+                self.stats.delete_refreshes += 1
+            if entry.stale_inserts:
+                self._refresh_inserts(entry)
+                self.stats.insert_refreshes += 1
+        except Exception:
+            # any repair failure degrades to eviction: correctness comes
+            # from recomputation, the cache only ever skips work
+            self._evict(entry)
+            return False
+        entry.pending_deletes = {}
+        entry.stale_inserts = False
+        self._record_base_marks(entry)
+        old_bytes = entry.nbytes
+        entry.answers = self._collect_answers(entry)
+        entry.nbytes = _estimate_entry_bytes(entry)
+        self.total_bytes += entry.nbytes - old_bytes
+        self._trace("memo.refresh", entry, answers=len(entry.answers))
+        return True
+
+    def _collect_answers(self, entry: MemoEntry) -> List[Tuple]:
+        return list(entry.instance._answer_cursor(entry.call_args, since=0))
+
+    def _refresh_inserts(self, entry: MemoEntry) -> None:
+        """Absorb base-predicate inserts: replay each SCC's base-delta rule
+        versions over the unconsumed slice of every base relation, then let
+        the retained evaluators resume their fixpoint (their own EXT rules
+        pick up growth of earlier SCCs)."""
+        scope = entry.instance.scope
+        base_seen = entry.base_seen
+
+        def ranges(pred: PredKey, kind: ScanKind):
+            if kind is ScanKind.EXT_DELTA:
+                return (base_seen.get(pred, 0), None)
+            return None
+
+        for index, evaluator in enumerate(entry.instance.evaluators):
+            for sn_rule, executor in entry.base_delta_rules[index]:
+                apply_rule(scope, sn_rule, executor, ranges)
+            evaluator.run_to_completion()
+
+    def _refresh_deletes(self, entry: MemoEntry) -> None:
+        """DRed delete-rederive over the entry's retained local relations."""
+        instance = entry.instance
+        scope = instance.scope
+        rewritten = instance.compiled.rewritten
+        magic_names = {
+            name for name in (rewritten.magic_pred,) if name is not None
+        }
+        for adorned in rewritten.origin:
+            magic_names.add(MAGIC_PREFIX + adorned)
+
+        total = sum(len(relation) for relation in scope.local.values())
+        budget = max(64, int(self.policy.damage_threshold * total))
+        use_backjumping = instance.compiled.use_backjumping
+
+        # pre-state view: current contents plus everything removed so far
+        removed_store: Dict[PredKey, List[Tuple]] = {
+            key: list(tuples) for key, tuples in entry.pending_deletes.items()
+        }
+        pre_state = _PreStateScope(scope, removed_store)
+
+        # --- over-delete: propagate deletion deltas to fixpoint -------------
+        over_deleted: List[PyTuple[PredKey, Tuple]] = []
+        wave = {key: list(tuples) for key, tuples in entry.pending_deletes.items()}
+        executors: Dict[PyTuple[int, int], BodyExecutor] = {}
+        rules = list(rewritten.rules)
+        while wave:
+            next_wave: Dict[PredKey, List[Tuple]] = {}
+            for rule_index, rule in enumerate(rules):
+                head_key = rule.head.key
+                if rule.head.pred in magic_names:
+                    continue  # over-complete magic is sound; never shrink it
+                head_relation = scope.local.get(head_key)
+                if head_relation is None:
+                    continue
+                for position, literal in enumerate(rule.body):
+                    deleted = wave.get(literal.key)
+                    if not deleted or literal.negated \
+                            or self.ctx.builtins.lookup(*literal.key):
+                        continue
+                    executor = executors.get((rule_index, position))
+                    if executor is None:
+                        rest = tuple(
+                            SNLiteral(item, ScanKind.ALL)
+                            for index, item in enumerate(rule.body)
+                            if index != position
+                        )
+                        executor = BodyExecutor(pre_state, rest, use_backjumping)
+                        executors[(rule_index, position)] = executor
+                    for tup in deleted:
+                        env = BindEnv()
+                        trail = Trail()
+                        if not unify_fact(
+                            literal.args, env, tup.renamed().args, trail
+                        ):
+                            trail.undo_to(0)
+                            continue
+                        for _ in executor.solutions(env, trail, None):
+                            head_fact = instantiate_head(rule.head.args, env)
+                            if head_relation.delete(head_fact):
+                                over_deleted.append((head_key, head_fact))
+                                next_wave.setdefault(head_key, []).append(
+                                    head_fact
+                                )
+                                if len(over_deleted) > budget:
+                                    raise _DamageExceeded()
+                        trail.undo_to(0)
+            for key, tuples in next_wave.items():
+                removed_store.setdefault(key, []).extend(tuples)
+            wave = next_wave
+        self.stats.dred_overdeleted += len(over_deleted)
+
+        # --- re-derive: restore over-deleted tuples with surviving proofs ---
+        rules_by_head: Dict[PredKey, List] = {}
+        for rule in rules:
+            rules_by_head.setdefault(rule.head.key, []).append(rule)
+        full_executors: Dict[int, BodyExecutor] = {}
+        pending = list(over_deleted)
+        while pending:
+            progressed = False
+            remaining: List[PyTuple[PredKey, Tuple]] = []
+            for head_key, tup in pending:
+                if self._rederivable(
+                    scope, rules_by_head.get(head_key, ()), rules, tup,
+                    full_executors, use_backjumping,
+                ):
+                    scope.local[head_key].insert(tup)
+                    self.stats.dred_rederived += 1
+                    progressed = True
+                else:
+                    remaining.append((head_key, tup))
+            if not progressed:
+                break  # the rest have no support left: correctly deleted
+            pending = remaining
+
+    def _rederivable(
+        self, scope, candidate_rules, all_rules, tup, executors, use_backjumping
+    ) -> bool:
+        """Does some rule still derive ``tup`` over the *current* state?"""
+        target_key = tup.key()
+        for rule in candidate_rules:
+            rule_id = id(rule)
+            executor = executors.get(rule_id)
+            if executor is None:
+                body = tuple(
+                    SNLiteral(item, ScanKind.ALL) for item in rule.body
+                )
+                executor = BodyExecutor(scope, body, use_backjumping)
+                executors[rule_id] = executor
+            env = BindEnv()
+            trail = Trail()
+            if not unify_fact(rule.head.args, env, tup.renamed().args, trail):
+                trail.undo_to(0)
+                continue
+            for _ in executor.solutions(env, trail, None):
+                head_fact = instantiate_head(rule.head.args, env)
+                if head_fact.key() == target_key or tup.is_ground():
+                    trail.undo_to(0)
+                    return True
+            trail.undo_to(0)
+        return False
+
+
+# -- serving -------------------------------------------------------------------
+
+
+def _serve(
+    answers: List[Tuple], resolved: Sequence, form: Optional[str] = None
+) -> TupleIterator:
+    """A cursor over a pinned answer snapshot, filtered down to tuples
+    compatible with the call's (possibly more-bound) arguments.  The list
+    reference is captured here, so a refresh replacing ``entry.answers``
+    never disturbs an open cursor.
+
+    When the caller knows the entry's adornment ``form``, the common case —
+    ground arguments exactly at the 'b' positions (equal to the entry key
+    by construction) and pairwise-distinct free variables elsewhere —
+    serves the snapshot without per-answer unification.
+    """
+    if form is not None:
+        seen_vars: Set[int] = set()
+        for position, flag in enumerate(form):
+            if flag == "b":
+                continue
+            arg = resolved[position]
+            if not isinstance(arg, Var) or id(arg) in seen_vars:
+                break
+            seen_vars.add(id(arg))
+        else:
+            return GeneratorTupleIterator(iter(answers))
+    pattern = list(resolved)
+
+    def generate() -> Iterator[Tuple]:
+        env = BindEnv()
+        trail = Trail()
+        for fact in answers:
+            mark = trail.mark()
+            matched = unify_fact(pattern, env, fact.args, trail)
+            trail.undo_to(mark)
+            if matched:
+                yield fact
+
+    return GeneratorTupleIterator(generate())
+
+
+class _UnionRelation(Relation):
+    """Pre-state view of one relation: current contents ∪ removed tuples."""
+
+    def __init__(self, current: Relation, removed: Sequence[Tuple]) -> None:
+        super().__init__(current.name, current.arity)
+        self.current = current
+        self.removed = removed
+
+    def insert(self, tup: Tuple) -> bool:  # pragma: no cover - never written
+        raise NotImplementedError("pre-state views are read-only")
+
+    def delete(self, tup: Tuple) -> bool:  # pragma: no cover - never written
+        raise NotImplementedError("pre-state views are read-only")
+
+    def __len__(self) -> int:
+        return len(self.current) + len(self.removed)
+
+    def scan(self, pattern=None, env=None) -> TupleIterator:
+        def generate() -> Iterator[Tuple]:
+            cursor = self.current.scan(pattern, env)
+            try:
+                while True:
+                    candidate = cursor.get_next()
+                    if candidate is None:
+                        break
+                    yield candidate
+            finally:
+                cursor.close()
+            yield from self.removed
+
+        return GeneratorTupleIterator(generate())
+
+
+class _PreStateScope:
+    """A :class:`LocalScope` stand-in whose relations show the pre-deletion
+    state (current ∪ removed), for DRed's over-deletion joins."""
+
+    def __init__(self, scope, removed: Dict[PredKey, List[Tuple]]) -> None:
+        self._scope = scope
+        self.ctx = scope.ctx
+        self._removed = removed
+
+    def relation(self, name: str, arity: int) -> Relation:
+        underlying = self._scope.relation(name, arity)
+        removed = self._removed.get((name, arity))
+        if removed:
+            return _UnionRelation(underlying, removed)
+        return underlying
+
+
+# -- sizing --------------------------------------------------------------------
+
+
+def _estimate_arg_bytes(arg) -> int:
+    if isinstance(arg, Str):
+        return 56 + len(arg.value)
+    if isinstance(arg, (Int, Double, Atom, Var)):
+        return 32
+    if isinstance(arg, Functor):
+        return 56 + sum(_estimate_arg_bytes(child) for child in arg.args)
+    return 48
+
+
+def _estimate_tuple_bytes(tup: Tuple) -> int:
+    return 56 + sum(_estimate_arg_bytes(arg) for arg in tup.args)
+
+
+def _estimate_entry_bytes(entry: MemoEntry) -> int:
+    answer_bytes = sum(_estimate_tuple_bytes(tup) for tup in entry.answers)
+    scope_bytes = 0
+    if entry.instance is not None:
+        for (name, arity), relation in entry.instance.scope.local.items():
+            scope_bytes += len(relation) * (64 + 32 * arity)
+    return 1024 + answer_bytes + scope_bytes

@@ -179,6 +179,10 @@ MODULE_FLAGS = {
     "psn",
     "multiset",
     "compiled",
+    # cross-query answer memoization (repro.eval.memo): @memo opts a module
+    # in under Session(memo="annotated"); @no_memo always opts out
+    "memo",
+    "no_memo",
     # ablation switches (benchmarking the optimizer's run-time decisions)
     "no_backjumping",
     "no_index_selection",

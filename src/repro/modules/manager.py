@@ -77,6 +77,9 @@ class ModuleManager:
             self.exports[(export.pred, export.arity)] = (module.name, export)
         if module.has_flag("pipelining"):
             self._pipelined[module.name] = PipelinedModule(self.ctx, module)
+        if self.ctx.memo is not None:
+            # loading can change what any predicate name resolves to
+            self.ctx.memo.clear()
 
     def unload(self, name: str) -> None:
         module = self.modules.pop(name, None)
@@ -89,6 +92,8 @@ class ModuleManager:
             del self._compiled[key]
         for key in [k for k in self._saved if k[0] == name]:
             del self._saved[key]
+        if self.ctx.memo is not None:
+            self.ctx.memo.clear()
 
     # -- resolution (Section 5.6) -------------------------------------------------
 
@@ -210,6 +215,12 @@ class ExportedRelation(Relation):
         pipelined = self.manager.pipelined(self.module_name)
         if pipelined is not None:
             return pipelined.answers(self.name, resolved, None)
+
+        memo = self.manager.ctx.memo
+        if memo is not None:
+            served = memo.lookup(self.module_name, self.export, resolved, bound)
+            if served is not None:
+                return served
 
         form = self.manager.choose_form(self.export, bound)
         instance = self.manager.instance_for(self.module_name, self.name, form)

@@ -104,6 +104,7 @@ class QueryProfile:
         storage: Optional[Dict[str, object]],
         registry: MetricsRegistry,
         tracer: Optional[EventTracer],
+        memo: Optional[Dict[str, int]] = None,
     ) -> None:
         self.wall_time = wall_time
         self.eval = eval_stats
@@ -114,6 +115,9 @@ class QueryProfile:
         self.storage = storage
         self.registry = registry
         self.tracer = tracer
+        #: cross-query memo-cache counter deltas over the profiled block
+        #: (hits, misses, invalidations, ...; None when memoization is off)
+        self.memo = memo
 
     # -- the headline numbers ------------------------------------------------
 
@@ -137,7 +141,7 @@ class QueryProfile:
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-safe structured form (what the benchmarks emit)."""
-        return {
+        payload = {
             "wall_time": self.wall_time,
             "eval": dict(self.eval),
             "rules": [dict(rule) for rule in self.rules],
@@ -150,6 +154,9 @@ class QueryProfile:
             "storage": self.storage,
             "metrics": self.registry.collect(),
         }
+        if self.memo is not None:  # only sessions with the cache enabled
+            payload["memo"] = self.memo
+        return payload
 
     def save_json(self, path: str) -> None:
         with open(path, "w") as handle:
@@ -317,6 +324,8 @@ class Profiler:
             raise CoralError("a profiler is already installed on this context")
         self._t0 = self._clock()
         self._eval_before = self.ctx.stats.snapshot()
+        memo = getattr(self.ctx, "memo", None)
+        self._memo_before = memo.snapshot() if memo is not None else None
         if self.pool is not None:
             self._buffer_before = self.pool.stats.snapshot()
             btree = self.pool.btree_stats
@@ -525,7 +534,18 @@ class Profiler:
             storage.setdefault("journal", {"appends": 0, "fsyncs": 0})
             storage.setdefault("fault_points", {})
 
-        self._publish_metrics(eval_stats, rules, subgoals, scans, storage)
+        memo_stats: Optional[Dict[str, int]] = None
+        memo = getattr(self.ctx, "memo", None)
+        if memo is not None and self._memo_before is not None:
+            after = memo.snapshot()
+            memo_stats = self._delta(self._memo_before, after)
+            # entries/bytes are gauges, not counters: report the level
+            memo_stats["entries"] = after["entries"]
+            memo_stats["bytes"] = after["bytes"]
+
+        self._publish_metrics(
+            eval_stats, rules, subgoals, scans, storage, memo_stats
+        )
         return QueryProfile(
             wall_time=wall,
             eval_stats=eval_stats,
@@ -536,9 +556,12 @@ class Profiler:
             storage=storage,
             registry=self.registry,
             tracer=self.tracer,
+            memo=memo_stats,
         )
 
-    def _publish_metrics(self, eval_stats, rules, subgoals, scans, storage):
+    def _publish_metrics(
+        self, eval_stats, rules, subgoals, scans, storage, memo_stats=None
+    ):
         """Flush the hot-path accumulators into the registry so a single
         ``registry.collect()`` (or ``profile.to_dict()["metrics"]``) carries
         every counter under its stable name."""
@@ -596,3 +619,20 @@ class Profiler:
                 for stat, value in storage[group].items():
                     if value:
                         counter.inc(value, stat)
+        if memo_stats:
+            memo_counter = registry.counter(
+                "memo.events",
+                "cross-query memo cache activity over the profiled block",
+                ("stat",),
+            )
+            for stat, value in memo_stats.items():
+                if stat in ("entries", "bytes"):
+                    continue
+                if value:
+                    memo_counter.inc(value, stat)
+            registry.gauge(
+                "memo.entries", "retained memo entries"
+            ).set(memo_stats["entries"])
+            registry.gauge(
+                "memo.bytes", "estimated bytes retained by the memo cache"
+            ).set(memo_stats["bytes"])

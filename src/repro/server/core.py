@@ -542,10 +542,15 @@ class CoralServer:
             requests_total = self._requests_total
         with self._db_lock:
             eval_stats = self.session.stats.snapshot()
-        return {
+            memo = getattr(self.session, "memo", None)
+            memo_stats = memo.snapshot() if memo is not None else None
+        payload = {
             "connections": connections,
             "cursors": cursors,
             "requests": requests_total,
             "eval": eval_stats,
             "metrics": self.metrics.collect(),
         }
+        if memo_stats is not None:
+            payload["memo"] = memo_stats
+        return payload

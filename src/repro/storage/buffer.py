@@ -20,7 +20,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple as PyTuple
 
-from ..errors import StorageError
+from ..errors import SessionClosedError, StorageError
 from .file import StorageServer
 from .pages import Page
 
@@ -82,8 +82,21 @@ class BufferPool:
 
     # -- pin / unpin ---------------------------------------------------------
 
+    def _require_open(self) -> None:
+        """Even cache hits are refused once the server is closed: a page
+        served from a dead stack would never be flushed, and writes against
+        it would be silently lost (the server used to lazily re-open page
+        files on demand, masking exactly that)."""
+        if self.server.closed:
+            raise SessionClosedError(
+                "storage is closed: the owning session (or its storage "
+                "server) was shut down; reopen storage before touching "
+                "persistent relations"
+            )
+
     def fetch_page(self, file_name: str, page_id: int) -> Page:
         """Pin and return the page, reading it from the server on a miss."""
+        self._require_open()
         key = (file_name, page_id)
         page = self._frames.get(key)
         if page is not None:
@@ -101,6 +114,7 @@ class BufferPool:
 
     def new_page(self, file_name: str) -> Page:
         """Allocate a fresh page at the server and pin it."""
+        self._require_open()
         self._ensure_frame_available()
         page_id = self.server.allocate_page(file_name)
         page = Page(file_name, page_id)

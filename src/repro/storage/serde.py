@@ -69,25 +69,41 @@ def encode_arg(arg: Arg) -> bytes:
 
 
 def decode_arg(data: bytes, offset: int) -> PyTuple[Arg, int]:
-    """Decode one argument starting at ``offset``; returns (arg, new offset)."""
+    """Decode one argument starting at ``offset``; returns (arg, new offset).
+
+    Every way a corrupt buffer can fail — truncated mid-field, short
+    payload, invalid UTF-8 — surfaces as :class:`StorageError`, never as a
+    raw ``struct.error``/``IndexError``/``UnicodeDecodeError``.
+    """
+    if offset >= len(data):
+        raise StorageError("corrupt record: truncated argument tag")
     tag = data[offset]
     offset += 1
-    if tag == _TAG_INT:
-        (value,) = struct.unpack_from(">q", data, offset)
-        return Int(value), offset + 8
-    if tag == _TAG_DOUBLE:
-        (value,) = struct.unpack_from(">d", data, offset)
-        return Double(value), offset + 8
-    if tag in (_TAG_STR, _TAG_ATOM, _TAG_BIGNUM):
-        (length,) = struct.unpack_from(">I", data, offset)
-        offset += 4
-        payload = data[offset : offset + length]
-        offset += length
-        if tag == _TAG_STR:
-            return Str(payload.decode("utf-8")), offset
-        if tag == _TAG_ATOM:
-            return Atom(payload.decode("utf-8")), offset
-        return BigNum(int.from_bytes(payload, "big", signed=True)), offset
+    try:
+        if tag == _TAG_INT:
+            (value,) = struct.unpack_from(">q", data, offset)
+            return Int(value), offset + 8
+        if tag == _TAG_DOUBLE:
+            (value,) = struct.unpack_from(">d", data, offset)
+            return Double(value), offset + 8
+        if tag in (_TAG_STR, _TAG_ATOM, _TAG_BIGNUM):
+            (length,) = struct.unpack_from(">I", data, offset)
+            offset += 4
+            payload = data[offset : offset + length]
+            if len(payload) != length:
+                raise StorageError(
+                    "corrupt record: truncated argument payload"
+                )
+            offset += length
+            if tag == _TAG_STR:
+                return Str(payload.decode("utf-8")), offset
+            if tag == _TAG_ATOM:
+                return Atom(payload.decode("utf-8")), offset
+            return BigNum(int.from_bytes(payload, "big", signed=True)), offset
+    except struct.error:
+        raise StorageError("corrupt record: truncated argument") from None
+    except UnicodeDecodeError:
+        raise StorageError("corrupt record: invalid UTF-8 payload") from None
     raise StorageError(f"corrupt record: unknown type tag {tag}")
 
 
@@ -101,7 +117,10 @@ def encode_tuple(args: Sequence[Arg]) -> bytes:
 
 def decode_tuple(data: bytes) -> List[Arg]:
     """Decode a heap record back into its argument list."""
-    (count,) = struct.unpack_from(">H", data, 0)
+    try:
+        (count,) = struct.unpack_from(">H", data, 0)
+    except struct.error:
+        raise StorageError("corrupt record: truncated arity header") from None
     offset = 2
     args: List[Arg] = []
     for _ in range(count):

@@ -1,0 +1,267 @@
+"""Differential testing harness (ISSUE 4, satellite 1).
+
+A seeded generator produces small stratified Datalog programs plus
+query/update interleavings, and every evaluation configuration —
+semi-naive (BSN and PSN), pipelined, compiled, magic-on, magic-off,
+memo-on and memo-off — must return identical answer multisets.
+
+Materialized engines use set semantics, so answers are compared as sorted
+duplicate-free lists; the pipelined engine enumerates one answer per proof
+and is compared as a set.  Failures dump a standalone repro file under
+``tests/_diff_failures/`` so a seed can be replayed without the harness.
+
+``REPRO_DIFF_CASES`` overrides the number of generated cases (default 200:
+120 static programs + 80 query/update interleavings).
+"""
+
+import os
+import random
+from pathlib import Path
+
+import pytest
+
+from repro import Session
+
+_FAILURE_DIR = Path(__file__).parent / "_diff_failures"
+
+_TOTAL_CASES = max(10, int(os.environ.get("REPRO_DIFF_CASES", "200")))
+_N_STATIC = (_TOTAL_CASES * 3) // 5
+_N_INTERLEAVED = _TOTAL_CASES - _N_STATIC
+
+
+# ---------------------------------------------------------------------------
+# program generator
+# ---------------------------------------------------------------------------
+
+
+class GeneratedCase:
+    """A random stratified program: base facts, derived rules, queries."""
+
+    def __init__(self, seed: int, allow_negation: bool) -> None:
+        rng = random.Random(seed)
+        self.seed = seed
+        self.domain = list(range(1, rng.randint(4, 7) + 1))
+        self.base_preds = ["b0", "b1"]
+        self.derived_preds = [f"d{i}" for i in range(rng.randint(2, 4))]
+        self.facts = {
+            pred: self._random_facts(rng) for pred in self.base_preds
+        }
+        self.recursive = False
+        self.has_negation = False
+        self.rules = []
+        for level, pred in enumerate(self.derived_preds):
+            for _ in range(rng.randint(1, 3)):
+                self.rules.append(
+                    self._random_rule(rng, pred, level, allow_negation)
+                )
+        self.queries = self._random_queries(rng)
+
+    def _random_facts(self, rng):
+        count = rng.randint(3, 8)
+        universe = [
+            (x, y) for x in self.domain for y in self.domain if x != y
+        ]
+        return set(rng.sample(universe, min(count, len(universe))))
+
+    def _positive_sources(self, level):
+        """Predicates a positive body literal at this stratum may use."""
+        return self.base_preds + self.derived_preds[:level]
+
+    def _random_rule(self, rng, pred, level, allow_negation):
+        sources = self._positive_sources(level)
+        shape = rng.choice(["copy", "swap", "chain", "chain", "recursive"])
+        if shape == "recursive" and level == 0:
+            shape = "chain"
+        if shape == "copy":
+            body = [f"{rng.choice(sources)}(X, Y)"]
+        elif shape == "swap":
+            body = [f"{rng.choice(sources)}(Y, X)"]
+        elif shape == "chain":
+            body = [f"{rng.choice(sources)}(X, Z)", f"{rng.choice(sources)}(Z, Y)"]
+        else:  # recursive: d_i joins a lower predicate with itself
+            self.recursive = True
+            body = [f"{rng.choice(sources)}(X, Z)", f"{pred}(Z, Y)"]
+        if allow_negation and shape != "recursive" and rng.random() < 0.4:
+            # strictly-lower stratum, all variables bound: stratified + safe
+            self.has_negation = True
+            body.append(f"not {rng.choice(sources)}(X, Y)")
+        return f"{pred}(X, Y) :- {', '.join(body)}."
+
+    def _random_queries(self, rng):
+        queries = []
+        free_pred = rng.choice(self.derived_preds)
+        queries.append(f"{free_pred}(X, Y)")
+        for _ in range(2):
+            queries.append(
+                f"{rng.choice(self.derived_preds)}({rng.choice(self.domain)}, Y)"
+            )
+        return queries
+
+    def program(self, flags: str = "") -> str:
+        lines = []
+        for pred in self.base_preds:
+            for tup in sorted(self.facts[pred]):
+                lines.append(f"{pred}({tup[0]}, {tup[1]}).")
+        lines.append("")
+        lines.append(f"module gen{self.seed}.")
+        if flags:
+            lines.append(flags.rstrip())
+        for pred in self.derived_preds:
+            lines.append(f"export {pred}(ff, bf).")
+        lines.extend(self.rules)
+        lines.append("end_module.")
+        return "\n".join(lines) + "\n"
+
+
+def _evaluate(program: str, queries, memo=None):
+    """All query answers for one engine configuration, as sorted lists."""
+    session = Session(memo=memo) if memo is not None else Session()
+    session.consult_string(program)
+    return {q: sorted(set(session.query(q).tuples())) for q in queries}
+
+
+def _dump_failure(case, detail: str) -> Path:
+    _FAILURE_DIR.mkdir(exist_ok=True)
+    path = _FAILURE_DIR / f"seed_{case.seed}.txt"
+    path.write_text(
+        f"# differential-testing failure, seed={case.seed}\n"
+        f"# replay: consult the program below and run the queries\n\n"
+        f"{case.program()}\n"
+        f"# queries: {case.queries}\n\n{detail}\n"
+    )
+    return path
+
+
+def _assert_same(case, baseline, other, engine, extra=""):
+    for query, expected in baseline.items():
+        got = other[query]
+        if got != expected:
+            path = _dump_failure(
+                case,
+                f"# engine: {engine}\n# query: {query}\n"
+                f"# expected (default): {expected}\n# got: {got}\n{extra}",
+            )
+            pytest.fail(
+                f"seed {case.seed}: engine {engine} disagrees on {query} "
+                f"(expected {expected}, got {got}); repro dumped to {path}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# static programs: the full engine matrix must agree
+# ---------------------------------------------------------------------------
+
+
+_ENGINE_FLAGS = {
+    "magic": "@magic.",
+    "no_rewriting": "@no_rewriting.",
+    "psn": "@psn.",
+    "compiled": "@compiled.",
+}
+
+
+@pytest.mark.parametrize("seed", range(_N_STATIC))
+def test_static_engines_agree(seed):
+    # every third seed exercises stratified negation on the materialized
+    # semi-naive configurations; the rest run the full engine matrix
+    negated_case = seed % 3 == 2
+    case = GeneratedCase(seed, allow_negation=negated_case)
+
+    baseline = _evaluate(case.program(), case.queries)
+    memo_run = _evaluate(case.program(), case.queries, memo=True)
+    _assert_same(case, baseline, memo_run, "memo")
+
+    engines = (
+        {"psn": "@psn.", "no_rewriting": "@no_rewriting."}
+        if case.has_negation
+        else _ENGINE_FLAGS
+    )
+    for engine, flags in engines.items():
+        run = _evaluate(case.program(flags), case.queries)
+        _assert_same(case, baseline, run, engine)
+
+    if not case.recursive and not case.has_negation:
+        run = _evaluate(case.program("@pipelining."), case.queries)
+        _assert_same(case, baseline, run, "pipelining")
+
+
+# ---------------------------------------------------------------------------
+# query/update interleavings: persistent sessions vs cold rebuilds
+# ---------------------------------------------------------------------------
+
+
+def _random_ops(rng, case, count=8):
+    """Interleaved inserts/deletes/queries over the base relations."""
+    ops = []
+    live = {pred: set(tuples) for pred, tuples in case.facts.items()}
+    for i in range(count):
+        kind = rng.choice(["insert", "delete", "query", "query"])
+        if kind == "insert":
+            pred = rng.choice(case.base_preds)
+            tup = (rng.choice(case.domain), rng.choice(case.domain))
+            live[pred].add(tup)
+            ops.append(("insert", pred, tup))
+        elif kind == "delete":
+            pred = rng.choice(case.base_preds)
+            if not live[pred]:
+                continue
+            tup = rng.choice(sorted(live[pred]))
+            live[pred].discard(tup)
+            ops.append(("delete", pred, tup))
+        else:
+            ops.append(("query", rng.choice(case.queries), dict(
+                (p, frozenset(t)) for p, t in live.items()
+            )))
+    if not any(op[0] == "query" for op in ops):
+        ops.append(("query", case.queries[0], dict(
+            (p, frozenset(t)) for p, t in live.items()
+        )))
+    return ops
+
+
+@pytest.mark.parametrize("seed", range(10_000, 10_000 + _N_INTERLEAVED))
+def test_update_interleavings_agree(seed):
+    case = GeneratedCase(seed, allow_negation=seed % 4 == 3)
+    rng = random.Random(seed ^ 0xDEADBEEF)
+    ops = _random_ops(rng, case)
+
+    memo_session = Session(memo=True)
+    memo_session.consult_string(case.program())
+    plain_session = Session()
+    plain_session.consult_string(case.program())
+
+    trail = []
+    for op in ops:
+        if op[0] in ("insert", "delete"):
+            kind, pred, tup = op
+            getattr(memo_session, kind)(pred, *tup)
+            getattr(plain_session, kind)(pred, *tup)
+            trail.append(f"{kind} {pred}{tup}")
+            continue
+
+        _, query, live = op
+        # a cold session over the current fact state is ground truth
+        saved = case.facts
+        case.facts = {pred: set(t) for pred, t in live.items()}
+        cold = _evaluate(case.program(), [query])[query]
+        program_now = case.program()
+        case.facts = saved
+
+        got_memo = sorted(set(memo_session.query(query).tuples()))
+        got_plain = sorted(set(plain_session.query(query).tuples()))
+        detail = "# ops so far:\n# " + "\n# ".join(trail or ["(none)"])
+        if got_plain != cold or got_memo != cold:
+            path = _dump_failure(
+                case,
+                f"# query after updates: {query}\n"
+                f"# cold (ground truth): {cold}\n"
+                f"# persistent no-memo:  {got_plain}\n"
+                f"# persistent memo:     {got_memo}\n"
+                f"# program at failure:\n{program_now}\n{detail}",
+            )
+            pytest.fail(
+                f"seed {seed}: after updates, {query} diverged "
+                f"(cold={cold}, plain={got_plain}, memo={got_memo}); "
+                f"repro dumped to {path}"
+            )
+        trail.append(f"query {query} -> {len(cold)} answers")

@@ -1,0 +1,248 @@
+"""Fuzz tests (ISSUE 4, satellite 2): malformed wire frames against the
+server, mutated tuple batches against the storage codec, and mutated source
+against the parser.  Every input must produce a *clean* error —
+:class:`ProtocolError`/:class:`StorageError`/:class:`ParseError` — and the
+server must keep answering real clients afterwards (no thread death)."""
+
+import json
+import random
+import socket
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import ParseError, Session, StorageError
+from repro.client import RemoteSession
+from repro.language.parser import parse_program
+from repro.server import CoralServer
+from repro.server.protocol import MAX_FRAME_BYTES, PROTOCOL_VERSION, encode_frame
+from repro.storage.serde import decode_batch, encode_batch
+from repro.terms import to_arg
+
+PROGRAM = """
+edge(1, 2). edge(2, 3).
+
+module tc.
+export path(bf, ff).
+path(X, Y) :- edge(X, Y).
+path(X, Y) :- edge(X, Z), path(Z, Y).
+end_module.
+"""
+
+
+# ---------------------------------------------------------------------------
+# wire-frame fuzz against a live server
+# ---------------------------------------------------------------------------
+
+
+def _hello() -> bytes:
+    return encode_frame({"op": "HELLO", "version": PROTOCOL_VERSION})
+
+
+_MALFORMED_PAYLOADS = [
+    # truncated length prefixes
+    b"",
+    b"\x00",
+    b"\x00\x00\x00",
+    # total below the 4-byte header-length minimum
+    struct.pack(">I", 0),
+    struct.pack(">I", 3),
+    # implausible length prefix: must be refused without a 4 GiB allocation
+    struct.pack(">I", 0xFFFFFFFF),
+    struct.pack(">I", MAX_FRAME_BYTES + 1),
+    # hdrlen larger than the payload it lives in
+    struct.pack(">II", 8, 400) + b"asdf",
+    # header is not JSON
+    struct.pack(">II", 4 + 7, 7) + b"{not js",
+    # header is JSON but not an object
+    struct.pack(">II", 4 + 5, 5) + b"[1,2]",
+    # valid frame, unknown op
+    encode_frame({"op": "EXPLODE"}),
+    # valid frame, op is not a string
+    encode_frame({"op": 7}),
+    # missing op entirely
+    encode_frame({"hello": "world"}),
+    # random garbage
+    bytes(random.Random(0).randrange(256) for _ in range(64)),
+]
+
+
+def _poke_server(address, payload: bytes, after_hello: bool) -> None:
+    """Write a raw payload at the server and read whatever comes back."""
+    with socket.create_connection(address, timeout=5.0) as sock:
+        sock.settimeout(5.0)
+        try:
+            if after_hello:
+                sock.sendall(_hello())
+                sock.recv(4096)
+            sock.sendall(payload)
+            # half-close so a server waiting for the rest of a truncated
+            # frame sees EOF instead of stalling until its read timeout
+            sock.shutdown(socket.SHUT_WR)
+            sock.recv(4096)  # error frame or EOF — both are acceptable
+        except (ConnectionError, socket.timeout, OSError):
+            pass  # the server may slam the door; it must not die
+
+
+@pytest.mark.parametrize("after_hello", [False, True])
+def test_malformed_frames_do_not_kill_the_server(after_hello):
+    session = Session()
+    session.consult_string(PROGRAM)
+    with CoralServer(session, port=0) as server:
+        for payload in _MALFORMED_PAYLOADS:
+            _poke_server(server.address, payload, after_hello)
+            # liveness: a well-behaved client still gets answers
+            with RemoteSession(*server.address) as db:
+                assert sorted(db.query("path(1, Y)").tuples()) == [
+                    (1, 2), (1, 3),
+                ]
+
+
+def test_oversized_batch_body_is_rejected_cleanly():
+    session = Session()
+    session.consult_string(PROGRAM)
+    with CoralServer(session, port=0) as server:
+        # a syntactically valid frame whose body claims an absurd tuple count
+        bogus_body = b"CB" + struct.pack(">BI", 1, 0x7FFFFFFF)
+        header = json.dumps({"op": "INSERT", "pred": "edge"}).encode()
+        frame = (
+            struct.pack(">II", 4 + len(header) + len(bogus_body), len(header))
+            + header
+            + bogus_body
+        )
+        _poke_server(server.address, frame, after_hello=True)
+        with RemoteSession(*server.address) as db:
+            assert db.query("path(2, Y)").tuples() == [(2, 3)]
+
+
+def test_fuzzed_random_frames_seeded_sweep():
+    """200 random byte blobs, none may take the server down."""
+    rng = random.Random(1234)
+    session = Session()
+    session.consult_string(PROGRAM)
+    with CoralServer(session, port=0) as server:
+        for _ in range(200):
+            blob = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 80)))
+            _poke_server(server.address, blob, after_hello=rng.random() < 0.5)
+        with RemoteSession(*server.address) as db:
+            assert len(db.query("path(X, Y)").tuples()) == 3
+
+
+# ---------------------------------------------------------------------------
+# storage codec fuzz: decode_batch must raise StorageError, nothing else
+# ---------------------------------------------------------------------------
+
+
+@given(st.binary(max_size=256))
+@settings(max_examples=300, deadline=None)
+def test_decode_batch_arbitrary_bytes(data):
+    try:
+        rows = decode_batch(data)
+    except StorageError:
+        return
+    assert isinstance(rows, list)
+
+
+@given(st.data())
+@settings(max_examples=200, deadline=None)
+def test_decode_batch_mutated_valid_batch(data):
+    valid = bytearray(
+        encode_batch(
+            [
+                [to_arg(1), to_arg("two")],
+                [to_arg(3.5), to_arg("four")],
+            ]
+        )
+    )
+    mutation = data.draw(
+        st.sampled_from(["truncate", "flip", "extend", "zero"])
+    )
+    if mutation == "truncate":
+        valid = valid[: data.draw(st.integers(0, len(valid) - 1))]
+    elif mutation == "flip":
+        pos = data.draw(st.integers(0, len(valid) - 1))
+        valid[pos] ^= data.draw(st.integers(1, 255))
+    elif mutation == "extend":
+        valid.extend(data.draw(st.binary(min_size=1, max_size=16)))
+    else:
+        pos = data.draw(st.integers(0, len(valid) - 1))
+        valid[pos:] = bytes(len(valid) - pos)
+    try:
+        rows = decode_batch(bytes(valid))
+    except StorageError:
+        return
+    assert isinstance(rows, list)
+
+
+# ---------------------------------------------------------------------------
+# parser fuzz: mutated source must raise ParseError, nothing else
+# ---------------------------------------------------------------------------
+
+
+_CORPUS = [
+    PROGRAM,
+    "p(1). p(2).\nmodule m.\nexport q(f).\nq(X) :- p(X).\nend_module.\n",
+    'fact("str", 3.5, f(g(X), [1, 2 | T])).\n',
+    "module agg.\nexport best(ff).\nbest(G, max(<V>)) :- item(G, V).\nend_module.\n",
+    "module n.\n@psn.\nexport ok(ff).\nok(X, Y) :- e(X, Y), not bad(X).\nend_module.\n",
+]
+
+
+def _mutate(rng: random.Random, source: str) -> str:
+    text = list(source)
+    for _ in range(rng.randint(1, 4)):
+        kind = rng.choice(["delete", "insert", "swap", "truncate", "dupline"])
+        if not text:
+            break
+        if kind == "delete":
+            del text[rng.randrange(len(text))]
+        elif kind == "insert":
+            junk = rng.choice(").,:-([]|@\"'\x00~%")
+            text.insert(rng.randrange(len(text) + 1), junk)
+        elif kind == "swap":
+            i, j = rng.randrange(len(text)), rng.randrange(len(text))
+            text[i], text[j] = text[j], text[i]
+        elif kind == "truncate":
+            del text[rng.randrange(len(text)):]
+        else:
+            lines = "".join(text).splitlines(keepends=True)
+            if lines:
+                lines.insert(
+                    rng.randrange(len(lines)), rng.choice(lines)
+                )
+                text = list("".join(lines))
+    return "".join(text)
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_parser_survives_mutated_source(seed):
+    rng = random.Random(seed)
+    for source in _CORPUS:
+        for _ in range(10):
+            mutated = _mutate(rng, source)
+            try:
+                parse_program(mutated)
+            except ParseError:
+                pass  # the one acceptable failure mode
+
+
+def test_mutated_consult_never_kills_the_server():
+    """CONSULT with broken source returns a clean remote ParseError and the
+    connection stays usable."""
+    rng = random.Random(99)
+    session = Session()
+    session.consult_string(PROGRAM)
+    with CoralServer(session, port=0) as server:
+        with RemoteSession(*server.address) as db:
+            for _ in range(25):
+                mutated = _mutate(rng, _CORPUS[1])
+                try:
+                    db.consult_string(mutated)
+                except ParseError:
+                    pass
+                except Exception as exc:  # noqa: BLE001 - the assertion
+                    from repro import CoralError
+
+                    assert isinstance(exc, CoralError), exc
+            assert sorted(db.query("path(1, Y)").tuples()) == [(1, 2), (1, 3)]

@@ -6,7 +6,7 @@ may already be handling an error — close() must never make things worse.)
 
 import pytest
 
-from repro import Session, StorageError
+from repro import Session, SessionClosedError, StorageError
 from repro.faults import FaultInjector
 
 
@@ -65,6 +65,59 @@ class TestSessionClose:
         session.close()
         session.insert("scratch", 1)
         assert session.query("scratch(X)").tuples() == [(1,)]
+
+
+class TestSessionClosedError:
+    """Touching *persistent* state after close must raise a clear
+    :class:`SessionClosedError`, not silently reopen the page files (the
+    old behavior: StorageServer._file lazily resurrected closed files, so a
+    post-close query read stale pages as if nothing happened)."""
+
+    def test_query_after_close_raises(self, tmp_path):
+        session = Session(data_directory=str(tmp_path))
+        _persist_some(session)
+        session.close()
+        with pytest.raises(SessionClosedError, match="closed"):
+            session.query("kv(X, Y)").all()
+
+    def test_insert_after_close_raises(self, tmp_path):
+        session = Session(data_directory=str(tmp_path))
+        _persist_some(session)
+        session.close()
+        with pytest.raises(SessionClosedError, match="closed"):
+            session.insert("kv", 3, "three")
+
+    def test_delete_after_close_raises(self, tmp_path):
+        session = Session(data_directory=str(tmp_path))
+        _persist_some(session)
+        session.close()
+        with pytest.raises(SessionClosedError, match="closed"):
+            session.delete("kv", 1, "one")
+
+    def test_is_a_storage_error(self, tmp_path):
+        """Callers that caught StorageError before keep working."""
+        assert issubclass(SessionClosedError, StorageError)
+        session = Session(data_directory=str(tmp_path))
+        _persist_some(session)
+        session.close()
+        with pytest.raises(StorageError):
+            session.query("kv(X, Y)").all()
+
+    def test_derived_query_over_persistent_base_raises(self, tmp_path):
+        session = Session(data_directory=str(tmp_path))
+        _persist_some(session)
+        session.consult_string(
+            """
+            module m.
+            export val(bf).
+            val(K, V) :- kv(K, V).
+            end_module.
+            """
+        )
+        assert session.query("val(1, V)").tuples() == [(1, "one")]
+        session.close()
+        with pytest.raises(StorageError):
+            session.query("val(1, V)").all()
 
 
 class TestQueryResultClose:

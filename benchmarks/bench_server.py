@@ -13,6 +13,7 @@ import time
 
 from repro import Session
 from repro.client import RemoteSession
+from repro.obs.metrics import Histogram
 from repro.server import CoralServer
 
 from emit import emit, timed
@@ -37,10 +38,10 @@ def _server_session():
     return session
 
 
-def _percentile(samples, fraction):
-    ordered = sorted(samples)
-    index = min(len(ordered) - 1, int(len(ordered) * fraction))
-    return ordered[index]
+# fine-grained sub-second boundaries: per-request latencies here are a few
+# hundred microseconds to a few milliseconds, and the estimate interpolates
+# within a bucket, so resolution sets accuracy
+LATENCY_BUCKETS = tuple(0.0001 * (2 ** i) for i in range(14))
 
 
 def _run_clients(address, n_clients, queries_per_client):
@@ -89,8 +90,14 @@ class TestServerThroughput:
             stats = server.stats()
         requests = CLIENTS * QUERIES_PER_CLIENT
         throughput = requests / t.seconds
-        p50 = _percentile(latencies, 0.50)
-        p99 = _percentile(latencies, 0.99)
+        histogram = Histogram(
+            "bench.request.seconds", "per-request drain latency",
+            boundaries=LATENCY_BUCKETS,
+        )
+        for sample in latencies:
+            histogram.observe(sample)
+        p50 = histogram.percentile(0.50)
+        p99 = histogram.percentile(0.99)
         report(
             "Server: concurrent remote TC queries (drain per request)",
             ["clients", "requests", "req/s", "p50 ms", "p99 ms"],

@@ -11,6 +11,7 @@ optionally a storage server for persistent relations.
 from __future__ import annotations
 
 import os
+import time
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
 
 from ..builtins import BuiltinRegistry
@@ -92,12 +93,32 @@ class QueryResult:
                 return
             yield answer
 
+    def _notify_error(self, exc: CoralError) -> None:
+        """Let an installed flight recorder see a dying pull (it dumps its
+        ring for StorageError / ResourceLimitError).  Best-effort only: the
+        notification must never mask the original error."""
+        ctx = self._ctx
+        obs = ctx.obs if ctx is not None else None
+        if obs is None:
+            return
+        hook = getattr(obs, "on_error", None)
+        if hook is None:
+            return
+        try:
+            hook(exc)
+        except Exception:
+            pass
+
     def get_next(self) -> Optional[Answer]:
         if self._done:
             return None
         limits = self._limits
         if limits is None or self._ctx is None:
-            answer = next(self._source, None)
+            try:
+                answer = next(self._source, None)
+            except CoralError as exc:
+                self._notify_error(exc)
+                raise
         else:
             if not self._armed:
                 # the timeout clock spans the whole drain, not each pull
@@ -107,8 +128,12 @@ class QueryResult:
             self._ctx.limits = limits
             try:
                 answer = next(self._source, None)
-            except ResourceLimitError:
+            except ResourceLimitError as exc:
                 self._done = True
+                self._notify_error(exc)
+                raise
+            except CoralError as exc:
+                self._notify_error(exc)
                 raise
             finally:
                 self._ctx.limits = previous
@@ -191,6 +216,12 @@ class Session:
         #: ``@memo``, a :class:`~repro.eval.memo.MemoPolicy` tunes budget and
         #: damage threshold; None/False disables.
         self.memo: Optional[MemoCache] = None
+        #: always-on bounded ring of recent events (repro.obs.flight);
+        #: installed via :meth:`enable_flight_recorder`, None = off
+        self.flight = None
+        #: slow-query log (repro.obs.slowlog); queries whose evaluation
+        #: exceeds its threshold append a plan-annotated JSONL entry
+        self.slow_log = None
         if memo:
             if isinstance(memo, MemoPolicy):
                 policy = memo
@@ -259,6 +290,12 @@ class Session:
             raise CoralError("storage is already open for this session")
         self._server = StorageServer(directory, faults=faults)
         self._pool = BufferPool(self._server, buffer_capacity)
+        if (
+            self.flight is not None
+            and self._server.faults.observer is None
+        ):
+            # a recorder enabled before storage opened still sees faults
+            self._server.faults.observer = self.flight
 
     @property
     def storage_pool(self) -> BufferPool:
@@ -391,7 +428,17 @@ class Session:
             # observability is sampled at first pull, not at query() time —
             # a profiler installed between the two still sees the query
             obs = self.ctx.obs
+            slow = self.slow_log
             started = obs.begin_span() if obs is not None else 0.0
+            if slow is not None:
+                # accounting for the slow-query log: only time spent inside
+                # this generator counts (resumed..yield segments), so a
+                # consumer idling on a lazy cursor can't make a query "slow"
+                stats_before = self.ctx.stats.snapshot()
+                produced = 0
+                finished = False
+                eval_seconds = 0.0
+                resumed = time.perf_counter()
             env = BindEnv()
             trail = Trail()
             cursor = relation.scan(literal.args, env)
@@ -399,6 +446,8 @@ class Session:
                 while True:
                     candidate = cursor.get_next()
                     if candidate is None:
+                        if slow is not None:
+                            finished = True
                         return
                     fact = candidate.renamed()
                     mark = trail.mark()
@@ -409,7 +458,7 @@ class Session:
                                 name = variable_names[var.vid]
                                 if name not in bindings and name != "_":
                                     bindings[name] = resolve(var, env)
-                        yield Answer(
+                        answer = Answer(
                             Tuple(
                                 tuple(
                                     resolve(arg, env) for arg in literal.args
@@ -417,6 +466,18 @@ class Session:
                             ),
                             bindings,
                         )
+                        if slow is None:
+                            yield answer
+                        else:
+                            produced += 1
+                            eval_seconds += time.perf_counter() - resumed
+                            try:
+                                yield answer
+                            finally:
+                                # runs on normal resumption *and* on close
+                                # at this yield, so the tail segment added
+                                # in the outer finally starts counting here
+                                resumed = time.perf_counter()
                     trail.undo_to(mark)
             finally:
                 cursor.close()
@@ -427,6 +488,18 @@ class Session:
                         started,
                         query=f"{literal.pred}/{literal.arity}",
                     )
+                if slow is not None:
+                    eval_seconds += time.perf_counter() - resumed
+                    if eval_seconds >= slow.threshold:
+                        after = self.ctx.stats.snapshot()
+                        delta = {
+                            key: after[key] - stats_before.get(key, 0)
+                            for key in after
+                        }
+                        slow.observe(
+                            self, literal, eval_seconds, produced,
+                            delta, finished,
+                        )
 
         return QueryResult(answers(), ctx=self.ctx, limits=self.limits)
 
@@ -496,7 +569,87 @@ class Session:
     def disable_tracing(self) -> None:
         self.ctx.tracer = None
 
+    def explain(self, query: str, analyze: bool = False) -> str:
+        """The rendered evaluation plan for a textual query: module, chosen
+        query form, rewriting technique, fixpoint strategy, SCC order, and
+        each semi-naive rule with its body in join order.  With
+        ``analyze=True`` the query is also *run* under a trace-free profiler
+        and the rendering gains measured answers/iterations/per-rule costs.
+        Same output as the shell's ``@explain`` and the slow-query log's
+        ``plan`` field."""
+        from ..explain.plan import explain as explain_plan
+
+        return explain_plan(self, query, analyze=analyze)
+
     # -- observability (repro.obs) -------------------------------------------------
+
+    def enable_flight_recorder(
+        self,
+        capacity: int = 4096,
+        dump_path: Optional[str] = None,
+        scan_stride: int = 16,
+    ):
+        """Install an always-on :class:`~repro.obs.flight.FlightRecorder`:
+        a bounded ring of recent evaluation/storage events, cheap enough to
+        leave enabled.  With ``dump_path`` set, the ring is written out as
+        JSON lines when a storage fault fires or a query dies with
+        ``StorageError``/``ResourceLimitError`` — a post-mortem without
+        re-running under tracing.  ``session.profile()`` still works while
+        a recorder is installed (the profiler borrows the observer slot and
+        restores it).  Returns the recorder."""
+        from ..obs.flight import FlightRecorder
+
+        if self.ctx.obs is not None:
+            raise CoralError(
+                "an observer (profiler or flight recorder) is already "
+                "installed on this session"
+            )
+        recorder = FlightRecorder(
+            capacity=capacity, dump_path=dump_path, scan_stride=scan_stride
+        )
+        self.flight = recorder
+        self.ctx.obs = recorder
+        if self._server is not None and self._server.faults.observer is None:
+            self._server.faults.observer = recorder
+        return recorder
+
+    def disable_flight_recorder(self) -> None:
+        recorder = self.flight
+        if recorder is None:
+            return
+        if self.ctx.obs is recorder:
+            self.ctx.obs = None
+        if (
+            self._server is not None
+            and self._server.faults.observer is recorder
+        ):
+            self._server.faults.observer = None
+        self.flight = None
+
+    def enable_slow_query_log(
+        self, path: str, threshold: float = 1.0, analyze: bool = False
+    ):
+        """Append queries whose *evaluation time* exceeds ``threshold``
+        seconds to ``path`` as JSON lines, each carrying the query text,
+        wall/answer/eval-stat accounting, and its rendered plan (see
+        :meth:`explain`).  ``analyze=True`` re-runs each offender under a
+        profiler for per-rule costs (guarded against self-logging).
+        Returns the :class:`~repro.obs.slowlog.SlowQueryLog`."""
+        from ..obs.slowlog import SlowQueryLog
+
+        self.slow_log = SlowQueryLog(path, threshold, analyze)
+        return self.slow_log
+
+    def disable_slow_query_log(self) -> None:
+        self.slow_log = None
+
+    def buffer_stats(self) -> Optional[Dict[str, int]]:
+        """A snapshot of the buffer pool's hit/miss/eviction/writeback
+        counters, or None for an in-memory session (the server's STATS and
+        the ``@top`` dashboard read this)."""
+        if self._pool is None:
+            return None
+        return self._pool.stats.snapshot()
 
     def profile(self, trace: bool = True, trace_limit: int = 200_000):
         """Profile everything evaluated inside a ``with`` block::

@@ -125,4 +125,6 @@ class DerivationTracer:
             self._why(body_fact, indent + 1, depth, lines, seen)
 
 
-__all__ = ["Derivation", "DerivationTracer"]
+from .plan import explain, explain_literal  # noqa: E402  (plan imports nothing from here)
+
+__all__ = ["Derivation", "DerivationTracer", "explain", "explain_literal"]

@@ -193,6 +193,13 @@ class FaultInjector:
             if rule.fired or rule.hit != count:
                 continue
             rule.fired = True
+            if self.observer is not None:
+                # a flight recorder (repro.obs.flight) dumps its ring here,
+                # *before* the fault propagates, so the post-mortem's last
+                # events include this arrival; a profiler has no on_fault
+                on_fault = getattr(self.observer, "on_fault", None)
+                if on_fault is not None:
+                    on_fault(point, rule.action)
             if rule.action == "crash":
                 raise SimulatedCrash(f"injected crash at {point} (hit {count})")
             if rule.action == "fail":

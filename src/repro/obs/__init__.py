@@ -15,6 +15,8 @@ Everything hot is gated behind ``ctx.obs is None`` single-branch guards;
 see docs/OBSERVABILITY.md for metric names and the span taxonomy.
 """
 
+from .exposition import TelemetryServer, render_prometheus
+from .flight import FlightRecorder
 from .metrics import (
     Counter,
     Gauge,
@@ -25,11 +27,13 @@ from .metrics import (
     TIME_BUCKETS,
 )
 from .profiler import Profiler, QueryProfile
+from .slowlog import SlowQueryLog
 from .trace import EventTracer, TraceEvent
 
 __all__ = [
     "Counter",
     "EventTracer",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricError",
@@ -37,6 +41,9 @@ __all__ = [
     "Profiler",
     "QueryProfile",
     "SIZE_BUCKETS",
+    "SlowQueryLog",
     "TIME_BUCKETS",
+    "TelemetryServer",
     "TraceEvent",
+    "render_prometheus",
 ]

@@ -204,6 +204,33 @@ class Histogram:
         series.sum += value
         series.count += 1
 
+    def percentile(self, q: float, *labelvalues: str) -> float:
+        """An estimate of the ``q``-quantile (``0 < q <= 1``) by linear
+        interpolation inside the bucket holding the target rank — the same
+        estimator as Prometheus's ``histogram_quantile``.  Values above the
+        last edge are clamped to it (the +inf bucket has no width to
+        interpolate across); an empty series estimates 0.0."""
+        if not 0.0 < q <= 1.0:
+            raise MetricError(f"percentile wants 0 < q <= 1, got {q}")
+        series = self._series.get(labelvalues)
+        if series is None or series.count == 0:
+            return 0.0
+        target = q * series.count
+        boundaries = self.boundaries
+        cumulative = 0
+        for index, bucket_count in enumerate(series.bucket_counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= target:
+                if index >= len(boundaries):
+                    return float(boundaries[-1])
+                upper = float(boundaries[index])
+                lower = float(boundaries[index - 1]) if index else min(0.0, upper)
+                fraction = (target - cumulative) / bucket_count
+                return lower + (upper - lower) * fraction
+            cumulative += bucket_count
+        return float(boundaries[-1])
+
     def snapshot(self, *labelvalues: str) -> Dict[str, object]:
         series = self._get(labelvalues)
         return {
@@ -211,6 +238,9 @@ class Histogram:
             "bucket_counts": list(series.bucket_counts),
             "sum": series.sum,
             "count": series.count,
+            "p50": self.percentile(0.50, *labelvalues),
+            "p90": self.percentile(0.90, *labelvalues),
+            "p99": self.percentile(0.99, *labelvalues),
         }
 
     def collect(self) -> Dict[PyTuple[str, ...], Dict[str, object]]:
@@ -289,6 +319,19 @@ class MetricsRegistry:
             raise MetricError(
                 f"metric {name} already registered as {metric.kind}"
             )
+        labelnames = tuple(kwargs.get("labelnames", ()))
+        if labelnames != metric.labelnames:
+            raise MetricError(
+                f"metric {name} already registered with labels "
+                f"{metric.labelnames}, re-registration asked for {labelnames}"
+            )
+        boundaries = kwargs.get("boundaries")
+        if boundaries is not None and tuple(boundaries) != metric.boundaries:
+            raise MetricError(
+                f"histogram {name} already registered with boundaries "
+                f"{metric.boundaries}, re-registration asked for "
+                f"{tuple(boundaries)}"
+            )
         return metric
 
     def counter(
@@ -315,6 +358,12 @@ class MetricsRegistry:
 
     def get(self, name: str) -> Optional[object]:
         return self._metrics.get(name)
+
+    def metrics(self) -> List[object]:
+        """The live metric objects, sorted by name — the exposition
+        renderer works from these (label tuples intact) rather than from
+        :meth:`collect`, whose JSON-friendly keys are lossy."""
+        return [metric for _, metric in sorted(self._metrics.items())]
 
     def collect(self) -> Dict[str, Dict[str, object]]:
         """Everything, JSON-friendly: label tuples become '|'-joined keys."""

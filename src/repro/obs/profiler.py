@@ -45,6 +45,7 @@ import time
 from typing import Dict, List, Optional, Tuple as PyTuple
 
 from ..errors import CoralError
+from .flight import FlightRecorder
 from .metrics import MetricsRegistry, SIZE_BUCKETS, TIME_BUCKETS
 from .trace import EventTracer
 
@@ -316,12 +317,23 @@ class Profiler:
         self._iterations: List[Dict[str, object]] = []
         self._storage_counter = None
         self._installed = False
+        self._used = False
+        self._prev_obs = None
 
     # -- install / uninstall -------------------------------------------------
 
     def __enter__(self) -> "Profiler":
-        if self.ctx.obs is not None:
+        if self._used:
+            raise CoralError(
+                "this Profiler was already used; its counters would be "
+                "corrupted by re-entry — create a fresh one "
+                "(session.profile())"
+            )
+        previous = self.ctx.obs
+        if previous is not None and not isinstance(previous, FlightRecorder):
             raise CoralError("a profiler is already installed on this context")
+        # everything that can fail happens before any observer is installed,
+        # so an exception here leaves the context and injector untouched
         self._t0 = self._clock()
         self._eval_before = self.ctx.stats.snapshot()
         memo = getattr(self.ctx, "memo", None)
@@ -333,18 +345,22 @@ class Profiler:
         if self.server is not None:
             self._server_before = self.server.stats.snapshot()
             self._faults_before = dict(self.server.faults.counts)
-            self._prev_faults_observer = self.server.faults.observer
-            self.server.faults.observer = self
         self._storage_counter = self.registry.counter(
             "storage.events", "arrivals per fault-injection point", ("point",)
         )
+        if self.server is not None:
+            self._prev_faults_observer = self.server.faults.observer
+            self.server.faults.observer = self
+        # a flight recorder yields the slot for the block; restored at exit
+        self._prev_obs = previous
         self.ctx.obs = self
         self._installed = True
+        self._used = True
         return self
 
     def __exit__(self, *exc_info) -> bool:
         wall = self._clock() - self._t0
-        self.ctx.obs = None
+        self.ctx.obs = self._prev_obs
         if self.server is not None:
             self.server.faults.observer = self._prev_faults_observer
         self._installed = False

@@ -23,8 +23,9 @@ but dropped, so profiling a pathological query cannot exhaust memory.
 from __future__ import annotations
 
 import json
+import threading
 import time
-from typing import Callable, Dict, IO, List, Optional, Union
+from typing import Callable, Dict, IO, List, Optional, Tuple, Union
 
 
 class TraceEvent:
@@ -86,6 +87,11 @@ class EventTracer:
         self.limit = limit
         self.dropped = 0
         self._clock = clock
+        # server handler threads share one tracer; the lock keeps the
+        # bounded append (a check-then-act) and the exporters' snapshots
+        # atomic, so concurrent writers can neither overshoot the limit nor
+        # interleave half-written export state
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self.events)
@@ -96,10 +102,15 @@ class EventTracer:
         return self._clock()
 
     def _append(self, event: TraceEvent) -> None:
-        if len(self.events) >= self.limit:
-            self.dropped += 1
-            return
-        self.events.append(event)
+        with self._lock:
+            if len(self.events) >= self.limit:
+                self.dropped += 1
+                return
+            self.events.append(event)
+
+    def _snapshot(self) -> Tuple[List[TraceEvent], int]:
+        with self._lock:
+            return list(self.events), self.dropped
 
     def complete(self, name: str, cat: str, start: float, **args) -> None:
         """Record a span that began at ``start`` (a :meth:`now` value) and
@@ -118,8 +129,12 @@ class EventTracer:
 
     # -- export --------------------------------------------------------------
 
+    @staticmethod
+    def _origin_of(events: List[TraceEvent]) -> float:
+        return min((event.ts for event in events), default=0.0)
+
     def _origin(self) -> float:
-        return min((event.ts for event in self.events), default=0.0)
+        return self._origin_of(self.events)
 
     def chrome_trace(self, pid: int = 1, tid: int = 1) -> Dict[str, object]:
         """The trace as a Chrome/Perfetto trace-event JSON object.
@@ -127,9 +142,10 @@ class EventTracer:
         Load the written file at ``chrome://tracing`` or ui.perfetto.dev.
         Timestamps/durations are microseconds relative to the first event.
         """
-        origin = self._origin()
+        events, dropped = self._snapshot()
+        origin = self._origin_of(events)
         trace_events: List[Dict[str, object]] = []
-        for event in self.events:
+        for event in events:
             entry: Dict[str, object] = {
                 "name": event.name,
                 "cat": event.cat,
@@ -150,7 +166,7 @@ class EventTracer:
             "displayTimeUnit": "ms",
             "otherData": {
                 "producer": "repro.obs",
-                "dropped_events": self.dropped,
+                "dropped_events": dropped,
             },
         }
 
@@ -164,9 +180,10 @@ class EventTracer:
 
     def to_jsonl(self) -> str:
         """One JSON object per line per event (ingestion-friendly)."""
-        origin = self._origin()
+        events, _ = self._snapshot()
+        origin = self._origin_of(events)
         lines = []
-        for event in self.events:
+        for event in events:
             record: Dict[str, object] = {
                 "name": event.name,
                 "cat": event.cat,

@@ -4,11 +4,15 @@ Examples::
 
     python -m repro.server --port 4242 --consult examples/graph.crl
     python -m repro.server --port 0 --data-dir /var/coral   # ephemeral port
+    python -m repro.server --port 0 --telemetry-port 0 \\
+        --slow-query-log slow.jsonl --flight-dump crash.jsonl
 
 The server prints ``coral-server listening on HOST:PORT`` once it is
 accepting (with the real port when 0 was requested — the line scripts and
-the CI smoke job parse), then serves until SIGINT/SIGTERM, shutting down
-cleanly: open cursors are freed and the storage pool, if any, is flushed.
+the CI smoke job parse), and ``coral-server telemetry on HOST:PORT`` when
+``--telemetry-port`` is given, then serves until SIGINT/SIGTERM, shutting
+down cleanly: open cursors are freed and the storage pool, if any, is
+flushed.
 """
 
 from __future__ import annotations
@@ -57,12 +61,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", action="store_true",
         help="record per-connection trace events (repro.obs)",
     )
+    parser.add_argument(
+        "--telemetry-port", type=int, default=None, metavar="PORT",
+        help="serve /metrics, /healthz and /debug/flight over HTTP on this "
+             "port (0 picks an ephemeral one, printed on stdout)",
+    )
+    parser.add_argument(
+        "--telemetry-host", default="127.0.0.1",
+        help="bind address for the telemetry endpoint",
+    )
+    parser.add_argument(
+        "--flight-recorder", action="store_true",
+        help="keep a bounded in-memory ring of recent evaluation events, "
+             "dumped to --flight-dump on storage faults",
+    )
+    parser.add_argument(
+        "--flight-capacity", type=int, default=4096, metavar="N",
+        help="flight-recorder ring size in events",
+    )
+    parser.add_argument(
+        "--flight-dump", default=None, metavar="FILE",
+        help="JSON-lines file crash dumps are appended to "
+             "(implies --flight-recorder)",
+    )
+    parser.add_argument(
+        "--slow-query-log", default=None, metavar="FILE",
+        help="append queries slower than --slow-query-seconds, with their "
+             "EXPLAIN plan, to this JSON-lines file",
+    )
+    parser.add_argument(
+        "--slow-query-seconds", type=float, default=1.0, metavar="S",
+        help="slow-query threshold in seconds of evaluation time",
+    )
+    parser.add_argument(
+        "--slow-query-analyze", action="store_true",
+        help="re-run logged slow queries under a profiler (EXPLAIN ANALYZE)",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     session = Session(data_directory=args.data_dir)
+    if args.flight_recorder or args.flight_dump is not None:
+        session.enable_flight_recorder(
+            capacity=args.flight_capacity, dump_path=args.flight_dump
+        )
+    if args.slow_query_log is not None:
+        session.enable_slow_query_log(
+            args.slow_query_log,
+            threshold=args.slow_query_seconds,
+            analyze=args.slow_query_analyze,
+        )
     for path in args.consult:
         session.consult(path)
     limits = None
@@ -75,9 +125,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         limits=limits,
         batch_size=args.batch_size,
         trace=args.trace,
+        telemetry_port=args.telemetry_port,
+        telemetry_host=args.telemetry_host,
     )
     host, port = server.address
     print(f"coral-server listening on {host}:{port}", flush=True)
+    if server.telemetry_address is not None:
+        thost, tport = server.telemetry_address
+        print(f"coral-server telemetry on {thost}:{tport}", flush=True)
 
     def _stop(signum, frame):  # pragma: no cover - signal path
         raise KeyboardInterrupt

@@ -38,7 +38,8 @@ from __future__ import annotations
 import socketserver
 import threading
 import time
-from typing import Dict, List, Optional, Tuple as PyTuple
+from collections import deque
+from typing import Dict, List, Optional, Tuple as PyTuple, Union
 
 from ..api import Session
 from ..api.session import QueryResult
@@ -46,7 +47,7 @@ from ..errors import CoralError, ProtocolError
 from ..eval.limits import ResourceLimits
 from ..faults import FaultInjector, SimulatedCrash
 from ..language import Literal, parse_program, parse_query
-from ..obs import EventTracer, MetricsRegistry
+from ..obs import EventTracer, FlightRecorder, MetricsRegistry, TelemetryServer
 from ..storage.serde import encode_batch
 from .protocol import (
     PROTOCOL_VERSION,
@@ -95,11 +96,14 @@ class _Cursor:
 class _Connection:
     """Per-connection server state: identity, handshake flag, open cursors."""
 
-    __slots__ = ("conn_id", "peer", "greeted", "cursors")
+    __slots__ = ("conn_id", "peer", "peer_host", "greeted", "cursors")
 
     def __init__(self, conn_id: int, peer: str) -> None:
         self.conn_id = conn_id
         self.peer = peer
+        # host only: the metric label for per-client counters (an ephemeral
+        # port per connection would mint unbounded label series)
+        self.peer_host = peer.rsplit(":", 1)[0] if ":" in peer else peer
         self.greeted = False
         self.cursors: Dict[int, _Cursor] = {}
 
@@ -152,6 +156,10 @@ class CoralServer:
         faults: Optional[FaultInjector] = None,
         trace: bool = False,
         trace_limit: int = 100_000,
+        telemetry_port: Optional[int] = None,
+        telemetry_host: str = "127.0.0.1",
+        flight: Union[None, bool, FlightRecorder] = None,
+        rate_window: float = 30.0,
     ) -> None:
         self.session = session if session is not None else Session()
         self.limits = limits
@@ -159,6 +167,34 @@ class CoralServer:
         self.faults = faults if faults is not None else FaultInjector()
         self.metrics = MetricsRegistry()
         self.tracer = EventTracer(limit=trace_limit) if trace else None
+        #: the flight recorder surfaced at /debug/flight: an explicit one,
+        #: True (install a fresh recorder on the session), or whatever the
+        #: session already carries
+        if flight is True:
+            self.flight = (
+                self.session.flight
+                if self.session.flight is not None
+                else self.session.enable_flight_recorder()
+            )
+        elif flight:
+            self.flight = flight
+        else:
+            self.flight = self.session.flight
+        #: rate-windowed request history for STATS (the @top dashboard):
+        #: (perf_counter, answers) per request, bounded
+        self.rate_window = rate_window
+        self._recent: deque = deque(maxlen=8192)
+        self._started_at = time.perf_counter()
+        #: the /metrics—/healthz—/debug/flight endpoint (None = disabled)
+        self.telemetry: Optional[TelemetryServer] = None
+        if telemetry_port is not None:
+            self.telemetry = TelemetryServer(
+                port=telemetry_port,
+                host=telemetry_host,
+                registries=[self.metrics],
+                flight=self.flight,
+                health=self._health,
+            )
         #: serializes all database work (parse, evaluate, update)
         self._db_lock = threading.RLock()
         #: guards the connection/cursor registry (never held during eval)
@@ -190,6 +226,20 @@ class CoralServer:
             "server.cursor.pulls", "answers pulled from evaluation (get-next calls)"
         )
         self._m_answers = m.counter("server.answers.sent", "answers shipped to clients")
+        # per-client host (not host:port — an ephemeral port per connection
+        # would mint unbounded label series) and per-query-predicate labels
+        self._m_client_requests = m.counter(
+            "server.client.requests", "requests by client host", ("client",)
+        )
+        self._m_query_preds = m.counter(
+            "server.query.predicates",
+            "cursors opened per query predicate", ("pred",),
+        )
+
+    def _health(self) -> PyTuple[bool, str]:
+        if self._serving:
+            return True, "serving"
+        return False, "not serving"
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -198,11 +248,18 @@ class CoralServer:
         host, port = self._tcp.server_address[:2]
         return host, port
 
+    @property
+    def telemetry_address(self) -> Optional[PyTuple[str, int]]:
+        return self.telemetry.address if self.telemetry is not None else None
+
     def start(self) -> "CoralServer":
         """Serve in a daemon thread; returns immediately."""
         if self._thread is not None:
             raise ProtocolError("server already started")
         self._serving = True
+        self._started_at = time.perf_counter()
+        if self.telemetry is not None:
+            self.telemetry.start()
         self._thread = threading.Thread(
             target=self._tcp.serve_forever,
             kwargs={"poll_interval": 0.05},
@@ -215,10 +272,15 @@ class CoralServer:
     def serve_forever(self) -> None:
         """Serve on the calling thread until :meth:`shutdown`."""
         self._serving = True
+        self._started_at = time.perf_counter()
+        if self.telemetry is not None:
+            self.telemetry.start()
         self._tcp.serve_forever(poll_interval=0.05)
 
     def shutdown(self) -> None:
         """Stop accepting, close the listening socket, free all cursors."""
+        if self.telemetry is not None:
+            self.telemetry.shutdown()
         if self._serving:
             # BaseServer.shutdown blocks forever if serve_forever never ran
             self._tcp.shutdown()
@@ -284,7 +346,11 @@ class CoralServer:
             }
             rbody = b""
         self._m_requests.inc(1, op or "?")
+        self._m_client_requests.inc(1, conn.peer_host)
         self._m_latency.observe(time.perf_counter() - started, op or "?")
+        answers = response.get("count", 0) if op == "FETCH" else 0
+        # deque.append is atomic; stats() filters by age against rate_window
+        self._recent.append((time.perf_counter(), answers))
         if self.tracer is not None:
             self.tracer.complete(
                 f"request.{op or '?'}", "server", started, conn=conn.conn_id
@@ -424,6 +490,7 @@ class CoralServer:
         conn.cursors[cursor.cursor_id] = cursor
         self._m_cursors_opened.inc()
         self._m_cursors_open.inc()
+        self._m_query_preds.inc(1, f"{literal.pred}/{literal.arity}")
         return cursor
 
     def _op_query(self, conn: _Connection, header) -> Dict[str, object]:
@@ -524,9 +591,39 @@ class CoralServer:
         with self._state_lock:
             return sum(len(c.cursors) for c in self._connections.values())
 
+    def _rates(self) -> Dict[str, float]:
+        """Request/answer throughput over the trailing ``rate_window``
+        seconds (clamped to actual uptime, so a young server's rates are
+        not diluted by a window it has not lived through yet)."""
+        now = time.perf_counter()
+        horizon = now - self.rate_window
+        recent = [item for item in self._recent if item[0] >= horizon]
+        elapsed = max(1e-9, min(self.rate_window, now - self._started_at))
+        return {
+            "window_seconds": self.rate_window,
+            "requests": len(recent),
+            "requests_per_second": len(recent) / elapsed,
+            "answers_per_second": sum(a for _, a in recent) / elapsed,
+        }
+
+    def _latency(self) -> Dict[str, Dict[str, object]]:
+        """Per-op service-time percentiles from the request histogram."""
+        out: Dict[str, Dict[str, object]] = {}
+        for labels, snap in self._m_latency.collect().items():
+            if snap["count"]:
+                out[labels[0]] = {
+                    "count": snap["count"],
+                    "p50": snap["p50"],
+                    "p90": snap["p90"],
+                    "p99": snap["p99"],
+                }
+        return out
+
     def stats(self) -> Dict[str, object]:
-        """The STATS payload: connection/cursor/request counters plus the
-        shared session's evaluation statistics and the metrics registry."""
+        """The STATS payload: connection/cursor/request counters, trailing
+        request rates and latency percentiles (what the shell's ``@top``
+        renders), plus the shared session's evaluation statistics and the
+        metrics registry."""
         with self._state_lock:
             connections = {
                 "total": self._connections_total,
@@ -544,13 +641,18 @@ class CoralServer:
             eval_stats = self.session.stats.snapshot()
             memo = getattr(self.session, "memo", None)
             memo_stats = memo.snapshot() if memo is not None else None
+            buffer_stats = self.session.buffer_stats()
         payload = {
             "connections": connections,
             "cursors": cursors,
             "requests": requests_total,
+            "rates": self._rates(),
+            "latency": self._latency(),
             "eval": eval_stats,
             "metrics": self.metrics.collect(),
         }
+        if buffer_stats is not None:
+            payload["buffer"] = buffer_stats
         if memo_stats is not None:
             payload["memo"] = memo_stats
         return payload

@@ -16,11 +16,17 @@ Shell commands::
     @trace on. / @trace off.   derivation tracing
     @why "path(1, 3)".         proof tree for a traced fact
     @profile "path(1, X)".     run a query under the profiler, print its report
+    @explain "path(1, X)".     show the plan the optimizer would run;
+                               @explain analyze "..." also runs and measures it
     @modules.                  loaded modules, their exports and flags
     @dump pred arity "file".   write a base relation as re-consultable facts
     @check.                    lint loaded modules for likely mistakes
     @connect host:port.        switch to remote mode: send everything to a
                                coral-server (python -m repro.server)
+    @top.                      live server dashboard (remote mode): req/s,
+                               fetch latency percentiles, memo/buffer hit
+                               rates, active cursors; @top N I. samples N
+                               times every I seconds
     @disconnect.               leave remote mode, back to the local session
     @help.                     this text
     @quit. (or @exit.)         leave
@@ -33,6 +39,7 @@ shared database and answers stream back through server-side cursors;
 from __future__ import annotations
 
 import sys
+import time
 from typing import List, Optional
 
 from ..api import Session
@@ -176,6 +183,45 @@ class Shell:
             except CoralError as error:
                 return f"error: {error}"
             return f"{len(answers)} answer(s).\n" + profiler.profile.render()
+        if name == "explain":
+            if self.remote is not None:
+                return "@explain works on the local session (@disconnect. first)."
+            rest = body[len("@explain") :].strip()
+            analyze = False
+            if rest.startswith("analyze"):
+                analyze = True
+                rest = rest[len("analyze") :].strip()
+            query_text = rest.strip('"')
+            if not query_text:
+                return 'usage: @explain [analyze] "path(1, X)".'
+            try:
+                return self.session.explain(query_text, analyze=analyze)
+            except CoralError as error:
+                return f"error: {error}"
+        if name == "top":
+            if self.remote is None:
+                return "@top needs a server (@connect host:port. first)."
+            count, interval = 1, 2.0
+            try:
+                if len(parts) > 1:
+                    count = int(parts[1])
+                if len(parts) > 2:
+                    interval = float(parts[2])
+            except ValueError:
+                return "usage: @top. / @top count interval."
+            if count < 1 or interval < 0:
+                return "usage: @top. / @top count interval."
+            frames: List[str] = []
+            try:
+                for sample in range(count):
+                    if sample:
+                        time.sleep(interval)
+                    frames.append(self._render_top(self.remote.stats()))
+            except CoralError as error:
+                frames.append(f"error: {error}")
+            except KeyboardInterrupt:
+                pass
+            return "\n\n".join(frames)
         if name == "modules":
             loaded = self.session.modules.modules
             if not loaded:
@@ -219,6 +265,52 @@ class Shell:
             return __doc__ or ""
         # not a shell command: let the parser treat it as an annotation
         return None
+
+    # -- dashboard rendering -----------------------------------------------------
+
+    @staticmethod
+    def _render_top(stats: dict) -> str:
+        """One ``@top`` frame from a server STATS payload."""
+
+        def _ms(seconds: float) -> str:
+            return f"{seconds * 1e3:.1f}ms"
+
+        def _hit_rate(counters: Optional[dict]) -> Optional[str]:
+            if not counters:
+                return None
+            hits = counters.get("hits", 0)
+            total = hits + counters.get("misses", 0)
+            return f"{hits / total:.1%}" if total else "-"
+
+        rates = stats.get("rates", {})
+        connections = stats.get("connections", {})
+        cursors = stats.get("cursors", {})
+        lines = [
+            f"coral-server @top  (window {rates.get('window_seconds', 0):g}s)",
+            f"  requests/s: {rates.get('requests_per_second', 0.0):>8.1f}"
+            f"   answers/s: {rates.get('answers_per_second', 0.0):>8.1f}"
+            f"   total requests: {stats.get('requests', 0)}",
+            f"  connections: {connections.get('active', 0)} active"
+            f" / {connections.get('total', 0)} total"
+            f"   cursors: {cursors.get('open', 0)} open"
+            f" / {cursors.get('opened', 0)} opened",
+        ]
+        for op, snap in sorted(stats.get("latency", {}).items()):
+            lines.append(
+                f"  {op:<6} p50 {_ms(snap['p50']):>8}"
+                f"  p99 {_ms(snap['p99']):>8}"
+                f"  ({snap['count']} request(s))"
+            )
+        memo_rate = _hit_rate(stats.get("memo"))
+        buffer_rate = _hit_rate(stats.get("buffer"))
+        if memo_rate is not None or buffer_rate is not None:
+            cache_bits = []
+            if memo_rate is not None:
+                cache_bits.append(f"memo hit rate: {memo_rate}")
+            if buffer_rate is not None:
+                cache_bits.append(f"buffer hit rate: {buffer_rate}")
+            lines.append("  " + "   ".join(cache_bits))
+        return "\n".join(lines)
 
     # -- input chunking ---------------------------------------------------------------
 

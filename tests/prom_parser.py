@@ -1,0 +1,232 @@
+"""A deliberately small Prometheus text-format (version 0.0.4) parser.
+
+Used by ``tests/test_exposition.py`` and the CI telemetry-smoke job to
+validate what ``/metrics`` actually serves: every sample must belong to a
+declared family (``# TYPE``), histogram buckets must be cumulative, and the
+``+Inf`` bucket must equal the series ``_count``.  It understands exactly
+the subset the exposition module emits — HELP/TYPE comments, optional
+labels with escaped values, float/int sample values — and raises
+``ParseFailure`` on anything else, which is the point: a scrape that this
+parser rejects would also confuse a real Prometheus server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+KINDS = ("counter", "gauge", "histogram", "summary", "untyped")
+
+#: suffixes that attach a sample to a histogram family
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+class ParseFailure(Exception):
+    """The text is not valid Prometheus exposition format."""
+
+
+@dataclass
+class Sample:
+    name: str
+    labels: Dict[str, str]
+    value: float
+
+
+@dataclass
+class Family:
+    name: str
+    kind: str
+    help: str = ""
+    samples: List[Sample] = field(default_factory=list)
+
+
+def _unescape(text: str, in_label: bool) -> str:
+    out: List[str] = []
+    index = 0
+    while index < len(text):
+        ch = text[index]
+        if ch == "\\" and index + 1 < len(text):
+            escaped = text[index + 1]
+            if escaped == "n":
+                out.append("\n")
+            elif escaped == "\\":
+                out.append("\\")
+            elif escaped == '"' and in_label:
+                out.append('"')
+            else:
+                out.append(ch)
+                out.append(escaped)
+            index += 2
+        else:
+            out.append(ch)
+            index += 1
+    return "".join(out)
+
+
+def _parse_labels(text: str, line: str) -> Dict[str, str]:
+    """``name="value",...`` — a character scanner, because label values may
+    contain escaped quotes and commas."""
+    labels: Dict[str, str] = {}
+    index = 0
+    while index < len(text):
+        eq = text.find("=", index)
+        if eq < 0:
+            raise ParseFailure(f"label without '=': {line!r}")
+        name = text[index:eq].strip()
+        if not name or not name.replace("_", "a").isalnum():
+            raise ParseFailure(f"bad label name {name!r} in: {line!r}")
+        if eq + 1 >= len(text) or text[eq + 1] != '"':
+            raise ParseFailure(f"unquoted label value in: {line!r}")
+        index = eq + 2
+        value_chars: List[str] = []
+        while index < len(text):
+            ch = text[index]
+            if ch == "\\" and index + 1 < len(text):
+                value_chars.append(ch)
+                value_chars.append(text[index + 1])
+                index += 2
+                continue
+            if ch == '"':
+                break
+            value_chars.append(ch)
+            index += 1
+        else:
+            raise ParseFailure(f"unterminated label value in: {line!r}")
+        labels[name] = _unescape("".join(value_chars), in_label=True)
+        index += 1  # past the closing quote
+        if index < len(text):
+            if text[index] != ",":
+                raise ParseFailure(f"junk after label value in: {line!r}")
+            index += 1
+    return labels
+
+
+def _family_of(sample_name: str, families: Dict[str, Family]) -> Optional[Family]:
+    family = families.get(sample_name)
+    if family is not None:
+        return family
+    for suffix in HISTOGRAM_SUFFIXES:
+        if sample_name.endswith(suffix):
+            base = families.get(sample_name[: -len(suffix)])
+            if base is not None and base.kind in ("histogram", "summary"):
+                return base
+    return None
+
+
+def parse_text(text: str) -> Dict[str, Family]:
+    """Parse an exposition document into ``{family name: Family}``.
+
+    Every sample line must follow a ``# TYPE`` declaration for its family
+    (histogram samples match via the ``_bucket``/``_sum``/``_count``
+    suffixes) — an undeclared sample is a ``ParseFailure``.
+    """
+    families: Dict[str, Family] = {}
+    pending_helps: Dict[str, str] = {}  # HELP lines seen before their TYPE
+    for raw_line in text.splitlines():
+        line = raw_line.rstrip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                name, kind = parts[2], parts[3] if len(parts) > 3 else ""
+                if kind not in KINDS:
+                    raise ParseFailure(f"unknown TYPE {kind!r}: {line!r}")
+                if name in families:
+                    raise ParseFailure(f"duplicate TYPE for {name}")
+                families[name] = Family(name=name, kind=kind)
+                if name in pending_helps:
+                    families[name].help = pending_helps.pop(name)
+            elif len(parts) >= 3 and parts[1] == "HELP":
+                help_text = _unescape(
+                    parts[3] if len(parts) > 3 else "", in_label=False
+                )
+                if parts[2] in families:
+                    families[parts[2]].help = help_text
+                else:
+                    pending_helps[parts[2]] = help_text
+            continue
+        # sample: name[{labels}] value [timestamp]
+        if "{" in line:
+            brace = line.index("{")
+            close = line.rindex("}")
+            if close < brace:
+                raise ParseFailure(f"mismatched braces: {line!r}")
+            name = line[:brace]
+            labels = _parse_labels(line[brace + 1 : close], line)
+            rest = line[close + 1 :].split()
+        else:
+            fields = line.split()
+            if len(fields) < 2:
+                raise ParseFailure(f"sample without value: {line!r}")
+            name, labels, rest = fields[0], {}, fields[1:]
+        if not rest:
+            raise ParseFailure(f"sample without value: {line!r}")
+        try:
+            value = float(rest[0])
+        except ValueError:
+            raise ParseFailure(f"bad sample value {rest[0]!r}: {line!r}")
+        family = _family_of(name, families)
+        if family is None:
+            raise ParseFailure(f"sample {name!r} has no # TYPE declaration")
+        family.samples.append(Sample(name=name, labels=labels, value=value))
+    return families
+
+
+def _series_key(sample: Sample) -> Tuple[Tuple[str, str], ...]:
+    return tuple(
+        sorted((k, v) for k, v in sample.labels.items() if k != "le")
+    )
+
+
+def validate(families: Dict[str, Family]) -> None:
+    """Semantic checks beyond syntax: histogram buckets are cumulative,
+    the ``+Inf`` bucket exists and equals ``_count``, and counter/gauge
+    values are finite numbers."""
+    for family in families.values():
+        if family.kind != "histogram":
+            for sample in family.samples:
+                if sample.value != sample.value:  # NaN
+                    raise ParseFailure(f"{family.name}: NaN sample")
+            continue
+        buckets: Dict[Tuple, List[Tuple[float, float]]] = {}
+        counts: Dict[Tuple, float] = {}
+        sums: Dict[Tuple, float] = {}
+        for sample in family.samples:
+            key = _series_key(sample)
+            if sample.name.endswith("_bucket"):
+                le_text = sample.labels.get("le")
+                if le_text is None:
+                    raise ParseFailure(f"{family.name}: bucket without le")
+                le = float("inf") if le_text == "+Inf" else float(le_text)
+                buckets.setdefault(key, []).append((le, sample.value))
+            elif sample.name.endswith("_count"):
+                counts[key] = sample.value
+            elif sample.name.endswith("_sum"):
+                sums[key] = sample.value
+        for key, series in buckets.items():
+            ordered = sorted(series)
+            previous = 0.0
+            for le, value in ordered:
+                if value < previous:
+                    raise ParseFailure(
+                        f"{family.name}: bucket counts not cumulative"
+                    )
+                previous = value
+            if not ordered or ordered[-1][0] != float("inf"):
+                raise ParseFailure(f"{family.name}: missing +Inf bucket")
+            if key not in counts:
+                raise ParseFailure(f"{family.name}: missing _count")
+            if key not in sums:
+                raise ParseFailure(f"{family.name}: missing _sum")
+            if ordered[-1][1] != counts[key]:
+                raise ParseFailure(
+                    f"{family.name}: +Inf bucket != _count "
+                    f"({ordered[-1][1]} vs {counts[key]})"
+                )
+
+
+def parse_and_validate(text: str) -> Dict[str, Family]:
+    families = parse_text(text)
+    validate(families)
+    return families

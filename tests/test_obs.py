@@ -4,6 +4,7 @@ the profiler-overhead guard, and the Chrome-trace golden schema."""
 import json
 import os
 import statistics
+import threading
 import time
 
 import pytest
@@ -18,6 +19,7 @@ from repro.obs import (
     MetricError,
     MetricsRegistry,
     SIZE_BUCKETS,
+    TelemetryServer,
 )
 
 GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
@@ -116,6 +118,92 @@ class TestMetrics:
         json.dumps(out)  # must be JSON-safe as-is
 
 
+class TestHistogramPercentiles:
+    def test_uniform_distribution_interpolates_accurately(self):
+        """1..1024 uniform: bucket interpolation should land on the exact
+        quantiles because the distribution really is linear inside each
+        power-of-four bucket."""
+        histogram = Histogram("u", boundaries=SIZE_BUCKETS)
+        for value in range(1, 1025):
+            histogram.observe(value)
+        assert histogram.percentile(0.50) == pytest.approx(512.0)
+        assert histogram.percentile(0.99) == pytest.approx(1013.76)
+        assert histogram.percentile(1.0) == pytest.approx(1024.0)
+
+    def test_single_bucket_linear_interpolation(self):
+        histogram = Histogram("s", boundaries=SIZE_BUCKETS)
+        for _ in range(10):
+            histogram.observe(3)  # all land in the (1, 4] bucket
+        assert histogram.percentile(0.5) == pytest.approx(2.5)
+        assert histogram.percentile(0.1) == pytest.approx(1.3)
+
+    def test_overflow_bucket_clamps_to_last_boundary(self):
+        histogram = Histogram("o", boundaries=(1.0, 2.0))
+        histogram.observe(50.0)
+        assert histogram.percentile(0.99) == 2.0
+
+    def test_empty_or_unknown_series_is_zero(self):
+        histogram = Histogram("e", labelnames=("op",))
+        assert histogram.percentile(0.5, "never-observed") == 0.0
+
+    def test_out_of_range_quantile_rejected(self):
+        histogram = Histogram("q")
+        with pytest.raises(MetricError):
+            histogram.percentile(0.0)
+        with pytest.raises(MetricError):
+            histogram.percentile(1.5)
+
+    def test_snapshot_carries_quantiles(self):
+        histogram = Histogram("snap", boundaries=SIZE_BUCKETS)
+        for value in range(1, 101):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["p50"] == histogram.percentile(0.50)
+        assert snap["p90"] == histogram.percentile(0.90)
+        assert snap["p99"] == histogram.percentile(0.99)
+        assert snap["p50"] <= snap["p90"] <= snap["p99"]
+
+    def test_labelled_series_are_independent(self):
+        histogram = Histogram("l", labelnames=("op",), boundaries=(1, 2, 4))
+        histogram.observe(1, "fast")
+        histogram.observe(4, "slow")
+        histogram.observe(4, "slow")
+        assert histogram.percentile(0.5, "fast") <= 1.0
+        assert histogram.percentile(0.5, "slow") > 2.0
+
+
+class TestRegistryConflicts:
+    def test_conflicting_labelnames_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("c", labelnames=("a",))
+        with pytest.raises(MetricError, match="labels"):
+            registry.counter("c", labelnames=("b",))
+        with pytest.raises(MetricError, match="labels"):
+            registry.counter("c")  # no labels != ("a",)
+
+    def test_conflicting_histogram_boundaries_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", boundaries=(1.0, 2.0))
+        with pytest.raises(MetricError, match="boundaries"):
+            registry.histogram("h", boundaries=(1.0, 2.0, 3.0))
+
+    def test_compatible_reregistration_returns_same_object(self):
+        registry = MetricsRegistry()
+        first = registry.histogram(
+            "h", "help", labelnames=("op",), boundaries=(1.0, 2.0)
+        )
+        again = registry.histogram(
+            "h", "help", labelnames=("op",), boundaries=(1.0, 2.0)
+        )
+        assert again is first
+
+    def test_kind_conflict_rejected_both_ways(self):
+        registry = MetricsRegistry()
+        registry.gauge("g")
+        with pytest.raises(MetricError, match="already registered"):
+            registry.histogram("g")
+
+
 # ---------------------------------------------------------------------------
 # tracer
 # ---------------------------------------------------------------------------
@@ -165,6 +253,58 @@ class TestTracer:
         assert len(lines) == 2
         assert lines[0]["name"] == "a" and lines[0]["args"] == {"k": 1}
         assert "dur_us" in lines[0] and "dur_us" not in lines[1]
+
+    def test_concurrent_writers_keep_jsonl_valid(self, tmp_path):
+        """8 threads hammering one tracer: the bound must hold exactly and
+        every dumped line must be one valid JSON object (the lock covers
+        check-then-append, so the limit cannot be overshot by a race)."""
+        writers, per_writer, limit = 8, 500, 1000
+        tracer = EventTracer(limit=limit)
+        barrier = threading.Barrier(writers)
+
+        def hammer(index):
+            barrier.wait()
+            for sequence in range(per_writer):
+                tracer.instant(f"w{index}.{sequence}", "test", seq=sequence)
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(writers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        total = writers * per_writer
+        assert len(tracer) == limit
+        assert tracer.dropped == total - limit
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(str(path))
+        lines = path.read_text().splitlines()
+        assert len(lines) == limit
+        for line in lines:
+            record = json.loads(line)  # raises on any interleaved write
+            assert isinstance(record, dict)
+            assert record["name"].startswith("w")
+
+    def test_chrome_trace_while_writing(self):
+        """Snapshots under concurrent appends must not crash or tear."""
+        tracer = EventTracer(limit=10_000)
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                tracer.instant("tick", "test")
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(50):
+                trace = tracer.chrome_trace()
+                for event in trace["traceEvents"]:
+                    assert event["name"] == "tick"
+        finally:
+            stop.set()
+            thread.join()
 
 
 # ---------------------------------------------------------------------------
@@ -313,6 +453,41 @@ class TestOverheadGuard:
         # +1ms absolute slack keeps sub-millisecond jitter from flaking CI
         assert after <= baseline * 1.15 + 0.001, (
             f"disabled-observability overhead: {after:.4f}s vs "
+            f"baseline {baseline:.4f}s"
+        )
+
+    def test_flight_recorder_and_idle_exposition_within_budget(self):
+        """The telemetry plane's standing cost: a flight recorder installed
+        as the observer plus an idle /metrics listener must keep the same
+        chain-40 workload within 1.15x of the obs-disabled baseline —
+        that is what makes them safe to leave on in production."""
+
+        def run(session):
+            start = time.perf_counter()
+            count = len(session.query("path(X, Y)").all())
+            elapsed = time.perf_counter() - start
+            assert count == 40 * 41 // 2
+            return elapsed
+
+        baseline_session = _chain_session(40)
+        telemetry_session = _chain_session(40)
+        run(baseline_session)  # warm both compile caches
+        run(telemetry_session)
+        recorder = telemetry_session.enable_flight_recorder(capacity=4096)
+        baseline_samples, telemetry_samples = [], []
+        with TelemetryServer(port=0):  # idle scrape listener
+            # interleave the two sessions so machine-load drift during the
+            # measurement hits both sides equally instead of skewing one
+            for _ in range(7):
+                baseline_samples.append(run(baseline_session))
+                telemetry_samples.append(run(telemetry_session))
+        baseline = statistics.median(baseline_samples)
+        after = statistics.median(telemetry_samples)
+        assert telemetry_session.ctx.obs is recorder
+        assert recorder.recorded > 0, "recorder saw no events"
+
+        assert after <= baseline * 1.15 + 0.001, (
+            f"flight-recorder + exposition overhead: {after:.4f}s vs "
             f"baseline {baseline:.4f}s"
         )
 

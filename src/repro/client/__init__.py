@@ -5,6 +5,7 @@
 query drives the server's get-next-tuple cursor on demand.
 """
 
+from ..errors import FailoverError
 from .remote import RemoteQueryResult, RemoteSession
 
-__all__ = ["RemoteQueryResult", "RemoteSession"]
+__all__ = ["FailoverError", "RemoteQueryResult", "RemoteSession"]

@@ -1,4 +1,5 @@
-"""The remote session: the :class:`~repro.api.Session` API over a socket.
+"""The remote session: the :class:`~repro.api.Session` API over a socket,
+with optional replica-set failover.
 
 :class:`RemoteSession` mirrors the local embedding interface (paper
 Section 6) so host code can switch between in-process and client-server
@@ -15,6 +16,25 @@ over ``batch_size`` answers.  Abandoning a result (:meth:`RemoteQueryResult.
 close`, or just dropping it and closing the session) closes the server-side
 cursor, exactly like abandoning a local lazy evaluation (Section 5.4.3).
 
+Replica sets (docs/REPLICATION.md): pass a *list* of ``"host:port"``
+endpoints instead of one host and the session fails over transparently::
+
+    with RemoteSession(["10.0.0.1:4242", "10.0.0.2:4242"]) as db:
+        db.insert("edge", 1, 2)        # routed to whichever node is primary
+        db.query("edge(X, Y)").all()   # served by any reachable node
+
+Reads run on one connection to any reachable endpoint; when it dies the
+next request retries against the next endpoint with capped exponential
+backoff plus jitter.  Writes run on a second connection that the session
+resolves to the primary by probing — a node answering ``ReadOnlyError`` is
+a replica, so the probe moves on — and re-resolves after a promotion.  An
+*in-flight cursor* cannot move between servers (its state lives on the
+connection that opened it), so losing that connection surfaces a typed
+:class:`~repro.errors.FailoverError` — as does exhausting the retry budget.
+With a single ``host``/``port`` (the classic constructor) none of this
+machinery engages: one shared connection, no retries, errors exactly as
+before.
+
 Answers reuse the local :class:`~repro.api.session.Answer` class, so
 ``answer["X"]``, ``answer.tuple`` and ``answer.variables()`` behave
 identically on both sides of the wire.  Server-side failures are re-raised
@@ -24,15 +44,31 @@ failures raise :class:`~repro.errors.ProtocolError`.
 
 from __future__ import annotations
 
+import random
 import socket
 import threading
-from typing import Any, Dict, Iterator, List, Optional, Tuple as PyTuple
+import time
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple as PyTuple,
+    Union,
+)
 
 from .. import errors as _errors
 from ..api.session import Answer
-from ..errors import CoralError, ProtocolError
+from ..errors import CoralError, FailoverError, ProtocolError, ReadOnlyError
 from ..relations import Tuple
-from ..server.protocol import PROTOCOL_VERSION, read_frame, write_frame
+from ..server.protocol import (
+    PROTOCOL_VERSION,
+    FrameTimeout,
+    read_frame,
+    write_frame,
+)
 from ..storage.serde import decode_batch
 
 #: error-name -> exception class, so remote failures re-raise as their
@@ -44,6 +80,31 @@ _ERROR_CLASSES: Dict[str, type] = {
 }
 
 
+class _TransportLost(Exception):
+    """Internal marker: the round trip failed at the socket layer (as
+    opposed to the server answering with an error).  Carries the cause;
+    ``closed`` flags a clean server-side close (EOF at a frame boundary)."""
+
+    def __init__(self, cause: Exception, closed: bool = False) -> None:
+        super().__init__(str(cause))
+        self.cause = cause
+        self.closed = closed
+
+
+class _Link:
+    """One live connection: socket, endpoint index, and a generation that
+    increments on every reconnect — a cursor opened on generation N is dead
+    the moment the link moves to N+1."""
+
+    __slots__ = ("sock", "index", "generation", "info")
+
+    def __init__(self, sock, index: int, generation: int, info: str) -> None:
+        self.sock = sock
+        self.index = index
+        self.generation = generation
+        self.info = info
+
+
 class RemoteQueryResult:
     """A pull-based cursor over a remote query's answers — the client half
     of a server-side cursor.  Mirrors :class:`~repro.api.session.QueryResult`:
@@ -52,12 +113,15 @@ class RemoteQueryResult:
     def __init__(
         self,
         session: "RemoteSession",
+        link: _Link,
         cursor_id: int,
         variables: List[str],
         arity: int,
         batch_size: int,
     ) -> None:
         self._session = session
+        self._link = link
+        self._generation = link.generation
         self._cursor_id = cursor_id
         self._vars = variables
         self._arity = arity
@@ -109,8 +173,10 @@ class RemoteQueryResult:
             return
         self._done = True
         try:
-            self._session._request(
-                {"op": "CLOSE_CURSOR", "cursor": self._cursor_id}
+            self._session._cursor_request(
+                self._link,
+                self._generation,
+                {"op": "CLOSE_CURSOR", "cursor": self._cursor_id},
             )
         except (ProtocolError, OSError):
             pass  # connection already gone: the server freed it on its side
@@ -119,12 +185,14 @@ class RemoteQueryResult:
 
     def _fetch_batch(self) -> None:
         try:
-            header, body = self._session._request(
+            header, body = self._session._cursor_request(
+                self._link,
+                self._generation,
                 {
                     "op": "FETCH",
                     "cursor": self._cursor_id,
                     "max": self._batch_size,
-                }
+                },
             )
         except CoralError:
             self._done = True  # server freed the cursor before erroring
@@ -145,45 +213,91 @@ class RemoteQueryResult:
         )
 
 
-class RemoteSession:
-    """A connection to a :class:`~repro.server.CoralServer`.
+def _parse_endpoint(value: Union[str, PyTuple[str, int]]) -> PyTuple[str, int]:
+    if isinstance(value, str):
+        host, sep, port = value.rpartition(":")
+        if not sep or not port.isdigit():
+            raise ProtocolError(
+                f"replica-set endpoint must look like 'host:port', "
+                f"got {value!r}"
+            )
+        return host, int(port)
+    host, port = value
+    return str(host), int(port)
 
-    Constructor arguments: server ``host``/``port``, the answer
-    ``batch_size`` each FETCH requests, and a socket-level ``timeout``
-    (seconds) bounding how long any single round trip may block.
+
+class RemoteSession:
+    """A connection to one :class:`~repro.server.CoralServer` — or to a
+    replica set of them.
+
+    ``host`` is either a hostname (classic single-server mode, with
+    ``port``) or a list of ``"host:port"`` endpoints (replica-set mode with
+    transparent failover — see the module docstring).  ``batch_size`` is
+    the answers each FETCH requests and ``timeout`` bounds any single
+    round trip.  In replica-set mode ``retries`` is the number of full
+    passes over the endpoint list before a request gives up with
+    :class:`FailoverError`, backing off exponentially from ``backoff`` up
+    to ``backoff_cap`` seconds (with full jitter) between attempts.
+
+    ``counters`` tracks the failover machinery: ``reconnects`` (links
+    established beyond each role's first), ``retries`` (request attempts
+    beyond the first), and ``failovers`` (connections abandoned after a
+    transport failure).
     """
 
     def __init__(
         self,
-        host: str = "127.0.0.1",
+        host: Union[str, Sequence[Union[str, PyTuple[str, int]]]] = "127.0.0.1",
         port: int = 4242,
         batch_size: int = 64,
         timeout: Optional[float] = 30.0,
+        *,
+        retries: int = 3,
+        backoff: float = 0.05,
+        backoff_cap: float = 1.0,
     ) -> None:
         if batch_size < 1:
             raise ProtocolError(f"batch_size must be >= 1, got {batch_size}")
         self.batch_size = batch_size
+        self.timeout = timeout
+        self.retries = max(1, retries)
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
         self._lock = threading.Lock()
         self._closed = False
-        try:
-            self._sock = socket.create_connection((host, port), timeout=timeout)
-        except OSError as exc:
-            raise ProtocolError(
-                f"cannot connect to coral server at {host}:{port}: {exc}"
-            ) from exc
-        self.address = (host, port)
-        header, _ = self._request(
-            {"op": "HELLO", "version": PROTOCOL_VERSION, "client": "repro.client/1"}
-        )
-        self.server_info = header.get("server", "?")
+        self._generation = 0
+        self.counters = {"reconnects": 0, "retries": 0, "failovers": 0}
+        if isinstance(host, (list, tuple)):
+            if not host:
+                raise ProtocolError("replica set needs at least one endpoint")
+            self.endpoints = [_parse_endpoint(item) for item in host]
+            self.replica_set = True
+            self._read: Optional[_Link] = None
+            self._write: Optional[_Link] = None
+            #: endpoint index believed to be the primary; None = unresolved
+            self._primary_index: Optional[int] = None
+            with self._lock:
+                self._read = self._connect_any(start=0)
+            self.address = self.endpoints[self._read.index]
+            self.server_info = self._read.info
+        else:
+            self.endpoints = [(host, int(port))]
+            self.replica_set = False
+            self._primary_index = 0
+            link = self._connect(0)
+            self._read = link
+            self._write = link
+            self.address = self.endpoints[0]
+            self.server_info = link.info
 
     # -- queries ------------------------------------------------------------
 
     def query(self, text: str, batch_size: Optional[int] = None) -> RemoteQueryResult:
         """Open a server-side cursor for a textual query."""
-        header, _ = self._request({"op": "QUERY", "query": text})
+        link, (header, _) = self._request({"op": "QUERY", "query": text})
         return RemoteQueryResult(
             self,
+            link,
             int(header["cursor"]),
             list(header["vars"]),
             int(header["arity"]),
@@ -200,11 +314,15 @@ class RemoteSession:
 
     def consult_string(self, source: str) -> List[RemoteQueryResult]:
         """Load program text into the shared server database; queries in the
-        text come back as open cursors (one per query, in order)."""
-        header, _ = self._request({"op": "CONSULT", "source": source})
+        text come back as open cursors (one per query, in order).  A write:
+        routed to the primary in replica-set mode."""
+        link, (header, _) = self._request(
+            {"op": "CONSULT", "source": source}, write=True
+        )
         return [
             RemoteQueryResult(
                 self,
+                link,
                 int(item["cursor"]),
                 list(item["vars"]),
                 int(item["arity"]),
@@ -216,42 +334,86 @@ class RemoteSession:
     # -- updates and introspection ------------------------------------------
 
     def insert(self, pred: str, *values: Any) -> bool:
-        header, _ = self._request(
-            {"op": "INSERT", "pred": pred, "values": list(values)}
+        _, (header, _) = self._request(
+            {"op": "INSERT", "pred": pred, "values": list(values)}, write=True
         )
         return bool(header.get("changed"))
 
     def delete(self, pred: str, *values: Any) -> bool:
-        header, _ = self._request(
-            {"op": "DELETE", "pred": pred, "values": list(values)}
+        _, (header, _) = self._request(
+            {"op": "DELETE", "pred": pred, "values": list(values)}, write=True
         )
         return bool(header.get("changed"))
 
     def stats(self) -> Dict[str, Any]:
         """The server's STATS payload: connections, cursors, requests, the
         shared session's evaluation counters, and the metrics registry."""
-        header, _ = self._request({"op": "STATS"})
+        _, (header, _) = self._request({"op": "STATS"})
         return header["stats"]
+
+    def promote(
+        self, endpoint: Union[None, int, str, PyTuple[str, int]] = None
+    ) -> Dict[str, Any]:
+        """Send ``PROMOTE`` — turn a replica into a writable primary.
+
+        In replica-set mode ``endpoint`` picks the node (an index into the
+        endpoint list, a ``"host:port"`` string, or a tuple; default: the
+        node the read connection is on) over a one-shot connection, and the
+        session forgets its cached primary so the next write re-resolves.
+        In single-server mode the PROMOTE goes to the connected server.
+        """
+        if not self.replica_set:
+            _, (header, _) = self._request({"op": "PROMOTE"})
+            return header
+        with self._lock:
+            if endpoint is None:
+                index = self._read.index if self._read is not None else 0
+            elif isinstance(endpoint, int):
+                index = endpoint
+            else:
+                target = _parse_endpoint(endpoint)
+                if target not in self.endpoints:
+                    self.endpoints.append(target)
+                index = self.endpoints.index(target)
+            link = self._connect(index)
+            try:
+                frame = self._transport(link, {"op": "PROMOTE"}, b"")
+                header, _ = self._unwrap(frame)
+            finally:
+                try:
+                    link.sock.close()
+                except OSError:
+                    pass
+            # the topology changed: re-resolve the primary on the next write
+            self._primary_index = index
+            self._drop("_write")
+            return header
 
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
-        """Say BYE and drop the connection.  Idempotent; the server frees
-        any cursors this connection still holds."""
+        """Say BYE and drop the connection(s).  Idempotent; the server
+        frees any cursors this client still holds."""
         if self._closed:
             return
-        self._closed = True
-        try:
-            with self._lock:
-                write_frame(self._sock, {"op": "BYE"})
-                read_frame(self._sock)
-        except (ProtocolError, OSError):
-            pass
-        finally:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            links = {id(l): l for l in (self._read, self._write) if l is not None}
+            self._read = None
+            self._write = None
+        for link in links.values():
             try:
-                self._sock.close()
-            except OSError:
+                write_frame(link.sock, {"op": "BYE"})
+                read_frame(link.sock)
+            except (FrameTimeout, ProtocolError, OSError):
                 pass
+            finally:
+                try:
+                    link.sock.close()
+                except OSError:
+                    pass
 
     def __enter__(self) -> "RemoteSession":
         return self
@@ -259,22 +421,99 @@ class RemoteSession:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    # -- connections ----------------------------------------------------------
+
+    def _connect(self, index: int) -> _Link:
+        """Dial one endpoint and complete the HELLO handshake."""
+        host, port = self.endpoints[index]
+        try:
+            sock = socket.create_connection((host, port), timeout=self.timeout)
+        except OSError as exc:
+            raise ProtocolError(
+                f"cannot connect to coral server at {host}:{port}: {exc}"
+            ) from exc
+        try:
+            self._generation += 1
+            link = _Link(sock, index, self._generation, "?")
+            frame = self._transport(
+                link,
+                {
+                    "op": "HELLO",
+                    "version": PROTOCOL_VERSION,
+                    "client": "repro.client/1",
+                },
+                b"",
+            )
+            header, _ = self._unwrap(frame)
+            link.info = str(header.get("server", "?"))
+            return link
+        except _TransportLost as exc:
+            sock.close()
+            raise exc.cause from None
+        except BaseException:
+            sock.close()
+            raise
+
+    def _connect_any(self, start: int) -> _Link:
+        """Dial endpoints round-robin from ``start``; first success wins."""
+        last: Optional[Exception] = None
+        for offset in range(len(self.endpoints)):
+            index = (start + offset) % len(self.endpoints)
+            try:
+                return self._connect(index)
+            except (ProtocolError, OSError) as exc:
+                last = exc
+        raise FailoverError(
+            f"no reachable server among "
+            f"{[f'{h}:{p}' for h, p in self.endpoints]}: {last}"
+        )
+
+    def _drop(self, role: str) -> None:
+        """Close and forget one link (``_read`` or ``_write``)."""
+        link: Optional[_Link] = getattr(self, role)
+        setattr(self, role, None)
+        if link is not None:
+            self.counters["failovers"] += 1
+            try:
+                link.sock.close()
+            except OSError:
+                pass
+            # the two roles may share one link (they never do in replica-set
+            # mode, but be safe): a dead socket must not linger under the
+            # other name
+            for other in ("_read", "_write"):
+                if other != role and getattr(self, other) is link:
+                    setattr(self, other, None)
+
     # -- the wire ------------------------------------------------------------
 
-    def _request(
-        self, header: Dict[str, object], body: bytes = b""
+    def _transport(
+        self, link: _Link, header: Dict[str, object], body: bytes
     ) -> PyTuple[Dict[str, object], bytes]:
-        """One round trip; raises the server's error as its original class."""
-        if self._closed:
-            raise ProtocolError("remote session is closed")
-        with self._lock:
-            write_frame(self._sock, header, body)
-            frame = read_frame(self._sock)
+        """One raw round trip; socket-layer failures raise
+        :class:`_TransportLost` so callers can tell them from server-
+        reported errors (which must never be retried)."""
+        try:
+            write_frame(link.sock, header, body)
+            frame = read_frame(link.sock)
+        except FrameTimeout as exc:
+            raise _TransportLost(
+                ProtocolError("timed out waiting for the server's response")
+            ) from exc
+        except (ProtocolError, OSError) as exc:
+            raise _TransportLost(exc) from exc
         if frame is None:
-            self._closed = True
-            raise ProtocolError(
-                "server closed the connection mid-conversation"
+            raise _TransportLost(
+                ProtocolError("server closed the connection mid-conversation"),
+                closed=True,
             )
+        return frame
+
+    @staticmethod
+    def _unwrap(
+        frame: PyTuple[Dict[str, object], bytes]
+    ) -> PyTuple[Dict[str, object], bytes]:
+        """Raise a server-reported error as its original class."""
         response, rbody = frame
         if not response.get("ok"):
             name = str(response.get("error", "CoralError"))
@@ -282,8 +521,133 @@ class RemoteSession:
             raise _ERROR_CLASSES.get(name, CoralError)(message)
         return response, rbody
 
+    def _request(
+        self,
+        header: Dict[str, object],
+        body: bytes = b"",
+        write: bool = False,
+    ) -> PyTuple[_Link, PyTuple[Dict[str, object], bytes]]:
+        """One request with routing and (in replica-set mode) retries.
+
+        Returns the link it ran on — cursors returned in the response are
+        bound to that link's generation.
+        """
+        if self._closed:
+            raise ProtocolError("remote session is closed")
+        with self._lock:
+            if not self.replica_set:
+                link = self._read
+                try:
+                    frame = self._transport(link, header, body)
+                except _TransportLost as exc:
+                    if exc.closed:
+                        self._closed = True
+                    raise exc.cause from None
+                return link, self._unwrap(frame)
+            return self._request_failover(header, body, write)
+
+    def _request_failover(
+        self, header: Dict[str, object], body: bytes, write: bool
+    ) -> PyTuple[_Link, PyTuple[Dict[str, object], bytes]]:
+        role = "_write" if write else "_read"
+        budget = self.retries * len(self.endpoints)
+        delay = self.backoff
+        last: Optional[Exception] = None
+        for attempt in range(budget):
+            if attempt:
+                self.counters["retries"] += 1
+                # full jitter on the capped exponential: a herd of clients
+                # must not hammer a recovering server in lockstep
+                time.sleep(random.uniform(0.0, delay))
+                delay = min(self.backoff_cap, delay * 2)
+            link: Optional[_Link] = getattr(self, role)
+            try:
+                if link is None:
+                    start = self._start_index(role, attempt)
+                    link = self._connect_any(start)
+                    if attempt:
+                        self.counters["reconnects"] += 1
+                    setattr(self, role, link)
+                frame = self._transport(link, header, body)
+            except _TransportLost as exc:
+                self._drop(role)
+                last = exc.cause
+                continue
+            except FailoverError as exc:
+                last = exc
+                continue
+            try:
+                return link, self._unwrap(frame)
+            except ReadOnlyError as exc:
+                if not write:
+                    raise
+                # this endpoint is a replica: remember that, try the next
+                # one as the primary candidate
+                last = exc
+                if self._primary_index == link.index:
+                    self._primary_index = None
+                self._drop(role)
+                self._bump_primary_guess(link.index)
+        raise FailoverError(
+            f"{header.get('op', 'request')} failed after {budget} attempts "
+            f"across {[f'{h}:{p}' for h, p in self.endpoints]}: {last}"
+        )
+
+    def _start_index(self, role: str, attempt: int) -> int:
+        """Where a reconnect starts probing: writes at the believed primary,
+        reads wherever the rotation left off."""
+        if role == "_write" and self._primary_index is not None:
+            return self._primary_index
+        if role == "_write" and self._write_guess is not None:
+            return self._write_guess
+        return attempt % len(self.endpoints)
+
+    _write_guess: Optional[int] = None
+
+    def _bump_primary_guess(self, failed_index: int) -> None:
+        self._write_guess = (failed_index + 1) % len(self.endpoints)
+
+    def _cursor_request(
+        self, link: _Link, generation: int, header: Dict[str, object]
+    ) -> PyTuple[Dict[str, object], bytes]:
+        """FETCH/CLOSE_CURSOR: pinned to the link (and generation) whose
+        server holds the cursor — a cursor cannot fail over, so a lost
+        connection surfaces :class:`FailoverError` instead of retrying."""
+        if self._closed:
+            raise ProtocolError("remote session is closed")
+        with self._lock:
+            if not self.replica_set:
+                try:
+                    frame = self._transport(link, header, b"")
+                except _TransportLost as exc:
+                    if exc.closed:
+                        self._closed = True
+                    raise exc.cause from None
+                return self._unwrap(frame)
+            if link.generation != generation or (
+                link is not self._read and link is not self._write
+            ):
+                raise FailoverError(
+                    f"cursor {header.get('cursor')} was lost: its connection "
+                    f"failed over (reissue the query)"
+                )
+            try:
+                frame = self._transport(link, header, b"")
+            except _TransportLost as exc:
+                for role in ("_read", "_write"):
+                    if getattr(self, role) is link:
+                        self._drop(role)
+                raise FailoverError(
+                    f"cursor {header.get('cursor')} was lost mid-stream: "
+                    f"{exc.cause} (reissue the query)"
+                ) from exc.cause
+            return self._unwrap(frame)
+
     def __repr__(self) -> str:
         state = "closed" if self._closed else "open"
+        if self.replica_set:
+            eps = ",".join(f"{h}:{p}" for h, p in self.endpoints)
+            return f"<RemoteSession replica-set [{eps}] {state}>"
         return f"<RemoteSession {self.address[0]}:{self.address[1]} {state}>"
 
 

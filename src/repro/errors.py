@@ -102,3 +102,22 @@ class ProtocolError(CoralError):
     connection surfaces as one clean exception rather than a raw
     ``OSError``), and on the server when a client speaks garbage — in which
     case only that connection is dropped; the server keeps serving."""
+
+
+class ReadOnlyError(CoralError):
+    """A write (INSERT/DELETE/CONSULT) was sent to a read-only replica
+    (:mod:`repro.replication`).  Writes go to the primary; a failover-aware
+    :class:`~repro.client.RemoteSession` reacts to this error by re-resolving
+    which endpoint is currently primary (a ``PROMOTE`` may have moved it)."""
+
+
+class FailoverError(ProtocolError):
+    """A replica-set :class:`~repro.client.RemoteSession` exhausted its
+    retry budget, or an in-flight cursor's connection died.
+
+    Server-side cursors live on one server; when that connection is lost the
+    cursor cannot be resumed elsewhere, so the in-flight result surfaces
+    this typed error (rather than a raw socket error) and the caller re-runs
+    the query — which *is* transparently routed to a live replica.  A
+    subclass of :class:`ProtocolError` so existing transport-error handlers
+    keep working."""

@@ -36,6 +36,13 @@ point                      where it fires
 ``net.accept``             :mod:`repro.server`, after accepting a connection
 ``net.read``               before reading a request frame from a client
 ``net.write``              before writing a response frame to a client
+``repl.log``               :class:`~repro.replication.Changelog` append, before
+                           the record reaches the changelog (primary side)
+``repl.ship``              the primary's ship loop, before sending one
+                           ``REPL_SHIP`` frame to a replica
+``repl.ack``               the primary's ship loop, before waiting for the
+                           replica's ``REPL_ACK``
+``repl.apply``             the replica, before applying one shipped record
 ========================== ====================================================
 
 The three ``net.*`` points sit at the query server's I/O boundaries
@@ -86,6 +93,10 @@ INJECTION_POINTS = (
     "net.accept",
     "net.read",
     "net.write",
+    "repl.log",
+    "repl.ship",
+    "repl.ack",
+    "repl.apply",
 )
 
 

@@ -1,0 +1,52 @@
+"""repro.replication — log-shipping replication for the query server.
+
+A primary :class:`~repro.server.CoralServer` appends every committed
+base-relation mutation to a CRC-checked, monotonically sequenced
+:class:`Changelog` and streams it to read replicas over ``REPL_HELLO`` /
+``REPL_SHIP`` / ``REPL_ACK`` frames on the ordinary wire protocol; replicas
+apply records idempotently (sequence-gated, crash-safe) via a
+:class:`ReplicationClient`, serve read-only queries with incrementally
+refreshed memo caches, and can be turned into a writable primary with the
+``PROMOTE`` op.  See docs/REPLICATION.md for the topology, the changelog
+format, the promotion runbook, and the failure matrix.
+"""
+
+from .changelog import (
+    CHANGELOG_MAGIC,
+    CHANGELOG_VERSION,
+    KIND_CONSULT,
+    KIND_DELETE,
+    KIND_INSERT,
+    Changelog,
+    ChangelogRecord,
+    apply_record,
+    decode_records,
+    encode_mutation,
+    replay_into,
+)
+
+def __getattr__(name):
+    # lazy: .replica imports repro.server.protocol, and repro.server.core
+    # imports this package — an eager import here would make the package
+    # unimportable on its own (whichever side loads first loses)
+    if name == "ReplicationClient":
+        from .replica import ReplicationClient
+
+        return ReplicationClient
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "CHANGELOG_MAGIC",
+    "CHANGELOG_VERSION",
+    "KIND_CONSULT",
+    "KIND_DELETE",
+    "KIND_INSERT",
+    "Changelog",
+    "ChangelogRecord",
+    "ReplicationClient",
+    "apply_record",
+    "decode_records",
+    "encode_mutation",
+    "replay_into",
+]

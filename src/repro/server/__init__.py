@@ -15,6 +15,8 @@ from .protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
     REQUEST_OPS,
+    STREAM_OPS,
+    FrameTimeout,
     decode_frame,
     encode_frame,
     read_frame,
@@ -24,9 +26,11 @@ from .protocol import (
 __all__ = [
     "CoralServer",
     "DEFAULT_BATCH",
+    "FrameTimeout",
     "MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",
     "REQUEST_OPS",
+    "STREAM_OPS",
     "decode_frame",
     "encode_frame",
     "query_variable_names",

@@ -10,9 +10,22 @@ Examples::
 The server prints ``coral-server listening on HOST:PORT`` once it is
 accepting (with the real port when 0 was requested — the line scripts and
 the CI smoke job parse), and ``coral-server telemetry on HOST:PORT`` when
-``--telemetry-port`` is given, then serves until SIGINT/SIGTERM, shutting
-down cleanly: open cursors are freed and the storage pool, if any, is
-flushed.
+``--telemetry-port`` is given, then serves until SIGINT/SIGTERM.  Shutdown
+is graceful: the server stops accepting connections and refusing new work,
+drains open cursors for up to ``--drain-timeout`` seconds, flushes the
+changelog and the storage pool, and exits 0.
+
+Replication (docs/REPLICATION.md)::
+
+    # a primary with a durable changelog
+    python -m repro.server --port 4242 --changelog /var/coral/changelog
+
+    # two read replicas following it
+    python -m repro.server --port 4243 --replicate-from 127.0.0.1:4242
+    python -m repro.server --port 4244 --replicate-from 127.0.0.1:4242
+
+    # a primary that acknowledges writes only after 1 replica has them
+    python -m repro.server --port 4242 --changelog log --sync-replicas 1
 """
 
 from __future__ import annotations
@@ -44,6 +57,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--consult", action="append", default=[], metavar="FILE",
         help="program/data file(s) to consult before serving",
+    )
+    parser.add_argument(
+        "--persistent", action="append", default=[], metavar="NAME/ARITY",
+        help="register a disk-backed relation from --data-dir (repeatable; "
+             "persistent relations are not auto-registered on reopen)",
     )
     parser.add_argument(
         "--batch-size", type=int, default=DEFAULT_BATCH,
@@ -97,12 +115,56 @@ def build_parser() -> argparse.ArgumentParser:
         "--slow-query-analyze", action="store_true",
         help="re-run logged slow queries under a profiler (EXPLAIN ANALYZE)",
     )
+    parser.add_argument(
+        "--changelog", default=None, metavar="FILE",
+        help="append every committed mutation to this durable replication "
+             "changelog (enables shipping to replicas)",
+    )
+    parser.add_argument(
+        "--replicate-from", default=None, metavar="HOST:PORT",
+        help="run as a read replica of this primary: refuse writes, stream "
+             "and apply its changelog, serve reads",
+    )
+    parser.add_argument(
+        "--replica-name", default=None, metavar="NAME",
+        help="name this replica reports to its primary (metrics label)",
+    )
+    parser.add_argument(
+        "--sync-replicas", type=int, default=0, metavar="N",
+        help="acknowledge writes only after N replicas applied them "
+             "(0 = asynchronous shipping)",
+    )
+    parser.add_argument(
+        "--ack-timeout", type=float, default=5.0, metavar="S",
+        help="how long a write waits for --sync-replicas acknowledgements",
+    )
+    parser.add_argument(
+        "--io-timeout", type=float, default=30.0, metavar="S",
+        help="per-frame socket timeout; a client stalled mid-frame longer "
+             "than this is dropped",
+    )
+    parser.add_argument(
+        "--idle-timeout", type=float, default=300.0, metavar="S",
+        help="reap connections idle longer than this many seconds",
+    )
+    parser.add_argument(
+        "--drain-timeout", type=float, default=5.0, metavar="S",
+        help="on SIGTERM/SIGINT, wait this long for open cursors to finish "
+             "before closing",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     session = Session(data_directory=args.data_dir)
+    for spec in args.persistent:
+        name, sep, arity = spec.rpartition("/")
+        if not sep or not arity.isdigit():
+            build_parser().error(
+                f"--persistent wants NAME/ARITY (e.g. edge/2), got {spec!r}"
+            )
+        session.persistent_relation(name, int(arity))
     if args.flight_recorder or args.flight_dump is not None:
         session.enable_flight_recorder(
             capacity=args.flight_capacity, dump_path=args.flight_dump
@@ -127,13 +189,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         trace=args.trace,
         telemetry_port=args.telemetry_port,
         telemetry_host=args.telemetry_host,
+        role="replica" if args.replicate_from else "primary",
+        changelog=args.changelog,
+        replicate_from=args.replicate_from,
+        replica_name=args.replica_name,
+        sync_replicas=args.sync_replicas,
+        ack_timeout=args.ack_timeout,
+        io_timeout=args.io_timeout,
+        idle_timeout=args.idle_timeout,
     )
     host, port = server.address
-    print(f"coral-server listening on {host}:{port}", flush=True)
+    print(f"coral-server listening on {host}:{port} ({server.role})", flush=True)
     if server.telemetry_address is not None:
         thost, tport = server.telemetry_address
         print(f"coral-server telemetry on {thost}:{tport}", flush=True)
 
+    # SIGTERM/SIGINT -> KeyboardInterrupt on the serving thread: the
+    # graceful path below must NOT run inside the handler (shutdown joins
+    # the serve loop, which would deadlock against itself)
     def _stop(signum, frame):  # pragma: no cover - signal path
         raise KeyboardInterrupt
 
@@ -141,7 +214,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        pass
+        print("coral-server: draining", flush=True)
+        server.drain(timeout=args.drain_timeout)
     finally:
         server.shutdown()
         session.close()

@@ -43,20 +43,43 @@ from typing import Dict, List, Optional, Tuple as PyTuple, Union
 
 from ..api import Session
 from ..api.session import QueryResult
-from ..errors import CoralError, ProtocolError
+from ..errors import CoralError, ProtocolError, ReadOnlyError, StorageError
 from ..eval.limits import ResourceLimits
 from ..faults import FaultInjector, SimulatedCrash
 from ..language import Literal, parse_program, parse_query
 from ..obs import EventTracer, FlightRecorder, MetricsRegistry, TelemetryServer
+# only the changelog side is imported eagerly: ReplicationClient lives in
+# repro.replication.replica, which imports this package's protocol module —
+# importing it here at module level would make repro.replication and
+# repro.server mutually unimportable (whichever loads first loses)
+from ..replication.changelog import (
+    KIND_CONSULT,
+    KIND_DELETE,
+    KIND_INSERT,
+    Changelog,
+    ChangelogRecord,
+    apply_record,
+    encode_mutation,
+    replay_into,
+)
 from ..storage.serde import encode_batch
+from ..terms import to_arg
 from .protocol import (
     PROTOCOL_VERSION,
+    FrameTimeout,
     read_frame,
     write_frame,
 )
 
 #: default answers per FETCH when the client does not say
 DEFAULT_BATCH = 64
+
+#: ops a draining server still accepts: existing cursors may finish, the
+#: rest of the lifecycle keeps working, but no new work is admitted
+_DRAIN_OPS = ("HELLO", "FETCH", "CLOSE_CURSOR", "STATS", "BYE")
+
+#: ops that mutate the shared database — refused on a read replica
+_WRITE_OPS = ("CONSULT", "INSERT", "DELETE")
 
 
 def query_variable_names(literal: Literal) -> List[str]:
@@ -96,16 +119,24 @@ class _Cursor:
 class _Connection:
     """Per-connection server state: identity, handshake flag, open cursors."""
 
-    __slots__ = ("conn_id", "peer", "peer_host", "greeted", "cursors")
+    __slots__ = (
+        "conn_id", "peer", "peer_host", "greeted", "cursors",
+        "ship_from", "replica_name", "sock",
+    )
 
-    def __init__(self, conn_id: int, peer: str) -> None:
+    def __init__(self, conn_id: int, peer: str, sock=None) -> None:
         self.conn_id = conn_id
         self.peer = peer
+        self.sock = sock
         # host only: the metric label for per-client counters (an ephemeral
         # port per connection would mint unbounded label series)
         self.peer_host = peer.rsplit(":", 1)[0] if ":" in peer else peer
         self.greeted = False
         self.cursors: Dict[int, _Cursor] = {}
+        #: set by a successful REPL_HELLO: the replica's last applied
+        #: sequence — the connection then becomes a ship stream
+        self.ship_from: Optional[int] = None
+        self.replica_name = ""
 
 
 class _Handler(socketserver.BaseRequestHandler):
@@ -141,8 +172,21 @@ class CoralServer:
 
     ``limits`` (a :class:`ResourceLimits`) is cloned per request so every
     ``FETCH`` gets a fresh timeout/tuple budget; ``faults`` threads a
-    :class:`FaultInjector` through the ``net.*`` injection points;
-    ``trace=True`` records per-connection events in ``server.tracer``.
+    :class:`FaultInjector` through the ``net.*`` and ``repl.*`` injection
+    points; ``trace=True`` records per-connection events in
+    ``server.tracer``.
+
+    Replication (docs/REPLICATION.md): ``role="primary"`` with a
+    ``changelog`` (a path, or a prebuilt :class:`Changelog`) logs every
+    committed mutation and ships it to replicas that connect with
+    ``REPL_HELLO``; ``role="replica"`` with ``replicate_from=(host, port)``
+    refuses writes, applies the primary's stream, and can be promoted with
+    the ``PROMOTE`` op.  ``sync_replicas=N`` makes writes wait until N
+    replicas acknowledged the record (bounded by ``ack_timeout``).
+
+    Socket hygiene: ``io_timeout`` bounds any single frame read/write so a
+    wedged or half-open client cannot pin its handler thread forever, and a
+    connection idle longer than ``idle_timeout`` is reaped.
     """
 
     def __init__(
@@ -160,6 +204,16 @@ class CoralServer:
         telemetry_host: str = "127.0.0.1",
         flight: Union[None, bool, FlightRecorder] = None,
         rate_window: float = 30.0,
+        role: str = "primary",
+        changelog: Union[None, str, Changelog] = None,
+        replicate_from: Union[None, str, PyTuple[str, int]] = None,
+        replica_name: Optional[str] = None,
+        sync_replicas: int = 0,
+        ack_timeout: float = 5.0,
+        heartbeat: float = 1.0,
+        stall_after: float = 5.0,
+        io_timeout: Optional[float] = 30.0,
+        idle_timeout: Optional[float] = 300.0,
     ) -> None:
         self.session = session if session is not None else Session()
         self.limits = limits
@@ -167,6 +221,49 @@ class CoralServer:
         self.faults = faults if faults is not None else FaultInjector()
         self.metrics = MetricsRegistry()
         self.tracer = EventTracer(limit=trace_limit) if trace else None
+        if role not in ("primary", "replica"):
+            raise ProtocolError(f"role must be 'primary' or 'replica', got {role!r}")
+        self.role = role
+        self.sync_replicas = sync_replicas
+        self.ack_timeout = ack_timeout
+        self.heartbeat = heartbeat
+        self.stall_after = stall_after
+        self.io_timeout = io_timeout
+        self.idle_timeout = idle_timeout
+        #: the changelog, present whenever replication is in play: a
+        #: replica always keeps one (it is what REPL_HELLO resumes from and
+        #: what promotion inherits); a primary keeps one when given a path
+        #: or when any replication knob is on
+        if isinstance(changelog, Changelog):
+            self.changelog: Optional[Changelog] = changelog
+        elif changelog is True:
+            self.changelog = Changelog(None, faults=self.faults)
+        elif isinstance(changelog, str):
+            self.changelog = Changelog(changelog, faults=self.faults)
+        elif role == "replica" or replicate_from is not None or sync_replicas > 0:
+            self.changelog = Changelog(None, faults=self.faults)
+        else:
+            self.changelog = None
+        if self.changelog is not None and len(self.changelog):
+            # a reopened changelog rebuilds the session's base relations —
+            # the redo replay that makes a restarted primary (or a promoted
+            # replica rebooting) resume where its acknowledged writes ended
+            replay_into(self.session, self.changelog.records())
+        self.repl_client: Optional["ReplicationClient"] = None
+        if replicate_from is not None:
+            from ..replication.replica import ReplicationClient
+
+            if isinstance(replicate_from, str):
+                up_host, _, up_port = replicate_from.rpartition(":")
+                replicate_from = (up_host, int(up_port))
+            self.repl_client = ReplicationClient(
+                self, tuple(replicate_from), name=replica_name
+            )
+        #: primary-side acknowledgement ledger: replica name -> (acked seq,
+        #: monotonic time of that ack); guarded by _ack_cond
+        self._ack_cond = threading.Condition()
+        self._replica_acks: Dict[str, PyTuple[int, float]] = {}
+        self._draining = False
         #: the flight recorder surfaced at /debug/flight: an explicit one,
         #: True (install a fresh recorder on the session), or whatever the
         #: session already carries
@@ -235,11 +332,68 @@ class CoralServer:
             "server.query.predicates",
             "cursors opened per query predicate", ("pred",),
         )
+        self._m_repl_events = m.counter(
+            "replication.events",
+            "replication events (shipped/applied/duplicates/heartbeats/"
+            "connects/reconnects/errors)",
+            ("event",),
+        )
+        self._m_repl_last_seq = m.gauge(
+            "replication.last_seq", "last changelog sequence on this server"
+        )
+        self._m_repl_lag_records = m.gauge(
+            "replication.lag_records",
+            "records this replica still has to apply (replica role)",
+        )
+        self._m_repl_lag_seconds = m.gauge(
+            "replication.lag_seconds",
+            "seconds since this replica last heard from its primary",
+        )
+        self._m_replica_lag = m.gauge(
+            "replication.replica.lag_records",
+            "records each connected replica has not yet acknowledged "
+            "(primary role)",
+            ("replica",),
+        )
+        self._m_replicas_connected = m.gauge(
+            "replication.replicas.connected",
+            "replicas currently on the ship stream (primary role)",
+        )
+
+    def repl_metric(self, event: str) -> None:
+        """Count one replication event (the hook ReplicationClient uses)."""
+        self._m_repl_events.inc(1, event)
 
     def _health(self) -> PyTuple[bool, str]:
-        if self._serving:
-            return True, "serving"
-        return False, "not serving"
+        if self._draining:
+            return False, "draining"
+        if not self._serving:
+            return False, "not serving"
+        if self.role == "replica" and self.repl_client is not None:
+            self._refresh_replica_gauges()
+            stalled = self.repl_client.stalled_for()
+            if stalled is None and not self.repl_client.connected:
+                return False, "degraded: replication stream never established"
+            if stalled is not None and (
+                stalled > self.stall_after or not self.repl_client.connected
+            ):
+                return False, (
+                    f"degraded: replication stalled {stalled:.1f}s "
+                    f"(applied seq {self.changelog.last_seq})"
+                )
+        return True, f"serving ({self.role})"
+
+    def _refresh_replica_gauges(self) -> None:
+        """Push the replica's current lag into its gauges (sampled on
+        /healthz, STATS, and every apply, so a scrape is never stale by
+        more than one probe interval)."""
+        client = self.repl_client
+        if client is None or self.changelog is None:
+            return
+        self._m_repl_last_seq.set(self.changelog.last_seq)
+        self._m_repl_lag_records.set(client.lag_records())
+        stalled = client.stalled_for()
+        self._m_repl_lag_seconds.set(stalled if stalled is not None else -1.0)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -260,6 +414,8 @@ class CoralServer:
         self._started_at = time.perf_counter()
         if self.telemetry is not None:
             self.telemetry.start()
+        if self.repl_client is not None:
+            self.repl_client.start()
         self._thread = threading.Thread(
             target=self._tcp.serve_forever,
             kwargs={"poll_interval": 0.05},
@@ -275,10 +431,27 @@ class CoralServer:
         self._started_at = time.perf_counter()
         if self.telemetry is not None:
             self.telemetry.start()
+        if self.repl_client is not None:
+            self.repl_client.start()
         self._tcp.serve_forever(poll_interval=0.05)
+
+    def drain(self, timeout: float = 5.0) -> bool:
+        """Graceful-shutdown step one: refuse new connections and new work,
+        then wait (up to ``timeout`` seconds) for open cursors to finish.
+        Returns True when every cursor drained, False on deadline — either
+        way the server is ready for :meth:`shutdown`."""
+        self._draining = True
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.open_cursors() == 0:
+                return True
+            time.sleep(0.02)
+        return self.open_cursors() == 0
 
     def shutdown(self) -> None:
         """Stop accepting, close the listening socket, free all cursors."""
+        if self.repl_client is not None:
+            self.repl_client.stop()
         if self.telemetry is not None:
             self.telemetry.shutdown()
         if self._serving:
@@ -293,7 +466,17 @@ class CoralServer:
             leftovers = list(self._connections.values())
             self._connections.clear()
         for conn in leftovers:
+            # sever live connections so their handler threads exit (and
+            # so an in-process "kill" looks to clients like a real one:
+            # sockets die, in-flight requests fail at the transport layer)
+            if conn.sock is not None:
+                try:
+                    conn.sock.close()
+                except OSError:
+                    pass
             self._free_cursors(conn)
+        if self.changelog is not None:
+            self.changelog.close()
 
     def __enter__(self) -> "CoralServer":
         return self.start()
@@ -304,23 +487,48 @@ class CoralServer:
     # -- connection loop -----------------------------------------------------
 
     def _handle_connection(self, sock) -> None:
+        if self._draining:
+            return  # refusing new connections: drop before the handshake
         try:
             self.faults.check("net.accept")
         except OSError:
             self._m_errors.inc(1, "accept")
             return
+        # bound every socket operation: a wedged or half-open client gets
+        # io_timeout per frame, and a silent one is reaped at idle_timeout
+        wait = self.io_timeout if self.io_timeout is not None else self.idle_timeout
+        if wait is not None:
+            sock.settimeout(wait)
         conn = self._register(sock)
         try:
+            idle_deadline = (
+                time.monotonic() + self.idle_timeout
+                if self.idle_timeout is not None
+                else None
+            )
             while True:
                 try:
                     self.faults.check("net.read")
                     frame = read_frame(sock)
+                except FrameTimeout:
+                    # nothing arrived within the socket timeout: idle, not
+                    # wedged — keep waiting until the idle budget runs out
+                    if (
+                        idle_deadline is not None
+                        and time.monotonic() >= idle_deadline
+                    ):
+                        self._m_errors.inc(1, "idle_reaped")
+                        return
+                    continue
                 except (ProtocolError, OSError):
-                    # client vanished or spoke garbage mid-frame: drop it
+                    # client vanished, spoke garbage, or stalled mid-frame:
+                    # drop it
                     self._m_errors.inc(1, "read")
                     return
                 if frame is None:
                     return  # clean EOF
+                if self.idle_timeout is not None:
+                    idle_deadline = time.monotonic() + self.idle_timeout
                 header, body = frame
                 if not self._serve_request(conn, sock, header, body):
                     return
@@ -345,6 +553,17 @@ class CoralServer:
                 "message": str(exc),
             }
             rbody = b""
+        except (ValueError, TypeError) as exc:
+            # a well-formed frame carrying a malformed field (a non-integer
+            # cursor or sequence, a list where a scalar belongs): answer a
+            # clean protocol error instead of letting the handler thread die
+            self._m_errors.inc(1, "ProtocolError")
+            response = {
+                "ok": False,
+                "error": "ProtocolError",
+                "message": f"malformed {op or '?'} field: {exc}",
+            }
+            rbody = b""
         self._m_requests.inc(1, op or "?")
         self._m_client_requests.inc(1, conn.peer_host)
         self._m_latency.observe(time.perf_counter() - started, op or "?")
@@ -361,6 +580,11 @@ class CoralServer:
         except (ProtocolError, OSError):
             self._m_errors.inc(1, "write")
             return False
+        if conn.ship_from is not None and response.get("ok"):
+            # a successful REPL_HELLO inverts the socket's roles: this
+            # handler thread becomes the ship loop for one replica
+            self._ship_loop(conn, sock)
+            return False
         return keep_going
 
     def _register(self, sock) -> _Connection:
@@ -370,7 +594,7 @@ class CoralServer:
             peer = "?"
         with self._state_lock:
             self._next_conn += 1
-            conn = _Connection(self._next_conn, peer)
+            conn = _Connection(self._next_conn, peer, sock)
             self._connections[conn.conn_id] = conn
             self._connections_total += 1
         self._m_conns.inc()
@@ -448,6 +672,15 @@ class CoralServer:
         if op == "BYE":
             self._free_cursors(conn)
             return {"ok": True, "bye": True}, b"", False
+        if self._draining and op not in _DRAIN_OPS:
+            raise ProtocolError(
+                f"server is draining for shutdown; {op} refused"
+            )
+        if self.role == "replica" and op in _WRITE_OPS:
+            raise ReadOnlyError(
+                f"{op} refused: this server is a read replica — writes go "
+                f"to the primary"
+            )
         if op == "QUERY":
             return self._op_query(conn, header), b"", True
         if op == "FETCH":
@@ -464,6 +697,10 @@ class CoralServer:
             return self._op_update(header, insert=False), b"", True
         if op == "STATS":
             return {"ok": True, "stats": self.stats()}, b"", True
+        if op == "REPL_HELLO":
+            return self._op_repl_hello(conn, header), b"", True
+        if op == "PROMOTE":
+            return self._op_promote(header), b"", True
         raise ProtocolError(f"unknown request op {op!r}")
 
     def _open_cursor(
@@ -507,6 +744,7 @@ class CoralServer:
 
     def _op_consult(self, conn: _Connection, header) -> Dict[str, object]:
         source = str(header.get("source", ""))
+        record = None
         with self._db_lock:
             program = parse_program(source)
             if any(c.name == "consult" for c in program.commands):
@@ -514,6 +752,16 @@ class CoralServer:
                     "remote consult may not read server-side files"
                 )
             results = self.session.load_program(program)
+            if self.changelog is not None and (
+                program.modules or program.facts or program.index_annotations
+            ):
+                # pure query batches ship nothing; anything that changed the
+                # database (facts, modules, index annotations) is logged as
+                # one CONSULT record replicas re-consult verbatim
+                record = self.changelog.append(
+                    KIND_CONSULT, "", source.encode("utf-8")
+                )
+                self._m_repl_last_seq.set(self.changelog.last_seq)
             opened = []
             for query, result in zip(program.queries, results):
                 literal = query.literal
@@ -527,6 +775,8 @@ class CoralServer:
                         "arity": cursor.arity,
                     }
                 )
+        if record is not None:
+            self._await_replication(record.seq)
         return {"ok": True, "cursors": opened}
 
     def _op_fetch(
@@ -578,12 +828,286 @@ class CoralServer:
         values = header.get("values", [])
         if not pred or not isinstance(values, list):
             raise ProtocolError("INSERT/DELETE need a pred and a values list")
+        record = None
         with self._db_lock:
             if insert:
                 changed = self.session.insert(pred, *values)
             else:
                 changed = self.session.delete(pred, *values)
+            if changed and self.changelog is not None:
+                # logged under the db lock so changelog order is apply order
+                record = self.changelog.append(
+                    KIND_INSERT if insert else KIND_DELETE,
+                    pred,
+                    encode_mutation([[to_arg(v) for v in values]]),
+                )
+                self._m_repl_last_seq.set(self.changelog.last_seq)
+        if record is not None:
+            # the ack wait happens *outside* the db lock: readers and other
+            # writers proceed while this response waits for its replicas
+            self._await_replication(record.seq)
         return {"ok": True, "changed": bool(changed)}
+
+    # -- replication (docs/REPLICATION.md) -----------------------------------
+
+    def _op_repl_hello(self, conn: _Connection, header) -> Dict[str, object]:
+        if self.changelog is None:
+            raise ProtocolError(
+                "replication is not enabled on this server (no changelog)"
+            )
+        if self.role != "primary":
+            raise ProtocolError(
+                "REPL_HELLO must go to the primary; this server is a replica"
+            )
+        last_seq = int(header.get("last_seq", 0))
+        if last_seq < 0 or last_seq > self.changelog.last_seq:
+            raise ProtocolError(
+                f"replica claims sequence #{last_seq} but this primary is at "
+                f"#{self.changelog.last_seq} — refusing to ship backwards "
+                f"(was the wrong server promoted?)"
+            )
+        conn.ship_from = last_seq
+        conn.replica_name = str(header.get("replica", "") or conn.peer)
+        return {
+            "ok": True,
+            "role": self.role,
+            "last_seq": self.changelog.last_seq,
+        }
+
+    def _ship_loop(self, conn: _Connection, sock) -> None:
+        """Stream the changelog to one replica until either side dies.
+
+        Runs on the connection's handler thread after ``REPL_HELLO``; each
+        iteration ships one record (or, when the log is quiet for a
+        ``heartbeat`` interval, a heartbeat frame) and waits for the
+        replica's ``REPL_ACK`` — per-record acknowledgement is the flow
+        control, exactly like cursor FETCH backpressure."""
+        name = conn.replica_name
+        next_seq = conn.ship_from + 1
+        with self._ack_cond:
+            self._replica_acks[name] = (conn.ship_from, time.monotonic())
+            self._ack_cond.notify_all()
+        self._m_replicas_connected.inc()
+        self._m_repl_events.inc(1, "connects")
+        if self.tracer is not None:
+            self.tracer.instant(
+                "repl.connect", "server", conn=conn.conn_id, replica=name
+            )
+        try:
+            while self._serving and self.role == "primary":
+                record = self.changelog.wait_for(next_seq, timeout=self.heartbeat)
+                if record is None:
+                    header = {
+                        "op": "REPL_SHIP",
+                        "heartbeat": True,
+                        "seq": self.changelog.last_seq,
+                    }
+                    body = b""
+                else:
+                    header = {
+                        "op": "REPL_SHIP",
+                        "seq": record.seq,
+                        "kind": record.kind,
+                        "pred": record.pred,
+                        "crc": record.crc,
+                    }
+                    body = record.payload
+                self.faults.check("repl.ship")
+                write_frame(sock, header, body)
+                self.faults.check("repl.ack")
+                frame = read_frame(sock)
+                if frame is None:
+                    return  # replica hung up cleanly
+                ack, _ = frame
+                if ack.get("op") != "REPL_ACK":
+                    raise ProtocolError(
+                        f"expected REPL_ACK from replica {name}, got "
+                        f"{ack.get('op')!r}"
+                    )
+                self._record_ack(name, int(ack.get("seq", 0)))
+                if record is not None:
+                    next_seq = record.seq + 1
+                    self._m_repl_events.inc(1, "shipped")
+                    if self.tracer is not None:
+                        self.tracer.instant(
+                            "repl.ship", "server", seq=record.seq, replica=name
+                        )
+                else:
+                    self._m_repl_events.inc(1, "heartbeats")
+        except (FrameTimeout, ProtocolError, OSError, ValueError, TypeError):
+            # a stalled, dead, or garbled replica (including one acking with
+            # a malformed sequence) drops only its own stream; it reconnects
+            # with REPL_HELLO and resumes from its sequence
+            self._m_errors.inc(1, "repl_ship")
+        finally:
+            self._replica_gone(name)
+
+    def _record_ack(self, name: str, seq: int) -> None:
+        now = time.monotonic()
+        with self._ack_cond:
+            previous = self._replica_acks.get(name, (0, now))[0]
+            self._replica_acks[name] = (max(previous, seq), now)
+            self._ack_cond.notify_all()
+        lag = max(0, self.changelog.last_seq - seq)
+        self._m_replica_lag.set(lag, name)
+        self._m_repl_last_seq.set(self.changelog.last_seq)
+
+    def _replica_gone(self, name: str) -> None:
+        with self._ack_cond:
+            self._replica_acks.pop(name, None)
+            self._ack_cond.notify_all()
+        self._m_replicas_connected.dec()
+        if self.tracer is not None:
+            self.tracer.instant("repl.disconnect", "server", replica=name)
+
+    def _await_replication(self, seq: int) -> None:
+        """Block until ``sync_replicas`` replicas acknowledged ``seq``.
+
+        With ``sync_replicas=0`` (the default) shipping is asynchronous and
+        this returns immediately.  On timeout the write is *not* rolled back
+        — it is durable locally — but the client gets a StorageError, i.e.
+        the write is unacknowledged and the chaos harness treats it as
+        allowed-to-be-lost."""
+        if self.sync_replicas <= 0:
+            return
+        deadline = time.monotonic() + self.ack_timeout
+        with self._ack_cond:
+            while True:
+                acked = sum(
+                    1
+                    for acked_seq, _ in self._replica_acks.values()
+                    if acked_seq >= seq
+                )
+                if acked >= self.sync_replicas:
+                    return
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise StorageError(
+                        f"replication sync timeout: record #{seq} "
+                        f"acknowledged by {acked} of the required "
+                        f"{self.sync_replicas} replica(s) within "
+                        f"{self.ack_timeout}s"
+                    )
+                self._ack_cond.wait(remaining)
+
+    def apply_replicated(
+        self, seq: int, kind: int, pred: str, payload: bytes
+    ) -> bool:
+        """Apply one shipped record on a replica, sequence-gated.
+
+        A duplicate (``seq`` at or below the applied horizon) is counted and
+        dropped — re-shipping after a reconnect is idempotent.  A gap raises
+        :class:`ProtocolError`, forcing a reconnect whose ``REPL_HELLO``
+        names the exact sequence this replica needs: a replica can fall
+        behind but never silently diverge.  Apply happens before the
+        changelog append; on a crash between the two, boot-time replay of
+        the changelog (the source of truth) reconverges, and the primary
+        re-ships anything unacknowledged."""
+        with self._db_lock:
+            last = self.changelog.last_seq
+            if seq <= last:
+                self._m_repl_events.inc(1, "duplicates")
+                return False
+            if seq != last + 1:
+                raise ProtocolError(
+                    f"replication gap: shipped record #{seq} but this "
+                    f"replica has applied only #{last}"
+                )
+            record = ChangelogRecord(seq, kind, pred, payload)
+            try:
+                apply_record(self.session, record)
+            except CoralError:
+                # apply failed, nothing logged: the sequence did not move,
+                # so the reconnect re-requests exactly this record
+                self._m_errors.inc(1, "repl_apply")
+                raise
+            self.changelog.append(kind, pred, payload, seq=seq)
+        self._m_repl_events.inc(1, "applied")
+        self._refresh_replica_gauges()
+        if self.tracer is not None:
+            self.tracer.instant("repl.apply", "server", seq=seq)
+        return True
+
+    def _op_promote(self, header) -> Dict[str, object]:
+        return self.promote()
+
+    def promote(self) -> Dict[str, object]:
+        """Turn this replica into a writable primary (failover).
+
+        Drains the apply queue first — the replication client finishes the
+        record it is applying, then stops — so promotion never cuts an apply
+        in half.  Idempotent: promoting a primary reports ``promoted:
+        False``.  The new primary keeps its changelog and sequence, so
+        surviving replicas re-pointed at it (:meth:`set_upstream`) resume
+        exactly where they were."""
+        if self.role == "primary":
+            return {
+                "ok": True,
+                "role": "primary",
+                "promoted": False,
+                "last_seq": self.changelog.last_seq if self.changelog else 0,
+            }
+        if self.repl_client is not None:
+            self.repl_client.stop()  # drains the in-flight apply
+        self.role = "primary"
+        self._m_repl_events.inc(1, "promotions")
+        if self.tracer is not None:
+            self.tracer.instant(
+                "repl.promote", "server", last_seq=self.changelog.last_seq
+            )
+        return {
+            "ok": True,
+            "role": "primary",
+            "promoted": True,
+            "last_seq": self.changelog.last_seq,
+        }
+
+    def set_upstream(self, host: str, port: int) -> None:
+        """Re-point this replica at a different primary (after a promotion
+        elsewhere); the stream resumes from this replica's own sequence."""
+        if self.repl_client is None:
+            from ..replication.replica import ReplicationClient
+
+            self.repl_client = ReplicationClient(self, (host, port))
+            if self._serving:
+                self.repl_client.start()
+        else:
+            self.repl_client.retarget((host, port))
+
+    def replication_stats(self) -> Dict[str, object]:
+        """The ``replication`` section of STATS, shaped by role."""
+        if self.changelog is None:
+            return {"role": self.role, "enabled": False}
+        payload: Dict[str, object] = {
+            "role": self.role,
+            "enabled": True,
+            "last_seq": self.changelog.last_seq,
+        }
+        with self._ack_cond:
+            acks = dict(self._replica_acks)
+        if acks or self.role == "primary":
+            now = time.monotonic()
+            payload["replicas"] = {
+                name: {
+                    "acked_seq": acked_seq,
+                    "lag_records": max(0, self.changelog.last_seq - acked_seq),
+                    "ack_age_seconds": round(now - at, 3),
+                }
+                for name, (acked_seq, at) in acks.items()
+            }
+            payload["sync_replicas"] = self.sync_replicas
+        client = self.repl_client
+        if client is not None:
+            stalled = client.stalled_for()
+            payload["upstream"] = {
+                "address": f"{client.upstream[0]}:{client.upstream[1]}",
+                "connected": client.connected,
+                "upstream_seq": client.upstream_seq,
+                "lag_records": client.lag_records(),
+                "lag_seconds": round(stalled, 3) if stalled is not None else None,
+                "reconnects": client.reconnects,
+            }
+        return payload
 
     # -- introspection -------------------------------------------------------
 
@@ -646,11 +1170,14 @@ class CoralServer:
             "connections": connections,
             "cursors": cursors,
             "requests": requests_total,
+            "role": self.role,
             "rates": self._rates(),
             "latency": self._latency(),
             "eval": eval_stats,
             "metrics": self.metrics.collect(),
         }
+        if self.changelog is not None or self.repl_client is not None:
+            payload["replication"] = self.replication_stats()
         if buffer_stats is not None:
             payload["buffer"] = buffer_stats
         if memo_stats is not None:

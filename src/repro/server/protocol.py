@@ -32,7 +32,16 @@ Request ops (client to server)::
     INSERT        add one base fact
     DELETE        remove one base fact
     STATS         server counters: connections, cursors, requests, metrics
+    REPL_HELLO    enter the replication stream: the sender is a replica,
+                  the header carries its last applied changelog sequence
+    PROMOTE       turn a read replica into a writable primary (failover)
     BYE           clean goodbye; the server closes the connection
+
+After a successful ``REPL_HELLO`` the roles on the socket invert: the
+*server* (a primary) pushes ``REPL_SHIP`` frames — one changelog record or
+heartbeat each, the body carrying the record payload in the storage batch
+codec — and the *client* (a replica) answers each with ``REPL_ACK`` carrying
+its applied sequence.  See docs/REPLICATION.md.
 
 Error responses carry ``{"ok": false, "error": <class name>, "message":
 ...}``; the client re-raises the matching :class:`~repro.errors.CoralError`
@@ -65,8 +74,25 @@ REQUEST_OPS = (
     "INSERT",
     "DELETE",
     "STATS",
+    "REPL_HELLO",
+    "PROMOTE",
     "BYE",
 )
+
+#: frames exchanged on an established replication stream (server pushes
+#: REPL_SHIP, the replica answers REPL_ACK) — not request ops
+STREAM_OPS = ("REPL_SHIP", "REPL_ACK")
+
+
+class FrameTimeout(Exception):
+    """The socket timed out before *any* byte of the next frame arrived.
+
+    Deliberately not a :class:`~repro.errors.CoralError`: this is the idle
+    case, not an error — the server's connection loop uses it to poll its
+    idle-reaping deadline, and ship loops use it to pace heartbeats.  A
+    timeout *mid*-frame (some bytes arrived, then silence) still raises
+    :class:`ProtocolError`: that peer is wedged, not idle.
+    """
 
 
 def encode_frame(header: Dict[str, object], body: bytes = b"") -> bytes:
@@ -104,14 +130,30 @@ def decode_frame(payload: bytes) -> PyTuple[Dict[str, object], bytes]:
     return header, payload[4 + header_len :]
 
 
-def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+def _recv_exact(
+    sock: socket.socket, count: int, idle_ok: bool = False
+) -> Optional[bytes]:
     """Read exactly ``count`` bytes, or None on clean EOF at a frame
-    boundary.  EOF mid-frame raises :class:`ProtocolError`."""
+    boundary.  EOF mid-frame raises :class:`ProtocolError`.
+
+    With ``idle_ok`` a socket timeout before the *first* byte raises
+    :class:`FrameTimeout` (nothing was consumed; the caller may retry);
+    any timeout after bytes arrived — or without ``idle_ok`` — raises
+    :class:`ProtocolError`, because half a frame followed by silence is a
+    wedged peer, not an idle one.
+    """
     chunks = []
     remaining = count
     while remaining:
         try:
             chunk = sock.recv(min(remaining, 1 << 20))
+        except socket.timeout as exc:
+            if idle_ok and remaining == count:
+                raise FrameTimeout() from exc
+            raise ProtocolError(
+                f"connection timed out mid-frame ({count - remaining} of "
+                f"{count} bytes read)"
+            ) from exc
         except OSError as exc:
             raise ProtocolError(f"connection lost mid-frame: {exc}") from exc
         if not chunk:
@@ -129,8 +171,13 @@ def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
 def read_frame(
     sock: socket.socket,
 ) -> Optional[PyTuple[Dict[str, object], bytes]]:
-    """Read one frame; None on clean EOF before any bytes of a frame."""
-    prefix = _recv_exact(sock, 4)
+    """Read one frame; None on clean EOF before any bytes of a frame.
+
+    On a socket with a timeout configured, raises :class:`FrameTimeout`
+    when the timeout expires with *no* bytes of a frame read — the idle
+    case — and :class:`ProtocolError` when it expires mid-frame.
+    """
+    prefix = _recv_exact(sock, 4, idle_ok=True)
     if prefix is None:
         return None
     (total,) = struct.unpack(">I", prefix)

@@ -27,6 +27,11 @@ Shell commands::
                                fetch latency percentiles, memo/buffer hit
                                rates, active cursors; @top N I. samples N
                                times every I seconds
+    @replicas.                 replication topology (remote mode): role,
+                               changelog sequence, per-replica lag or
+                               upstream health (docs/REPLICATION.md)
+    @promote.                  promote the connected replica to a writable
+                               primary (failover runbook step)
     @disconnect.               leave remote mode, back to the local session
     @help.                     this text
     @quit. (or @exit.)         leave
@@ -222,6 +227,27 @@ class Shell:
             except KeyboardInterrupt:
                 pass
             return "\n\n".join(frames)
+        if name == "replicas":
+            if self.remote is None:
+                return "@replicas needs a server (@connect host:port. first)."
+            try:
+                stats = self.remote.stats()
+            except CoralError as error:
+                return f"error: {error}"
+            return self._render_replicas(stats)
+        if name == "promote":
+            if self.remote is None:
+                return "@promote needs a server (@connect host:port. first)."
+            try:
+                outcome = self.remote.promote()
+            except CoralError as error:
+                return f"error: {error}"
+            if outcome.get("promoted"):
+                return (
+                    f"promoted to primary at changelog sequence "
+                    f"#{outcome.get('last_seq', 0)}; writes accepted here now."
+                )
+            return "already the primary; nothing to do."
         if name == "modules":
             loaded = self.session.modules.modules
             if not loaded:
@@ -310,6 +336,50 @@ class Shell:
             if buffer_rate is not None:
                 cache_bits.append(f"buffer hit rate: {buffer_rate}")
             lines.append("  " + "   ".join(cache_bits))
+        return "\n".join(lines)
+
+    @staticmethod
+    def _render_replicas(stats: dict) -> str:
+        """The ``@replicas`` view from a server STATS payload."""
+        replication = stats.get("replication")
+        if not replication or not replication.get("enabled", True):
+            return (
+                "replication is not enabled on this server "
+                "(start it with --changelog or --replicate-from)."
+            )
+        lines = [
+            f"role: {replication.get('role', stats.get('role', '?'))}"
+            f"   changelog sequence: #{replication.get('last_seq', 0)}"
+        ]
+        replicas = replication.get("replicas")
+        if replicas is not None:
+            sync = replication.get("sync_replicas", 0)
+            lines.append(
+                f"sync_replicas: {sync}" if sync else "shipping: asynchronous"
+            )
+            if not replicas:
+                lines.append("no replicas connected.")
+            for name in sorted(replicas):
+                info = replicas[name]
+                lines.append(
+                    f"  {name}: acked #{info.get('acked_seq', 0)}"
+                    f"   lag {info.get('lag_records', 0)} record(s)"
+                    f"   last ack {info.get('ack_age_seconds', 0):.1f}s ago"
+                )
+        upstream = replication.get("upstream")
+        if upstream is not None:
+            state = "connected" if upstream.get("connected") else "DISCONNECTED"
+            lag_seconds = upstream.get("lag_seconds")
+            lines.append(
+                f"upstream {upstream.get('address', '?')}: {state}"
+                f"   lag {upstream.get('lag_records', 0)} record(s)"
+                + (
+                    f"   silent {lag_seconds:.1f}s"
+                    if lag_seconds is not None
+                    else ""
+                )
+                + f"   reconnects {upstream.get('reconnects', 0)}"
+            )
         return "\n".join(lines)
 
     # -- input chunking ---------------------------------------------------------------

@@ -19,12 +19,18 @@ insert/delete/commit/abort workloads (``pytest -m chaos``).
 import os
 import random
 import shutil
+import threading
+import time
 
 import pytest
 
-from repro.errors import StorageError
+from repro import Session
+from repro.client import RemoteSession
+from repro.errors import CoralError, StorageError
 from repro.faults import FaultInjector, SimulatedCrash
 from repro.relations import Tuple
+from repro.replication import Changelog, replay_into
+from repro.server import CoralServer
 from repro.storage import PAGE_SIZE, BufferPool, PersistentRelation, StorageServer
 from repro.storage.xact import _ENTRY_HEADER, _FILE_HEADER
 from repro.terms import Int, Str
@@ -401,3 +407,167 @@ def test_randomized_crash_sweep(tmp_path):
             )
             runs += 1
     assert runs == 60
+
+
+# -- kill the primary (docs/REPLICATION.md) ----------------------------------
+#
+# The replication analogue of the storage sweep above: crash the primary at a
+# replication or network injection point while concurrent writers hammer it
+# with synchronous replication on, then fail over and check the durability
+# contract — every write the primary ACKNOWLEDGED survives on the promoted
+# replica, the surviving replicas converge to identical contents, and the
+# replica state is a prefix of the primary's durable changelog.  Writes that
+# errored (crashed connection, sync-ack timeout) are allowed to be lost; what
+# is never allowed is losing an acknowledged one.
+
+REPL_KILL_SCHEDULES = [
+    # (point, hit, side) — where the SimulatedCrash lands and on whom
+    ("repl.log", 3, "primary"),
+    ("repl.log", 9, "primary"),
+    ("repl.ship", 5, "primary"),
+    ("repl.ack", 4, "primary"),
+    ("net.write", 12, "primary"),
+    ("repl.apply", 3, "replica"),
+]
+
+
+def _repl_wait(predicate, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+def _acked_writer(address, keys, acked, lock):
+    """One writer: insert its keys one by one, recording exactly those the
+    primary acknowledged.  A failed write reconnects and moves on — the
+    crash under test kills connections, and a real client would too."""
+    db = None
+    try:
+        for key in keys:
+            row = (key, f"w{key}")
+            try:
+                if db is None:
+                    db = RemoteSession(*address, timeout=3.0)
+                if db.insert("acct", *row):
+                    with lock:
+                        acked.add(row)
+            except (CoralError, OSError):
+                if db is not None:
+                    db.close()
+                    db = None
+    finally:
+        if db is not None:
+            db.close()
+
+
+def _session_rows(session):
+    return set(session.query("acct(X, Y)").tuples())
+
+
+def _run_kill_schedule(tmp_path, index, point, hit, side):
+    log_path = str(tmp_path / f"wal{index}")
+    primary_faults = FaultInjector()
+    replica_faults = FaultInjector()
+    (primary_faults if side == "primary" else replica_faults).crash_at(
+        point, hit
+    )
+    primary = CoralServer(
+        Session(), port=0, changelog=log_path, sync_replicas=1,
+        ack_timeout=2.0, heartbeat=0.02, faults=primary_faults,
+    ).start()
+    r1 = CoralServer(
+        Session(), port=0, role="replica", replicate_from=primary.address,
+        replica_name="r1", heartbeat=0.02, faults=replica_faults,
+    ).start()
+    r2 = CoralServer(
+        Session(), port=0, role="replica", replicate_from=primary.address,
+        replica_name="r2", heartbeat=0.02,
+    ).start()
+    context = f"kill {point}#{hit}@{side} (schedule {index})"
+    acked = set()
+    lock = threading.Lock()
+    try:
+        writers = [
+            threading.Thread(
+                target=_acked_writer,
+                args=(primary.address, range(base, 24, 2), acked, lock),
+            )
+            for base in (0, 1)
+        ]
+        for writer in writers:
+            writer.start()
+        for writer in writers:
+            writer.join(timeout=30.0)
+        assert not any(w.is_alive() for w in writers), f"{context}: writer hung"
+        assert not (
+            primary_faults.pending() or replica_faults.pending()
+        ), f"{context}: the scheduled fault never fired"
+        assert acked, f"{context}: no write was ever acknowledged"
+
+        # the kill: the primary process is gone (sockets severed, changelog
+        # closed) with no warning to anyone
+        primary.shutdown()
+
+        # failover runbook: quiesce both streams, promote whichever replica
+        # is further ahead, re-point the survivor at it
+        for replica in (r1, r2):
+            if replica.repl_client is not None:
+                replica.repl_client.stop()
+        target, other = (
+            (r1, r2) if r1.changelog.last_seq >= r2.changelog.last_seq
+            else (r2, r1)
+        )
+        assert target.promote()["promoted"] is True
+        other.set_upstream(*target.address)
+        assert _repl_wait(
+            lambda: other.changelog.last_seq == target.changelog.last_seq
+        ), f"{context}: survivor never caught up to the new primary"
+
+        # the durability contract
+        promoted_rows = _session_rows(target.session)
+        missing = acked - promoted_rows
+        assert not missing, (
+            f"{context}: acknowledged writes lost in failover: "
+            f"{sorted(missing)[:5]}"
+        )
+        assert _session_rows(other.session) == promoted_rows, (
+            f"{context}: replicas diverged after failover"
+        )
+
+        # replica state is a prefix of the primary's durable changelog: a
+        # cold rebuild from disk is a superset, and it too holds every ack
+        cold = Session()
+        replay_into(cold, Changelog(log_path).records())
+        cold_rows = _session_rows(cold)
+        assert promoted_rows <= cold_rows, (
+            f"{context}: promoted replica holds rows the durable log never "
+            f"recorded: {sorted(promoted_rows - cold_rows)[:5]}"
+        )
+        assert acked <= cold_rows, (
+            f"{context}: acknowledged write missing from the durable log"
+        )
+
+        # the promoted primary serves writes; the survivor replicates them
+        with RemoteSession(*target.address) as db:
+            assert db.insert("acct", 999, "after-failover") is True
+        assert _repl_wait(
+            lambda: other.changelog.last_seq == target.changelog.last_seq
+        ), f"{context}: post-failover write never reached the survivor"
+    finally:
+        primary.shutdown()
+        r1.shutdown()
+        r2.shutdown()
+
+
+@pytest.mark.chaos
+@pytest.mark.filterwarnings(
+    # the repl.apply schedule crashes the replica's stream thread; the
+    # SimulatedCrash escaping it is the point (nothing may swallow one)
+    "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+)
+def test_kill_the_primary_sweep(tmp_path):
+    for index, (point, hit, side) in enumerate(REPL_KILL_SCHEDULES):
+        _run_kill_schedule(tmp_path, index, point, hit, side)

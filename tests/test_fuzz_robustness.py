@@ -8,6 +8,8 @@ import json
 import random
 import socket
 import struct
+import threading
+import time
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -15,8 +17,16 @@ from hypothesis import given, settings, strategies as st
 from repro import ParseError, Session, StorageError
 from repro.client import RemoteSession
 from repro.language.parser import parse_program
+from repro.replication import KIND_INSERT, encode_mutation
+from repro.replication.changelog import record_crc
 from repro.server import CoralServer
-from repro.server.protocol import MAX_FRAME_BYTES, PROTOCOL_VERSION, encode_frame
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
 from repro.storage.serde import decode_batch, encode_batch
 from repro.terms import to_arg
 
@@ -246,3 +256,267 @@ def test_mutated_consult_never_kills_the_server():
 
                     assert isinstance(exc, CoralError), exc
             assert sorted(db.query("path(1, Y)").tuples()) == [(1, 2), (1, 3)]
+
+
+# ---------------------------------------------------------------------------
+# replication stream fuzz (ISSUE 6): garbage on either side of the stream.
+# The contract: a malformed REPL frame may cost the one connection it rode
+# in on — never the server, never the replica's stream thread, and never a
+# silently diverged replica.
+# ---------------------------------------------------------------------------
+
+
+def _wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+def _handshake(address):
+    sock = socket.create_connection(address, timeout=5.0)
+    sock.settimeout(5.0)
+    write_frame(sock, {"op": "HELLO", "version": PROTOCOL_VERSION})
+    frame = read_frame(sock)
+    assert frame is not None and frame[0].get("ok")
+    return sock
+
+
+_BAD_REPL_HELLOS = [
+    {"op": "REPL_HELLO", "last_seq": -3},  # negative sequence
+    {"op": "REPL_HELLO", "last_seq": 999},  # claims to be ahead of the primary
+    {"op": "REPL_HELLO", "last_seq": "junk"},  # not an integer at all
+    {"op": "REPL_HELLO", "last_seq": [1, 2]},  # nor is this
+    {"op": "REPL_ACK", "seq": 1},  # stream op outside a stream
+]
+
+
+def test_garbage_repl_hello_gets_a_clean_refusal():
+    """Every malformed REPL_HELLO is answered with ok=False on a connection
+    that stays usable, and a real replica still syncs afterwards."""
+    primary_session = Session()
+    with CoralServer(
+        primary_session, port=0, changelog=True, heartbeat=0.05
+    ) as primary:
+        with RemoteSession(*primary.address) as db:
+            db.insert("edge", 1, 2)
+        for bad in _BAD_REPL_HELLOS:
+            sock = _handshake(primary.address)
+            try:
+                write_frame(sock, bad)
+                frame = read_frame(sock)
+                assert frame is not None, f"{bad}: connection died, no answer"
+                assert frame[0].get("ok") is False, f"{bad}: was accepted"
+                # the same connection still serves ordinary requests
+                write_frame(sock, {"op": "STATS"})
+                frame = read_frame(sock)
+                assert frame is not None and frame[0].get("ok")
+            finally:
+                sock.close()
+        # liveness: a real replica attaches and catches up
+        replica = CoralServer(
+            Session(), port=0, role="replica",
+            replicate_from=primary.address, heartbeat=0.05,
+        ).start()
+        try:
+            assert _wait_until(
+                lambda: replica.changelog.last_seq == primary.changelog.last_seq
+            )
+        finally:
+            replica.shutdown()
+
+
+_GARBAGE_ACKS = [
+    ("frame", {"op": "NOT_AN_ACK", "seq": 1}),
+    ("frame", {"op": "REPL_ACK", "seq": "junk"}),
+    ("frame", {"op": "REPL_ACK", "seq": [1]}),
+    ("raw", b"\xff" * 16),
+    ("close", None),
+]
+
+
+@pytest.mark.parametrize("mode,ack", _GARBAGE_ACKS)
+def test_fake_replica_garbage_acks_drop_only_that_stream(mode, ack):
+    """A fake replica answering REPL_SHIP with garbage loses its stream; the
+    primary keeps serving clients and accepts a real replica afterwards."""
+    with CoralServer(
+        Session(), port=0, changelog=True, heartbeat=0.05
+    ) as primary:
+        with RemoteSession(*primary.address) as db:
+            db.insert("edge", 1, 2)
+        sock = _handshake(primary.address)
+        try:
+            write_frame(
+                sock, {"op": "REPL_HELLO", "last_seq": 0, "replica": "evil"}
+            )
+            frame = read_frame(sock)
+            assert frame is not None and frame[0].get("ok")
+            frame = read_frame(sock)  # record #1 ships
+            assert frame is not None and frame[0].get("op") == "REPL_SHIP"
+            if mode == "frame":
+                write_frame(sock, ack)
+            elif mode == "raw":
+                sock.sendall(ack)
+            # mode == "close": just hang up mid-stream
+        finally:
+            sock.close()
+        # the evil stream is gone from the primary's books
+        assert _wait_until(
+            lambda: "evil" not in primary.replication_stats().get("replicas", {})
+        )
+        # the primary is unharmed: writes, reads, and a real replica work
+        with RemoteSession(*primary.address) as db:
+            assert db.insert("edge", 2, 3) is True
+            assert len(db.query("edge(X, Y)").tuples()) == 2
+        replica = CoralServer(
+            Session(), port=0, role="replica",
+            replicate_from=primary.address, heartbeat=0.05,
+        ).start()
+        try:
+            assert _wait_until(
+                lambda: replica.changelog.last_seq == primary.changelog.last_seq
+            )
+        finally:
+            replica.shutdown()
+
+
+# -- an adversarial primary against a real replica ---------------------------
+
+
+def _evil_ship(conn, seq, payload, crc=None, kind=KIND_INSERT, pred="edge"):
+    header = {
+        "op": "REPL_SHIP",
+        "seq": seq,
+        "kind": kind,
+        "pred": pred,
+        "crc": record_crc(seq, kind, pred.encode("utf-8"), payload)
+        if crc is None
+        else crc,
+    }
+    write_frame(conn, header, payload)
+    return read_frame(conn)  # the ack, or None if the replica hung up
+
+
+def _fresh_row(seq):
+    return encode_mutation([[to_arg(seq), to_arg(seq)]])
+
+
+def _scenario_valid_then_duplicate(conn, last):
+    seq = last + 1
+    assert _evil_ship(conn, seq, _fresh_row(seq)) is not None
+    # re-ship the same record: must be acked and dropped, not re-applied
+    assert _evil_ship(conn, seq, _fresh_row(seq)) is not None
+
+
+def _scenario_gap(conn, last):
+    _evil_ship(conn, last + 5, _fresh_row(last + 5))
+
+
+def _scenario_corrupt_crc(conn, last):
+    _evil_ship(conn, last + 1, _fresh_row(last + 1), crc=12345)
+
+
+def _scenario_garbage_payload(conn, last):
+    # the CRC is honest — over garbage — so the *apply* is what fails
+    _evil_ship(conn, last + 1, b"\xde\xad\xbe\xef")
+
+
+def _scenario_bogus_seq_type(conn, last):
+    write_frame(
+        conn,
+        {"op": "REPL_SHIP", "seq": "junk", "kind": 1, "pred": "edge", "crc": 0},
+        b"",
+    )
+    read_frame(conn)
+
+
+def _scenario_wrong_op(conn, last):
+    write_frame(conn, {"op": "QUERY", "query": "edge(X, Y)"})
+    read_frame(conn)
+
+
+def _scenario_torn_frame(conn, last):
+    conn.sendall(b"\x00\x00\x01")  # a third of a length prefix, then EOF
+
+
+_EVIL_SCENARIOS = [
+    _scenario_valid_then_duplicate,
+    _scenario_gap,
+    _scenario_corrupt_crc,
+    _scenario_garbage_payload,
+    _scenario_bogus_seq_type,
+    _scenario_wrong_op,
+    _scenario_torn_frame,
+]
+
+
+def _run_evil_primary(listener, scenarios, served):
+    """Accept the replica's redials; feed each connection one scenario."""
+    while scenarios:
+        try:
+            conn, _ = listener.accept()
+        except OSError:
+            return  # listener closed: the test is tearing down
+        scenario = scenarios.pop(0)
+        try:
+            with conn:
+                conn.settimeout(5.0)
+                if read_frame(conn) is None:  # HELLO
+                    continue
+                write_frame(
+                    conn,
+                    {"ok": True, "server": "evil/1", "version": PROTOCOL_VERSION},
+                )
+                frame = read_frame(conn)  # REPL_HELLO
+                if frame is None:
+                    continue
+                last = int(frame[0].get("last_seq", 0))
+                write_frame(conn, {"ok": True, "role": "primary", "last_seq": last})
+                scenario(conn, last)
+                served.append(scenario.__name__)
+        except (OSError, StorageError):
+            served.append(scenario.__name__)  # replica slammed the door: fine
+    listener.close()
+
+
+def test_adversarial_primary_never_diverges_or_kills_the_replica():
+    """A hostile primary ships duplicates, gaps, corrupt CRCs, undecodable
+    payloads, bogus field types, wrong ops, and torn frames.  The replica
+    must apply exactly the valid records, keep redialing, and keep serving
+    reads — garbage may cost a connection, never the replica."""
+    listener = socket.create_server(("127.0.0.1", 0))
+    scenarios = list(_EVIL_SCENARIOS)
+    served = []
+    feeder = threading.Thread(
+        target=_run_evil_primary, args=(listener, scenarios, served), daemon=True
+    )
+    feeder.start()
+    replica = CoralServer(
+        Session(), port=0, role="replica",
+        replicate_from=listener.getsockname(), heartbeat=0.05,
+    ).start()
+    try:
+        assert _wait_until(
+            lambda: len(served) == len(_EVIL_SCENARIOS), timeout=30.0
+        ), f"evil primary only served {served}"
+        # exactly one record (the valid one) was ever applied
+        assert _wait_until(lambda: replica.changelog.last_seq == 1)
+        assert replica.changelog.last_seq == 1
+        # the stream thread is alive and still trying: the reconnect counter
+        # keeps climbing now that the evil primary is gone
+        before = replica.repl_client.reconnects
+        assert _wait_until(
+            lambda: replica.repl_client.reconnects > before, timeout=10.0
+        ), "replica's stream thread died instead of redialing"
+        # and the replica still serves reads of exactly the applied state
+        with RemoteSession(*replica.address) as db:
+            assert db.query("edge(X, Y)").tuples() == [(1, 1)]
+        duplicates = replica.metrics.counter(
+            "replication.events", "", ("event",)
+        ).value("duplicates")
+        assert duplicates >= 1, "the duplicate ship was not detected as one"
+    finally:
+        replica.shutdown()
+        feeder.join(timeout=5.0)

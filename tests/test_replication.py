@@ -1,0 +1,684 @@
+"""Log-shipping replication (ISSUE 6): the changelog codec, primary-to-
+replica shipping, sequence gating, synchronous acknowledgement, promotion,
+client failover, socket hygiene, and graceful shutdown.
+
+The contract under test, end to end: every mutation a primary acknowledges
+is either on the primary's durable changelog or (with ``sync_replicas``) on
+a replica too; replicas apply idempotently and never silently diverge; a
+client given the whole replica set keeps reading through a primary's death
+and resumes writing after a promotion.
+"""
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro import Session
+from repro.client import RemoteSession
+from repro.errors import (
+    FailoverError,
+    ProtocolError,
+    ReadOnlyError,
+    StorageError,
+)
+from repro.replication import (
+    KIND_CONSULT,
+    KIND_DELETE,
+    KIND_INSERT,
+    Changelog,
+    decode_records,
+    encode_mutation,
+    replay_into,
+)
+from repro.server import CoralServer
+from repro.server.protocol import PROTOCOL_VERSION, read_frame, write_frame
+from repro.terms import to_arg
+
+TC_PROGRAM = """
+    module tc.
+    export path(bf, ff).
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- edge(X, Z), path(Z, Y).
+    end_module.
+"""
+
+
+def _wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+def _primary(**kwargs):
+    kwargs.setdefault("changelog", True)
+    kwargs.setdefault("heartbeat", 0.05)
+    return CoralServer(Session(), port=0, **kwargs)
+
+
+def _replica(primary, name="r1", **kwargs):
+    kwargs.setdefault("heartbeat", 0.05)
+    return CoralServer(
+        Session(),
+        port=0,
+        role="replica",
+        replicate_from=primary.address,
+        replica_name=name,
+        **kwargs,
+    )
+
+
+def _caught_up(primary, *replicas):
+    return _wait_until(
+        lambda: all(
+            r.changelog.last_seq == primary.changelog.last_seq
+            for r in replicas
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# the changelog codec
+# ---------------------------------------------------------------------------
+
+
+class TestChangelogCodec:
+    def _sample_records(self):
+        return [
+            (KIND_INSERT, "edge", encode_mutation([[to_arg(1), to_arg(2)]])),
+            (KIND_DELETE, "edge", encode_mutation([[to_arg(1), to_arg(2)]])),
+            (KIND_CONSULT, "", b"p(1). p(2)."),
+        ]
+
+    def test_roundtrip_through_bytes(self):
+        log = Changelog()
+        for kind, pred, payload in self._sample_records():
+            log.append(kind, pred, payload)
+        blob = b"".join(
+            [b"CORALL1\n\x00\x01"] + [r.encode() for r in log.records()]
+        )
+        decoded = decode_records(blob)
+        assert [(r.seq, r.kind, r.pred, r.payload) for r in decoded] == [
+            (r.seq, r.kind, r.pred, r.payload) for r in log.records()
+        ]
+
+    def test_torn_tail_is_dropped(self, tmp_path):
+        path = str(tmp_path / "log")
+        log = Changelog(path)
+        log.append(KIND_INSERT, "p", encode_mutation([[to_arg(1)]]))
+        log.append(KIND_INSERT, "p", encode_mutation([[to_arg(2)]]))
+        log.close()
+        with open(path, "ab") as handle:
+            handle.write(b"\x00\x00\x00\x00\x00\x00\x00\x03\x01")  # torn
+        reopened = Changelog(path)
+        assert reopened.last_seq == 2
+        # and the torn bytes were truncated: the next append is readable
+        reopened.append(KIND_INSERT, "p", encode_mutation([[to_arg(3)]]))
+        reopened.close()
+        assert Changelog(path).last_seq == 3
+
+    def test_corrupt_record_mid_file_halts_replay(self, tmp_path):
+        path = str(tmp_path / "log")
+        log = Changelog(path)
+        for i in range(3):
+            log.append(KIND_INSERT, "p", encode_mutation([[to_arg(i)]]))
+        log.close()
+        with open(path, "rb") as handle:
+            data = bytearray(handle.read())
+        data[30] ^= 0xFF  # inside the first record, which is not the last
+        with open(path, "wb") as handle:
+            handle.write(data)
+        with pytest.raises(StorageError, match="corrupt|checksum|sequence"):
+            Changelog(path)
+
+    def test_bad_magic_refused(self, tmp_path):
+        path = str(tmp_path / "log")
+        with open(path, "wb") as handle:
+            handle.write(b"NOTALOG!\x00\x01" + b"\x00" * 64)
+        with pytest.raises(StorageError, match="magic"):
+            Changelog(path)
+
+    def test_sequence_gate_on_explicit_appends(self):
+        log = Changelog()
+        log.append(KIND_INSERT, "p", b"x", seq=1)
+        with pytest.raises(StorageError, match="sequence"):
+            log.append(KIND_INSERT, "p", b"x", seq=3)  # gap
+        with pytest.raises(StorageError, match="sequence"):
+            log.append(KIND_INSERT, "p", b"x", seq=1)  # duplicate
+        log.append(KIND_INSERT, "p", b"x", seq=2)
+        assert log.last_seq == 2
+
+    def test_durable_reopen_resumes_sequence(self, tmp_path):
+        path = str(tmp_path / "log")
+        log = Changelog(path)
+        for kind, pred, payload in self._sample_records():
+            log.append(kind, pred, payload)
+        log.close()
+        reopened = Changelog(path)
+        assert reopened.last_seq == 3
+        record = reopened.append(KIND_INSERT, "q", b"more")
+        assert record.seq == 4
+
+    def test_wait_for_times_out_to_none(self):
+        log = Changelog()
+        assert log.wait_for(1, timeout=0.01) is None
+
+    def test_replay_rebuilds_a_session(self):
+        log = Changelog()
+        log.append(KIND_CONSULT, "", b"edge(1, 2).")
+        log.append(KIND_INSERT, "edge", encode_mutation([[to_arg(2), to_arg(3)]]))
+        log.append(KIND_DELETE, "edge", encode_mutation([[to_arg(1), to_arg(2)]]))
+        session = Session()
+        assert replay_into(session, log.records()) == 3
+        assert session.query("edge(X, Y)").tuples() == [(2, 3)]
+
+
+# ---------------------------------------------------------------------------
+# shipping: primary -> replica
+# ---------------------------------------------------------------------------
+
+
+class TestShipping:
+    def test_writes_and_consults_ship_to_the_replica(self):
+        with _primary() as primary, _replica(primary) as replica:
+            with RemoteSession(*primary.address) as db:
+                db.insert("edge", 1, 2)
+                db.insert("edge", 2, 3)
+                db.consult_string(TC_PROGRAM)
+                db.delete("edge", 2, 3)
+                db.insert("edge", 2, 4)
+            assert _caught_up(primary, replica)
+            with RemoteSession(*replica.address) as db:
+                assert sorted(db.query("edge(X, Y)").tuples()) == [
+                    (1, 2), (2, 4),
+                ]
+                # the shipped module evaluates on the replica
+                assert sorted(db.query("path(1, Y)").tuples()) == [
+                    (1, 2), (1, 4),
+                ]
+
+    def test_replica_refuses_writes(self):
+        with _primary() as primary, _replica(primary) as replica:
+            with RemoteSession(*replica.address) as db:
+                with pytest.raises(ReadOnlyError, match="read replica"):
+                    db.insert("edge", 1, 2)
+                with pytest.raises(ReadOnlyError):
+                    db.delete("edge", 1, 2)
+                with pytest.raises(ReadOnlyError):
+                    db.consult_string("p(1).")
+
+    def test_duplicate_and_gap_sequence_gating(self):
+        with _primary() as primary, _replica(primary) as replica:
+            with RemoteSession(*primary.address) as db:
+                db.insert("edge", 1, 2)
+            assert _caught_up(primary, replica)
+            record = primary.changelog.get(1)
+            # a re-shipped duplicate is dropped, not re-applied
+            assert (
+                replica.apply_replicated(
+                    1, record.kind, record.pred, record.payload
+                )
+                is False
+            )
+            # a gap forces a reconnect instead of silently diverging
+            with pytest.raises(ProtocolError, match="gap"):
+                replica.apply_replicated(
+                    5, record.kind, record.pred, record.payload
+                )
+            assert replica.changelog.last_seq == 1
+
+    def test_late_joining_replica_catches_up_from_scratch(self):
+        with _primary() as primary:
+            with RemoteSession(*primary.address) as db:
+                for i in range(10):
+                    db.insert("edge", i, i + 1)
+            with _replica(primary, name="late") as replica:
+                assert _caught_up(primary, replica)
+                with RemoteSession(*replica.address) as db:
+                    assert len(db.query("edge(X, Y)").tuples()) == 10
+
+    def test_replica_reconnects_after_primary_restart(self, tmp_path):
+        log_path = str(tmp_path / "changelog")
+        primary = _primary(changelog=log_path).start()
+        host, port = primary.address
+        with _replica(primary) as replica:
+            with RemoteSession(host, port) as db:
+                db.insert("edge", 1, 2)
+            assert _caught_up(primary, replica)
+            primary.shutdown()
+            # restart the primary on the same changelog and the same port
+            primary = CoralServer(
+                Session(), host=host, port=port,
+                changelog=log_path, heartbeat=0.05,
+            ).start()
+            try:
+                assert primary.changelog.last_seq == 1  # replayed from disk
+                with RemoteSession(host, port) as db:
+                    db.insert("edge", 2, 3)
+                assert _caught_up(primary, replica)
+                with RemoteSession(*replica.address) as db:
+                    assert sorted(db.query("edge(X, Y)").tuples()) == [
+                        (1, 2), (2, 3),
+                    ]
+                assert replica.repl_client.reconnects >= 1
+            finally:
+                primary.shutdown()
+
+    def test_sync_replicas_blocks_until_acknowledged(self):
+        with _primary(sync_replicas=1, ack_timeout=5.0) as primary:
+            with _replica(primary) as replica:
+                assert _wait_until(lambda: replica.repl_client.connected)
+                with RemoteSession(*primary.address) as db:
+                    db.insert("edge", 1, 2)
+                # the write returned only after the replica acknowledged it
+                assert replica.changelog.last_seq == 1
+
+    def test_sync_replicas_times_out_without_replicas(self):
+        with _primary(sync_replicas=1, ack_timeout=0.2) as primary:
+            with RemoteSession(*primary.address) as db:
+                with pytest.raises(StorageError, match="sync timeout"):
+                    db.insert("edge", 1, 2)
+                # the write is durable locally, merely unacknowledged
+                assert primary.changelog.last_seq == 1
+
+    def test_stats_and_metrics_expose_lag(self):
+        with _primary() as primary, _replica(primary) as replica:
+            with RemoteSession(*primary.address) as db:
+                db.insert("edge", 1, 2)
+            assert _caught_up(primary, replica)
+            assert _wait_until(
+                lambda: "r1"
+                in primary.replication_stats().get("replicas", {})
+            )
+            pstats = primary.replication_stats()
+            assert pstats["role"] == "primary"
+            assert pstats["last_seq"] == 1
+            assert pstats["replicas"]["r1"]["lag_records"] == 0
+            rstats = replica.replication_stats()
+            assert rstats["role"] == "replica"
+            assert rstats["upstream"]["lag_records"] == 0
+            assert rstats["upstream"]["connected"] is True
+            # the gauges behind /metrics agree
+            replica._refresh_replica_gauges()
+            assert replica.metrics.gauge(
+                "replication.last_seq", ""
+            ).value() == 1.0
+            assert replica.metrics.gauge(
+                "replication.lag_records", ""
+            ).value() == 0.0
+            # STATS over the wire carries the role and the section
+            with RemoteSession(*replica.address) as db:
+                stats = db.stats()
+                assert stats["role"] == "replica"
+                assert stats["replication"]["upstream"]["upstream_seq"] == 1
+
+    def test_replica_health_degrades_when_primary_dies(self):
+        primary = _primary().start()
+        with _replica(primary, stall_after=0.2) as replica:
+            assert _wait_until(lambda: replica.repl_client.connected)
+            ok, detail = replica._health()
+            assert ok and "replica" in detail
+            primary.shutdown()
+            assert _wait_until(
+                lambda: replica._health()[0] is False, timeout=5.0
+            )
+            ok, detail = replica._health()
+            assert not ok and "degraded" in detail
+
+
+# ---------------------------------------------------------------------------
+# promotion
+# ---------------------------------------------------------------------------
+
+
+class TestPromotion:
+    def test_promote_turns_a_replica_writable(self):
+        with _primary() as primary, _replica(primary) as replica:
+            with RemoteSession(*primary.address) as db:
+                db.insert("edge", 1, 2)
+            assert _caught_up(primary, replica)
+            primary.shutdown()
+            out = replica.promote()
+            assert out["promoted"] is True and out["last_seq"] == 1
+            assert replica.role == "primary"
+            with RemoteSession(*replica.address) as db:
+                assert db.insert("edge", 2, 3) is True
+                assert sorted(db.query("edge(X, Y)").tuples()) == [
+                    (1, 2), (2, 3),
+                ]
+            # the new primary's changelog continued the sequence
+            assert replica.changelog.last_seq == 2
+
+    def test_promote_is_idempotent(self):
+        with _primary() as primary:
+            out = primary.promote()
+            assert out["promoted"] is False and out["role"] == "primary"
+
+    def test_promote_over_the_wire_and_surviving_replica_retargets(self):
+        with _primary() as primary:
+            with _replica(primary, name="r1") as r1, _replica(
+                primary, name="r2"
+            ) as r2:
+                with RemoteSession(*primary.address) as db:
+                    db.insert("edge", 1, 2)
+                assert _caught_up(primary, r1, r2)
+                primary.shutdown()
+                with RemoteSession(*r1.address) as db:
+                    assert db.promote()["promoted"] is True
+                # re-point the survivor at the new primary; its stream
+                # resumes from its own sequence
+                r2.set_upstream(*r1.address)
+                with RemoteSession(*r1.address) as db:
+                    db.insert("edge", 2, 3)
+                assert _caught_up(r1, r2)
+                with RemoteSession(*r2.address) as db:
+                    assert sorted(db.query("edge(X, Y)").tuples()) == [
+                        (1, 2), (2, 3),
+                    ]
+
+
+# ---------------------------------------------------------------------------
+# client failover
+# ---------------------------------------------------------------------------
+
+
+class TestClientFailover:
+    def test_single_endpoint_mode_is_unchanged(self):
+        with _primary() as primary:
+            with RemoteSession(*primary.address) as db:
+                db.insert("edge", 1, 2)
+                assert db.query("edge(X, Y)").tuples() == [(1, 2)]
+                assert db.replica_set is False
+                assert db.counters == {
+                    "reconnects": 0, "retries": 0, "failovers": 0,
+                }
+
+    def test_reads_fail_over_to_the_next_endpoint(self):
+        with _primary() as primary:
+            with _replica(primary) as replica:
+                ph, pp = primary.address
+                rh, rp = replica.address
+                db = RemoteSession(
+                    [f"{ph}:{pp}", f"{rh}:{rp}"],
+                    backoff=0.01, backoff_cap=0.05,
+                )
+                db.insert("edge", 1, 2)
+                assert _caught_up(primary, replica)
+                assert sorted(db.query("edge(X, Y)").tuples()) == [(1, 2)]
+                primary.shutdown()
+                # the next read silently lands on the replica
+                assert sorted(db.query("edge(X, Y)").tuples()) == [(1, 2)]
+                assert db.counters["failovers"] >= 1
+                db.close()
+
+    def test_in_flight_cursor_surfaces_failover_error(self):
+        with _primary() as primary:
+            with _replica(primary) as replica:
+                ph, pp = primary.address
+                rh, rp = replica.address
+                with RemoteSession(*primary.address) as seed:
+                    for i in range(6):
+                        seed.insert("edge", i, i + 1)
+                assert _caught_up(primary, replica)
+                db = RemoteSession(
+                    [f"{ph}:{pp}", f"{rh}:{rp}"],
+                    backoff=0.01, backoff_cap=0.05,
+                )
+                cursor = db.query("edge(X, Y)", batch_size=1)
+                assert cursor.get_next() is not None
+                primary.shutdown()
+                with pytest.raises(FailoverError, match="cursor"):
+                    cursor.all()
+                # already-fetched answers stay readable; new queries work
+                assert len(cursor._cache) == 1
+                assert len(db.query("edge(X, Y)").tuples()) == 6
+                db.close()
+
+    def test_writes_route_to_the_primary_wherever_it_is(self):
+        with _primary() as primary:
+            with _replica(primary) as replica:
+                ph, pp = primary.address
+                rh, rp = replica.address
+                # the replica listed FIRST: the write probe must move on
+                # from its ReadOnlyError to find the primary
+                db = RemoteSession(
+                    [f"{rh}:{rp}", f"{ph}:{pp}"],
+                    backoff=0.01, backoff_cap=0.05,
+                )
+                assert db.insert("edge", 7, 8) is True
+                assert primary.changelog.last_seq == 1
+                db.close()
+
+    def test_writes_resume_after_promotion(self):
+        with _primary() as primary:
+            with _replica(primary) as replica:
+                ph, pp = primary.address
+                rh, rp = replica.address
+                db = RemoteSession(
+                    [f"{ph}:{pp}", f"{rh}:{rp}"],
+                    backoff=0.01, backoff_cap=0.05, retries=2,
+                )
+                db.insert("edge", 1, 2)
+                assert _caught_up(primary, replica)
+                primary.shutdown()
+                with pytest.raises(FailoverError):
+                    db.insert("edge", 2, 3)
+                promoted = db.promote(f"{rh}:{rp}")
+                assert promoted["promoted"] is True
+                assert db.insert("edge", 2, 3) is True
+                assert sorted(db.query("edge(X, Y)").tuples()) == [
+                    (1, 2), (2, 3),
+                ]
+                db.close()
+
+    def test_no_reachable_endpoint_raises_failover_error(self):
+        with _primary() as primary:
+            address = primary.address
+        # the server is now down; both endpoints refuse connections
+        with pytest.raises(FailoverError, match="no reachable server"):
+            RemoteSession(
+                [f"{address[0]}:{address[1]}"],
+                timeout=0.5, backoff=0.01,
+            )
+
+
+# ---------------------------------------------------------------------------
+# socket hygiene: io timeouts and idle reaping
+# ---------------------------------------------------------------------------
+
+
+class TestSocketHygiene:
+    def test_idle_connection_is_reaped(self):
+        session = Session()
+        with CoralServer(
+            session, port=0, io_timeout=0.05, idle_timeout=0.15
+        ) as server:
+            sock = socket.create_connection(server.address, timeout=5.0)
+            write_frame(sock, {"op": "HELLO", "version": PROTOCOL_VERSION})
+            read_frame(sock)
+            assert server.stats()["connections"]["active"] == 1
+            # say nothing: the server reaps us at the idle deadline
+            assert _wait_until(
+                lambda: server.stats()["connections"]["active"] == 0,
+                timeout=5.0,
+            )
+            assert (
+                server.metrics.counter(
+                    "server.errors", "", ("kind",)
+                ).value("idle_reaped")
+                == 1
+            )
+            sock.close()
+
+    def test_stall_mid_frame_is_dropped_not_waited_forever(self):
+        session = Session()
+        with CoralServer(
+            session, port=0, io_timeout=0.05, idle_timeout=5.0
+        ) as server:
+            sock = socket.create_connection(server.address, timeout=5.0)
+            write_frame(sock, {"op": "HELLO", "version": PROTOCOL_VERSION})
+            read_frame(sock)
+            sock.sendall(b"\x00\x00")  # half a length prefix, then silence
+            assert _wait_until(
+                lambda: server.stats()["connections"]["active"] == 0,
+                timeout=5.0,
+            )
+            assert (
+                server.metrics.counter(
+                    "server.errors", "", ("kind",)
+                ).value("read")
+                == 1
+            )
+            sock.close()
+
+    def test_activity_resets_the_idle_deadline(self):
+        session = Session()
+        session.insert("edge", 1, 2)
+        with CoralServer(
+            session, port=0, io_timeout=0.05, idle_timeout=0.3
+        ) as server:
+            with RemoteSession(*server.address) as db:
+                for _ in range(5):
+                    time.sleep(0.15)  # beyond io_timeout, inside idle budget
+                    assert db.query("edge(X, Y)").tuples() == [(1, 2)]
+
+
+# ---------------------------------------------------------------------------
+# the shell's replication commands
+# ---------------------------------------------------------------------------
+
+
+class TestShellCommands:
+    def test_replicas_and_promote(self):
+        from repro.shell import Shell
+
+        with _primary() as primary, _replica(primary) as replica:
+            with RemoteSession(*primary.address) as db:
+                db.insert("edge", 1, 2)
+            assert _caught_up(primary, replica)
+            shell = Shell()
+            assert "@connect" in shell.execute("@replicas.")
+            assert "@connect" in shell.execute("@promote.")
+            host, port = primary.address
+            shell.execute(f"@connect {host}:{port}.")
+            out = shell.execute("@replicas.")
+            assert "role: primary" in out and "r1" in out
+            assert "already the primary" in shell.execute("@promote.")
+            shell.execute("@disconnect.")
+            rhost, rport = replica.address
+            shell.execute(f"@connect {rhost}:{rport}.")
+            out = shell.execute("@replicas.")
+            assert "role: replica" in out and "upstream" in out
+            assert "promoted to primary" in shell.execute("@promote.")
+            assert replica.role == "primary"
+            shell.execute("@quit.")
+
+    def test_replicas_on_a_plain_server(self):
+        from repro.shell import Shell
+
+        with CoralServer(Session(), port=0) as server:
+            shell = Shell()
+            host, port = server.address
+            shell.execute(f"@connect {host}:{port}.")
+            assert "not enabled" in shell.execute("@replicas.")
+            shell.execute("@quit.")
+
+
+# ---------------------------------------------------------------------------
+# graceful shutdown
+# ---------------------------------------------------------------------------
+
+
+class TestGracefulShutdown:
+    def test_drain_refuses_new_work_but_serves_open_cursors(self):
+        session = Session()
+        for i in range(6):
+            session.insert("edge", i, i + 1)
+        with CoralServer(session, port=0) as server:
+            with RemoteSession(*server.address, batch_size=2) as db:
+                cursor = db.query("edge(X, Y)")
+                assert cursor.get_next() is not None
+                assert server.drain(timeout=0.1) is False  # cursor open
+                with pytest.raises(ProtocolError, match="draining"):
+                    db.query("edge(X, Y)")
+                with pytest.raises(ProtocolError, match="draining"):
+                    db.insert("edge", 9, 9)
+                # the open cursor still streams to completion
+                assert len(cursor.all()) == 6
+                assert server.drain(timeout=1.0) is True
+
+    def test_draining_server_refuses_new_connections(self):
+        session = Session()
+        with CoralServer(session, port=0) as server:
+            server.drain(timeout=0.05)
+            with pytest.raises(ProtocolError):
+                RemoteSession(*server.address, timeout=1.0)
+
+    def test_sigterm_mid_fetch_exits_clean_and_keeps_storage_intact(
+        self, tmp_path
+    ):
+        """The regression: SIGTERM while a client is mid-FETCH must drain,
+        flush, exit 0 — and the storage directory must reopen with every
+        acknowledged row intact and no journal left behind."""
+        data_dir = str(tmp_path / "data")
+        with Session(data_directory=data_dir) as seed:
+            seed.persistent_relation("acct", 2)
+            for i in range(30):
+                seed.insert("acct", i, f"row-{i}")
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(os.path.dirname(__file__), "..", "src")]
+            + env.get("PYTHONPATH", "").split(os.pathsep)
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.server",
+                "--port", "0",
+                "--data-dir", data_dir,
+                "--persistent", "acct/2",
+                "--drain-timeout", "2.0",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            banner = proc.stdout.readline()
+            assert "listening on" in banner, banner
+            host, port = banner.split()[-2].rsplit(":", 1)
+            with RemoteSession(host, int(port), batch_size=4) as db:
+                assert db.insert("acct", 999, "written-over-the-wire")
+                cursor = db.query("acct(X, Y)", batch_size=4)
+                assert cursor.get_next() is not None  # mid-FETCH now
+                proc.send_signal(signal.SIGTERM)
+                # draining: the in-flight cursor may finish its stream
+                try:
+                    cursor.all()
+                except ProtocolError:
+                    pass  # the drain deadline may cut the stream; that's fine
+            proc.wait(timeout=15)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        output = proc.stdout.read()
+        assert proc.returncode == 0, output
+        assert "clean shutdown" in output, output
+
+        # storage survived: recovery-clean, every row present
+        assert not os.path.exists(os.path.join(data_dir, "undo.journal"))
+        with Session(data_directory=data_dir) as check:
+            check.persistent_relation("acct", 2)
+            rows = set(check.query("acct(X, Y)").tuples())
+        assert rows == {(i, f"row-{i}") for i in range(30)} | {
+            (999, "written-over-the-wire")
+        }

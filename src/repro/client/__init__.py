@@ -5,7 +5,13 @@
 query drives the server's get-next-tuple cursor on demand.
 """
 
-from ..errors import FailoverError
+from ..errors import FailoverError, ShardRoutingError, WorkerRestartingError
 from .remote import RemoteQueryResult, RemoteSession
 
-__all__ = ["FailoverError", "RemoteQueryResult", "RemoteSession"]
+__all__ = [
+    "FailoverError",
+    "RemoteQueryResult",
+    "RemoteSession",
+    "ShardRoutingError",
+    "WorkerRestartingError",
+]

@@ -61,7 +61,13 @@ from typing import (
 
 from .. import errors as _errors
 from ..api.session import Answer
-from ..errors import CoralError, FailoverError, ProtocolError, ReadOnlyError
+from ..errors import (
+    CoralError,
+    FailoverError,
+    ProtocolError,
+    ReadOnlyError,
+    WorkerRestartingError,
+)
 from ..relations import Tuple
 from ..server.protocol import (
     PROTOCOL_VERSION,
@@ -255,6 +261,7 @@ class RemoteSession:
         retries: int = 3,
         backoff: float = 0.05,
         backoff_cap: float = 1.0,
+        restart_retries: int = 10,
     ) -> None:
         if batch_size < 1:
             raise ProtocolError(f"batch_size must be >= 1, got {batch_size}")
@@ -263,6 +270,10 @@ class RemoteSession:
         self.retries = max(1, retries)
         self.backoff = backoff
         self.backoff_cap = backoff_cap
+        #: extra attempts when a shard router answers WorkerRestartingError
+        #: — the worker is rebooting (process spawn plus handshake), so the
+        #: budget is deliberately larger than the transport-failure one
+        self.restart_retries = max(0, restart_retries)
         self._lock = threading.Lock()
         self._closed = False
         self._generation = 0
@@ -537,13 +548,29 @@ class RemoteSession:
         with self._lock:
             if not self.replica_set:
                 link = self._read
-                try:
-                    frame = self._transport(link, header, body)
-                except _TransportLost as exc:
-                    if exc.closed:
-                        self._closed = True
-                    raise exc.cause from None
-                return link, self._unwrap(frame)
+                delay = self.backoff
+                for attempt in range(self.restart_retries + 1):
+                    try:
+                        frame = self._transport(link, header, body)
+                    except _TransportLost as exc:
+                        if exc.closed:
+                            self._closed = True
+                        raise exc.cause from None
+                    try:
+                        return link, self._unwrap(frame)
+                    except WorkerRestartingError:
+                        # the shard owning this request is mid-restart; the
+                        # connection (to the router) is healthy, so the same
+                        # request re-sent after a pause will land on the
+                        # restarted worker.  ReadOnlyError and FailoverError
+                        # deliberately do NOT take this path: re-sending
+                        # cannot fix a role mismatch or a dead cursor.
+                        if attempt >= self.restart_retries:
+                            raise
+                        self.counters["retries"] += 1
+                        time.sleep(random.uniform(delay * 0.5, delay))
+                        delay = min(self.backoff_cap, delay * 2)
+                raise ProtocolError("unreachable: retry loop exhausted")
             return self._request_failover(header, body, write)
 
     def _request_failover(
@@ -578,6 +605,12 @@ class RemoteSession:
                 continue
             try:
                 return link, self._unwrap(frame)
+            except WorkerRestartingError as exc:
+                # a shard behind the endpoint is rebooting: the link itself
+                # is healthy, so keep it and retry after the backoff —
+                # dropping it would misread a worker restart as a failover
+                last = exc
+                continue
             except ReadOnlyError as exc:
                 if not write:
                     raise

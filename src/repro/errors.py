@@ -121,3 +121,29 @@ class FailoverError(ProtocolError):
     the query — which *is* transparently routed to a live replica.  A
     subclass of :class:`ProtocolError` so existing transport-error handlers
     keep working."""
+
+
+class WorkerRestartingError(CoralError):
+    """A sharded router (:mod:`repro.sharding`) could not reach the worker
+    that owns the requested data because that worker is down and being
+    restarted by its supervisor.
+
+    Deliberately *retriable*: the data still exists (or the write is still
+    safe to re-send — routing is deterministic and the worker had not
+    acknowledged it), so a client that waits a moment and re-sends the same
+    request will normally succeed against the restarted worker.
+    :class:`~repro.client.RemoteSession` does this automatically with a
+    bounded backoff budget.  Distinct from :class:`ReadOnlyError` (the
+    request went to the wrong *role* — re-route, don't retry) and from
+    :class:`FailoverError` (an in-flight cursor died — re-issue the query,
+    retrying the FETCH cannot help).  Not a :class:`ProtocolError` subclass:
+    the wire conversation itself is healthy."""
+
+
+class ShardRoutingError(CoralError):
+    """A request could not be mapped onto the shard layout
+    (:mod:`repro.sharding`): a consult that would straddle workers whose
+    contents are already pinned apart, a module definition for a
+    partitioned predicate, or a malformed shard-map entry.  Not retriable —
+    the *placement* is wrong, and the fix is a shard-map change (see
+    docs/SHARDING.md)."""

@@ -82,19 +82,89 @@ def _labels_text(names, values, extra: str = "") -> str:
     return "{" + ",".join(pairs) + "}" if pairs else ""
 
 
+class _SnapshotMetric:
+    """A metric reconstructed from a ``MetricsRegistry.collect()`` entry,
+    with extra labels appended to every series.
+
+    This is how a shard router re-exposes its workers' metrics: each
+    worker's STATS payload carries ``registry.collect()``, and the router
+    renders those snapshots next to its own live registry with a
+    ``worker="N"`` label — one scrape shows the whole fleet.  Histogram
+    snapshot values already carry ``boundaries``/``bucket_counts``/``sum``/
+    ``count``, exactly what the renderer reads off a live histogram.
+    """
+
+    __slots__ = ("name", "kind", "help", "labelnames", "_values", "_extra")
+
+    def __init__(
+        self,
+        name: str,
+        entry: Dict[str, object],
+        extra_names: PyTuple[str, ...],
+        extra_values: PyTuple[str, ...],
+    ) -> None:
+        self.name = name
+        self.kind = str(entry.get("kind", "counter"))
+        self.help = str(entry.get("help", "") or name)
+        self.labelnames = tuple(entry.get("labels", ())) + extra_names
+        self._values = entry.get("values", {})
+        self._extra = extra_values
+
+    def collect(self) -> Dict[PyTuple[str, ...], object]:
+        out: Dict[PyTuple[str, ...], object] = {}
+        for key, value in self._values.items():
+            # collect() flattened the label tuple with '|'; reverse it
+            base = tuple(key.split("|")) if key else ()
+            out[base + self._extra] = value
+        return out
+
+
+def snapshot_metrics(
+    snapshots: Iterable[
+        PyTuple[Dict[str, str], Dict[str, Dict[str, object]]]
+    ],
+) -> List[_SnapshotMetric]:
+    """Adapter metrics for ``(extra_labels, collected)`` pairs, ready to
+    render alongside live registries."""
+    out: List[_SnapshotMetric] = []
+    for extra_labels, collected in snapshots:
+        if not isinstance(collected, dict):
+            continue
+        extra_names = tuple(extra_labels.keys())
+        extra_values = tuple(str(v) for v in extra_labels.values())
+        for name in sorted(collected):
+            entry = collected[name]
+            if isinstance(entry, dict):
+                out.append(
+                    _SnapshotMetric(name, entry, extra_names, extra_values)
+                )
+    return out
+
+
 def render_prometheus(
-    registries: Iterable[MetricsRegistry], namespace: str = "coral"
+    registries: Iterable[MetricsRegistry],
+    namespace: str = "coral",
+    snapshots: Iterable[
+        PyTuple[Dict[str, str], Dict[str, Dict[str, object]]]
+    ] = (),
 ) -> str:
     """Every metric of every registry, one text payload.
 
     Same-named metrics from different registries merge into one family
     when their kinds agree; a kind clash keeps the first and skips the
     rest (exposition must never raise into a scrape handler).
+    ``snapshots`` adds ``(extra_labels, collected)`` pairs — remote
+    registries captured as :meth:`MetricsRegistry.collect` dicts, each
+    rendered with its extra labels (see :class:`_SnapshotMetric`).
     """
     families: Dict[str, Dict[str, object]] = {}
     order: List[str] = []
-    for registry in registries:
-        for metric in registry.metrics():
+    sources: List[PyTuple[object, ...]] = [
+        tuple(registry.metrics()) for registry in registries
+    ]
+    sources.append(tuple(snapshot_metrics(snapshots)))
+    for metrics in sources:
+        for metric in metrics:
             family = metric_name(metric.name, namespace)
             slot = families.get(family)
             if slot is None:
@@ -217,10 +287,21 @@ class TelemetryServer:
         flight: Optional[FlightRecorder] = None,
         health: Optional[Callable[[], PyTuple[bool, str]]] = None,
         namespace: str = "coral",
+        snapshots: Optional[
+            Callable[
+                [],
+                Iterable[
+                    PyTuple[Dict[str, str], Dict[str, Dict[str, object]]]
+                ],
+            ]
+        ] = None,
     ) -> None:
         self._registries: List[MetricsRegistry] = list(registries)
         self.flight = flight
         self._health = health
+        #: called per scrape: (extra_labels, collected) pairs for remote
+        #: registries — a shard router's cached worker snapshots
+        self._snapshots = snapshots
         self.namespace = namespace
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
@@ -233,7 +314,13 @@ class TelemetryServer:
         self._registries.append(registry)
 
     def render(self) -> str:
-        return render_prometheus(self._registries, self.namespace)
+        snapshots: Iterable = ()
+        if self._snapshots is not None:
+            try:
+                snapshots = list(self._snapshots())
+            except Exception:  # a scrape must render what it can
+                snapshots = ()
+        return render_prometheus(self._registries, self.namespace, snapshots)
 
     def health(self) -> PyTuple[bool, str]:
         if self._health is None:

@@ -26,6 +26,13 @@ Replication (docs/REPLICATION.md)::
 
     # a primary that acknowledges writes only after 1 replica has them
     python -m repro.server --port 4242 --changelog log --sync-replicas 1
+
+Sharding (docs/SHARDING.md)::
+
+    # a router over 4 supervised worker processes, each with a private
+    # storage directory under /var/coral/worker-<i>
+    python -m repro.server --port 4242 --workers 4 --data-dir /var/coral \\
+        --shard-map shards.map
 """
 
 from __future__ import annotations
@@ -152,11 +159,102 @@ def build_parser() -> argparse.ArgumentParser:
         help="on SIGTERM/SIGINT, wait this long for open cursors to finish "
              "before closing",
     )
+    parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="shard the database across N supervised worker processes and "
+             "serve as their router (repro.sharding; docs/SHARDING.md) — "
+             "each worker owns a private session, and with --data-dir a "
+             "private storage subdirectory",
+    )
+    parser.add_argument(
+        "--shard-map", default=None, metavar="FILE",
+        help="routing overrides for --workers: one 'name = N' (pin a "
+             "module/predicate to worker N) or 'name = *' (partition a "
+             "base relation across all workers by tuple) per line",
+    )
+    parser.add_argument(
+        "--worker-heartbeat", type=float, default=1.0, metavar="S",
+        help="supervisor health-check interval for --workers",
+    )
     return parser
+
+
+def _run_router(args) -> int:
+    """``--workers N``: boot a supervised fleet and route to it."""
+    from ..sharding import ShardRouter, WorkerPool
+
+    parser = build_parser()
+    for flag, value in (
+        ("--consult", args.consult),
+        ("--persistent", args.persistent),
+        ("--changelog", args.changelog),
+        ("--replicate-from", args.replicate_from),
+        ("--sync-replicas", args.sync_replicas or None),
+    ):
+        if value:
+            parser.error(
+                f"{flag} does not combine with --workers: consult through "
+                f"a client, and run replication per worker "
+                f"(docs/SHARDING.md)"
+            )
+    worker_args = ["--batch-size", str(args.batch_size)]
+    if args.timeout is not None:
+        worker_args += ["--timeout", str(args.timeout)]
+    if args.max_tuples is not None:
+        worker_args += ["--max-tuples", str(args.max_tuples)]
+    pool = WorkerPool(
+        args.workers,
+        data_dir=args.data_dir,
+        worker_args=worker_args,
+        heartbeat=args.worker_heartbeat,
+    )
+    pool.start()
+    router = ShardRouter(
+        pool,
+        host=args.host,
+        port=args.port,
+        shard_map=args.shard_map,
+        batch_size=args.batch_size,
+        telemetry_port=args.telemetry_port,
+        telemetry_host=args.telemetry_host,
+        io_timeout=args.io_timeout,
+        idle_timeout=args.idle_timeout,
+    )
+    host, port = router.address
+    print(f"coral-server listening on {host}:{port} (router)", flush=True)
+    for handle in pool.workers:
+        whost, wport = handle.address
+        print(
+            f"coral-server worker {handle.index} on {whost}:{wport} "
+            f"pid {handle.pid}",
+            flush=True,
+        )
+    if router.telemetry_address is not None:
+        thost, tport = router.telemetry_address
+        print(f"coral-server telemetry on {thost}:{tport}", flush=True)
+
+    def _stop(signum, frame):  # pragma: no cover - signal path
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _stop)
+    try:
+        router.serve_forever()
+    except KeyboardInterrupt:
+        print("coral-server: draining", flush=True)
+        router.drain(timeout=args.drain_timeout)
+    finally:
+        router.shutdown()
+        pool.stop()
+    print("coral-server: clean shutdown", flush=True)
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.workers:
+        return _run_router(args)
+    if args.shard_map:
+        build_parser().error("--shard-map needs --workers N")
     session = Session(data_directory=args.data_dir)
     for spec in args.persistent:
         name, sep, arity = spec.rpartition("/")

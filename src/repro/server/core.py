@@ -35,6 +35,7 @@ chaos tests can kill connections at every I/O boundary.
 
 from __future__ import annotations
 
+import os
 import socketserver
 import threading
 import time
@@ -249,6 +250,11 @@ class CoralServer:
             # the redo replay that makes a restarted primary (or a promoted
             # replica rebooting) resume where its acknowledged writes ended
             replay_into(self.session, self.changelog.records())
+        #: set by a router's WORKER_HELLO: this server's shard index in a
+        #: repro.sharding fleet (None = standalone); surfaced in STATS so
+        #: @top/@workers can attribute the numbers
+        self.worker_index: Optional[int] = None
+        self.worker_router = ""
         self.repl_client: Optional["ReplicationClient"] = None
         if replicate_from is not None:
             from ..replication.replica import ReplicationClient
@@ -701,7 +707,32 @@ class CoralServer:
             return self._op_repl_hello(conn, header), b"", True
         if op == "PROMOTE":
             return self._op_promote(header), b"", True
+        if op == "WORKER_HELLO":
+            return self._op_worker_hello(conn, header), b"", True
         raise ProtocolError(f"unknown request op {op!r}")
+
+    def _op_worker_hello(self, conn: _Connection, header) -> Dict[str, object]:
+        """A shard router (repro.sharding) claims this server as worker #N.
+
+        Idempotent — a supervisor re-handshakes after every restart — and
+        deliberately cheap: the index is identity for STATS/metrics
+        attribution, not an access grant (any client may still talk to a
+        worker directly, e.g. for debugging)."""
+        index = int(header.get("worker", -1))
+        if index < 0:
+            raise ProtocolError(
+                f"WORKER_HELLO needs a non-negative worker index, "
+                f"got {header.get('worker')!r}"
+            )
+        self.worker_index = index
+        self.worker_router = str(header.get("router", "") or conn.peer)
+        return {
+            "ok": True,
+            "worker": index,
+            "pid": os.getpid(),
+            "role": self.role,
+            "version": PROTOCOL_VERSION,
+        }
 
     def _open_cursor(
         self,
@@ -1176,6 +1207,12 @@ class CoralServer:
             "eval": eval_stats,
             "metrics": self.metrics.collect(),
         }
+        if self.worker_index is not None:
+            payload["worker"] = {
+                "index": self.worker_index,
+                "pid": os.getpid(),
+                "router": self.worker_router,
+            }
         if self.changelog is not None or self.repl_client is not None:
             payload["replication"] = self.replication_stats()
         if buffer_stats is not None:

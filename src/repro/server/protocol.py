@@ -35,6 +35,10 @@ Request ops (client to server)::
     REPL_HELLO    enter the replication stream: the sender is a replica,
                   the header carries its last applied changelog sequence
     PROMOTE       turn a read replica into a writable primary (failover)
+    WORKER_HELLO  the sender is a shard router (repro.sharding) claiming
+                  this server as worker #N of its fleet; the response
+                  carries the worker's pid and role so the supervisor can
+                  verify it is talking to a live, freshly-booted process
     BYE           clean goodbye; the server closes the connection
 
 After a successful ``REPL_HELLO`` the roles on the socket invert: the
@@ -76,6 +80,7 @@ REQUEST_OPS = (
     "STATS",
     "REPL_HELLO",
     "PROMOTE",
+    "WORKER_HELLO",
     "BYE",
 )
 

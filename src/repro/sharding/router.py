@@ -1,0 +1,1154 @@
+"""The shard router: one TCP front speaking the unmodified wire protocol,
+N workers behind it.
+
+Clients — :class:`~repro.client.RemoteSession`, the shell, scripts — dial
+the router exactly as they would a :class:`~repro.server.CoralServer`; the
+protocol module, frame layout, and every op are unchanged.  Behind the
+socket the router owns no database at all: it parses just enough of each
+request to decide *ownership* (which worker holds the module or predicate,
+per :class:`~repro.sharding.hashring.ShardMap`) and forwards the request
+verbatim, relaying the response.
+
+Cursors keep the get-next-tuple discipline across the extra hop:
+
+* a **proxy cursor** (single-shard query) maps one router-issued cursor id
+  to one worker-side cursor; FETCH bodies are relayed as opaque bytes — the
+  router never decodes a single-shard batch;
+* a **gather cursor** (a query on a partitioned relation) opens one cursor
+  per worker and concatenates their streams.  Each client FETCH pulls *at
+  most the client's requested batch* from one upstream at a time, so
+  backpressure propagates: a client that stops fetching stops work on
+  every shard, and a gather batch is never empty unless it is ``done``
+  (an empty non-final batch would end the client's iteration early).
+
+Upstream connections are **per client connection**, created lazily: when
+the client disconnects — cleanly or by dying — the router closes its
+upstream sockets, and each worker's own disconnect handling frees the
+cursors (the PR-3 reclamation path, now transitive).
+
+Failure semantics (the docs/SHARDING.md failure matrix):
+
+* worker down before a request → :class:`~repro.errors.WorkerRestartingError`
+  (retriable; the supervisor is already restarting it);
+* worker dies mid-cursor → :class:`~repro.errors.FailoverError` (the cursor
+  state died with the process; re-issue the query);
+* placement contradictions → :class:`~repro.errors.ShardRoutingError`;
+* REPL_HELLO/PROMOTE at the router → :class:`~repro.errors.ProtocolError`:
+  replication composes *per worker* (each worker may be the primary of its
+  own replica chain), not at the router.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional, Tuple as PyTuple, Union
+
+from ..errors import (
+    CoralError,
+    FailoverError,
+    ProtocolError,
+    ShardRoutingError,
+    WorkerRestartingError,
+)
+from ..faults import FaultInjector, SimulatedCrash
+from ..language import parse_program, parse_query
+from ..obs import MetricsRegistry, TelemetryServer
+from ..storage.serde import decode_batch, encode_batch
+from ..terms import to_arg
+from .hashring import ShardMap, partition_key
+from .pool import WorkerPool, _dial
+
+#: default answers per FETCH when the client does not say (mirrors the
+#: worker-side default so a router in front changes no batch shapes)
+DEFAULT_BATCH = 64
+
+from ..server.protocol import (  # noqa: E402  (grouped with protocol use)
+    PROTOCOL_VERSION,
+    FrameTimeout,
+    read_frame,
+    write_frame,
+)
+
+#: ops a draining router still accepts (same contract as CoralServer)
+_DRAIN_OPS = ("HELLO", "FETCH", "CLOSE_CURSOR", "STATS", "BYE")
+
+
+class _UpstreamLost(Exception):
+    """Internal: the router↔worker hop failed at the socket layer."""
+
+    def __init__(self, index: int, cause: Exception) -> None:
+        super().__init__(f"worker {index}: {cause}")
+        self.index = index
+        self.cause = cause
+
+
+class _Upstream:
+    """One router→worker connection, owned by one client connection."""
+
+    __slots__ = ("sock", "index", "generation")
+
+    def __init__(self, sock: socket.socket, index: int, generation: int) -> None:
+        self.sock = sock
+        self.index = index
+        self.generation = generation
+
+
+class _Part:
+    """One worker's slice of a gather cursor."""
+
+    __slots__ = ("upstream", "remote_id")
+
+    def __init__(self, upstream: _Upstream, remote_id: int) -> None:
+        self.upstream = upstream
+        self.remote_id = remote_id
+
+
+class _ProxyCursor:
+    """A router cursor backed by exactly one worker cursor."""
+
+    __slots__ = ("cursor_id", "part")
+
+    def __init__(self, cursor_id: int, part: _Part) -> None:
+        self.cursor_id = cursor_id
+        self.part = part
+
+
+class _GatherCursor:
+    """A router cursor concatenating one worker cursor per shard."""
+
+    __slots__ = ("cursor_id", "parts", "current")
+
+    def __init__(self, cursor_id: int, parts: List[_Part]) -> None:
+        self.cursor_id = cursor_id
+        self.parts = parts
+        self.current = 0  # index of the part FETCH is draining
+
+
+class _RouterConn:
+    """Per-client-connection state: upstream links and open cursors."""
+
+    __slots__ = ("conn_id", "peer", "peer_host", "greeted", "links",
+                 "cursors", "sock")
+
+    def __init__(self, conn_id: int, peer: str, sock=None) -> None:
+        self.conn_id = conn_id
+        self.peer = peer
+        self.peer_host = peer.rsplit(":", 1)[0] if ":" in peer else peer
+        self.greeted = False
+        self.sock = sock
+        self.links: Dict[int, _Upstream] = {}
+        self.cursors: Dict[int, Union[_ProxyCursor, _GatherCursor]] = {}
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    def handle(self) -> None:  # pragma: no cover - thin shim
+        self.server.router._handle_connection(self.request)
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    router: "ShardRouter"
+
+    def handle_error(self, request, client_address) -> None:
+        self.router._m_errors.inc(1, "unhandled")
+
+
+class ShardRouter:
+    """The multi-process front: route, scatter, gather, aggregate.
+
+    ::
+
+        pool = WorkerPool(4, data_dir="/var/coral").start()
+        router = ShardRouter(pool, port=4242, shard_map="shards.map")
+        router.start()
+        ... RemoteSession against router.address, unchanged ...
+        router.shutdown(); pool.stop()
+
+    The pool's lifecycle belongs to the caller (tests hand in a static
+    pool over in-process servers); the router only *uses* it.
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        shard_map: Union[None, str, Dict[str, object], ShardMap] = None,
+        batch_size: int = DEFAULT_BATCH,
+        faults: Optional[FaultInjector] = None,
+        telemetry_port: Optional[int] = None,
+        telemetry_host: str = "127.0.0.1",
+        rate_window: float = 30.0,
+        io_timeout: Optional[float] = 30.0,
+        idle_timeout: Optional[float] = 300.0,
+        upstream_timeout: float = 30.0,
+    ) -> None:
+        self.pool = pool
+        self.shard_map = ShardMap.load(shard_map, pool.count)
+        self.batch_size = batch_size
+        self.faults = faults if faults is not None else FaultInjector()
+        self.io_timeout = io_timeout
+        self.idle_timeout = idle_timeout
+        self.upstream_timeout = upstream_timeout
+        self.metrics = MetricsRegistry()
+        #: predicate/module → worker placements learned from consults; a
+        #: name, once placed, stays put (first-wins) so later programs and
+        #: queries find their data
+        self._learned: Dict[str, int] = {}
+        self._learned_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._connections: Dict[int, _RouterConn] = {}
+        self._next_conn = 0
+        self._next_cursor = 0
+        self._requests_total = 0
+        self._connections_total = 0
+        self._cursors_opened = 0
+        self._cursors_closed = 0
+        self._draining = False
+        self._serving = False
+        self.rate_window = rate_window
+        self._recent: deque = deque(maxlen=8192)
+        self._started_at = time.perf_counter()
+        self._tcp = _TCPServer((host, port), _Handler, bind_and_activate=True)
+        self._tcp.router = self
+        self._thread: Optional[threading.Thread] = None
+
+        m = self.metrics
+        self._m_conns = m.counter("router.connections.total", "connections accepted")
+        self._m_active = m.gauge("router.connections.active", "open connections")
+        self._m_requests = m.counter("router.requests", "requests by op", ("op",))
+        self._m_errors = m.counter("router.errors", "request failures by kind", ("kind",))
+        self._m_latency = m.histogram(
+            "router.request.seconds", "request service time", ("op",)
+        )
+        self._m_upstream = m.counter(
+            "router.upstream.requests", "requests forwarded per worker",
+            ("worker",),
+        )
+        self._m_scatter = m.counter(
+            "router.scatter.queries", "queries fanned out to every shard"
+        )
+        self._m_cursors_opened = m.counter("router.cursors.opened", "cursors opened")
+        self._m_cursors_closed = m.counter("router.cursors.closed", "cursors closed")
+        self._m_cursors_open = m.gauge("router.cursors.open", "cursors currently open")
+        self._m_workers_up = m.gauge("router.workers.up", "workers currently up")
+        self._m_restarts = m.counter(
+            "router.worker.restarts", "worker restarts observed", ("worker",)
+        )
+        self._restart_seen: Dict[int, int] = {}
+
+        self.telemetry: Optional[TelemetryServer] = None
+        if telemetry_port is not None:
+            self.telemetry = TelemetryServer(
+                port=telemetry_port,
+                host=telemetry_host,
+                registries=[self.metrics],
+                health=self._health,
+                snapshots=self._worker_snapshots,
+            )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def address(self) -> PyTuple[str, int]:
+        host, port = self._tcp.server_address[:2]
+        return host, port
+
+    @property
+    def telemetry_address(self) -> Optional[PyTuple[str, int]]:
+        return self.telemetry.address if self.telemetry is not None else None
+
+    def start(self) -> "ShardRouter":
+        if self._thread is not None:
+            raise ProtocolError("router already started")
+        self._serving = True
+        self._started_at = time.perf_counter()
+        if self.telemetry is not None:
+            self.telemetry.start()
+        self._thread = threading.Thread(
+            target=self._tcp.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="shard-router",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._serving = True
+        self._started_at = time.perf_counter()
+        if self.telemetry is not None:
+            self.telemetry.start()
+        self._tcp.serve_forever(poll_interval=0.05)
+
+    def drain(self, timeout: float = 5.0) -> bool:
+        self._draining = True
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.open_cursors() == 0:
+                return True
+            time.sleep(0.02)
+        return self.open_cursors() == 0
+
+    def shutdown(self) -> None:
+        if self.telemetry is not None:
+            self.telemetry.shutdown()
+        if self._serving:
+            self._tcp.shutdown()
+            self._serving = False
+        self._tcp.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        with self._state_lock:
+            leftovers = list(self._connections.values())
+            self._connections.clear()
+        for conn in leftovers:
+            if conn.sock is not None:
+                try:
+                    conn.sock.close()
+                except OSError:
+                    pass
+            self._sever_upstreams(conn)
+
+    def __enter__(self) -> "ShardRouter":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def open_cursors(self) -> int:
+        with self._state_lock:
+            return sum(len(c.cursors) for c in self._connections.values())
+
+    def _health(self) -> PyTuple[bool, str]:
+        if self._draining:
+            return False, "draining"
+        if not self._serving:
+            return False, "not serving"
+        up = sum(1 for h in self.pool.workers if h.state == "up")
+        self._m_workers_up.set(up)
+        if up == 0:
+            return False, f"degraded: 0 of {self.pool.count} workers up"
+        if up < self.pool.count:
+            return True, f"serving (router, {up}/{self.pool.count} workers up)"
+        return True, f"serving (router, {up} workers)"
+
+    def _worker_snapshots(self):
+        """Cached per-worker metric registries for /metrics, each labelled
+        ``worker="N"`` — the pool's monitor refreshes them every heartbeat,
+        so a scrape never blocks on a dead worker."""
+        out = []
+        for handle in self.pool.workers:
+            stats = handle.last_stats
+            if isinstance(stats, dict) and isinstance(
+                stats.get("metrics"), dict
+            ):
+                out.append(({"worker": str(handle.index)}, stats["metrics"]))
+        return out
+
+    # -- connection loop (mirrors CoralServer) -------------------------------
+
+    def _handle_connection(self, sock) -> None:
+        if self._draining:
+            return
+        try:
+            self.faults.check("net.accept")
+        except OSError:
+            self._m_errors.inc(1, "accept")
+            return
+        wait = self.io_timeout if self.io_timeout is not None else self.idle_timeout
+        if wait is not None:
+            sock.settimeout(wait)
+        conn = self._register(sock)
+        try:
+            idle_deadline = (
+                time.monotonic() + self.idle_timeout
+                if self.idle_timeout is not None
+                else None
+            )
+            while True:
+                try:
+                    self.faults.check("net.read")
+                    frame = read_frame(sock)
+                except FrameTimeout:
+                    if (
+                        idle_deadline is not None
+                        and time.monotonic() >= idle_deadline
+                    ):
+                        self._m_errors.inc(1, "idle_reaped")
+                        return
+                    continue
+                except (ProtocolError, OSError):
+                    self._m_errors.inc(1, "read")
+                    return
+                if frame is None:
+                    return  # clean EOF
+                if self.idle_timeout is not None:
+                    idle_deadline = time.monotonic() + self.idle_timeout
+                header, body = frame
+                if not self._serve_request(conn, sock, header, body):
+                    return
+        finally:
+            self._unregister(conn)
+
+    def _serve_request(self, conn, sock, header, body) -> bool:
+        op = str(header.get("op", ""))
+        started = time.perf_counter()
+        keep_going = True
+        try:
+            response, rbody, keep_going = self._dispatch(conn, op, header, body)
+        except SimulatedCrash:
+            raise
+        except CoralError as exc:
+            self._m_errors.inc(1, type(exc).__name__)
+            response = {
+                "ok": False,
+                "error": type(exc).__name__,
+                "message": str(exc),
+            }
+            rbody = b""
+        except (ValueError, TypeError) as exc:
+            self._m_errors.inc(1, "ProtocolError")
+            response = {
+                "ok": False,
+                "error": "ProtocolError",
+                "message": f"malformed {op or '?'} field: {exc}",
+            }
+            rbody = b""
+        self._m_requests.inc(1, op or "?")
+        self._m_latency.observe(time.perf_counter() - started, op or "?")
+        answers = response.get("count", 0) if op == "FETCH" else 0
+        self._recent.append((time.perf_counter(), answers))
+        try:
+            self.faults.check("net.write")
+            write_frame(sock, response, rbody)
+        except (ProtocolError, OSError):
+            self._m_errors.inc(1, "write")
+            return False
+        return keep_going
+
+    def _register(self, sock) -> _RouterConn:
+        try:
+            peer = "%s:%s" % sock.getpeername()[:2]
+        except OSError:
+            peer = "?"
+        with self._state_lock:
+            self._next_conn += 1
+            conn = _RouterConn(self._next_conn, peer, sock)
+            self._connections[conn.conn_id] = conn
+            self._connections_total += 1
+        self._m_conns.inc()
+        self._m_active.inc()
+        return conn
+
+    def _unregister(self, conn: _RouterConn) -> None:
+        with self._state_lock:
+            self._connections.pop(conn.conn_id, None)
+        self._sever_upstreams(conn)
+        self._m_active.dec()
+
+    def _sever_upstreams(self, conn: _RouterConn) -> None:
+        """Drop every upstream link this client held.  Closing the sockets
+        is the reclamation signal: each worker's own disconnect handling
+        frees the cursors the router had opened there — abandoning a
+        scatter-gather frees state on *every* shard."""
+        closed = len(conn.cursors)
+        conn.cursors.clear()
+        for upstream in conn.links.values():
+            try:
+                upstream.sock.close()
+            except OSError:
+                pass
+        conn.links.clear()
+        if closed:
+            with self._state_lock:
+                self._cursors_closed += closed
+            self._m_cursors_closed.inc(closed)
+            self._m_cursors_open.dec(closed)
+
+    # -- upstream links ------------------------------------------------------
+
+    def _upstream(self, conn: _RouterConn, index: int) -> _Upstream:
+        """The client connection's link to worker ``index``, dialing (or
+        re-dialing after a restart) as needed."""
+        generation = self.pool.generation_of(index)
+        upstream = conn.links.get(index)
+        if upstream is not None:
+            if upstream.generation == generation:
+                return upstream
+            # the worker restarted since this link was dialed: the socket
+            # is dead (or soon will be) and its cursors are gone
+            try:
+                upstream.sock.close()
+            except OSError:
+                pass
+            del conn.links[index]
+        address = self.pool.address_of(index)  # raises WorkerRestartingError
+        try:
+            sock = _dial(address, self.upstream_timeout)
+        except (FrameTimeout, ProtocolError, OSError) as exc:
+            raise WorkerRestartingError(
+                f"worker {index} at {address[0]}:{address[1]} is not "
+                f"answering ({exc}); retry shortly"
+            ) from exc
+        upstream = _Upstream(sock, index, generation)
+        conn.links[index] = upstream
+        return upstream
+
+    def _forward(
+        self, upstream: _Upstream, header, body: bytes = b""
+    ) -> PyTuple[Dict[str, object], bytes]:
+        """One round trip to a worker; socket failures raise
+        :class:`_UpstreamLost` (never a client-visible error directly —
+        the caller decides between retriable and cursor-fatal)."""
+        self._m_upstream.inc(1, str(upstream.index))
+        try:
+            write_frame(upstream.sock, header, body)
+            frame = read_frame(upstream.sock)
+        except FrameTimeout as exc:
+            raise _UpstreamLost(upstream.index, exc) from exc
+        except (ProtocolError, OSError) as exc:
+            raise _UpstreamLost(upstream.index, exc) from exc
+        if frame is None:
+            raise _UpstreamLost(
+                upstream.index,
+                ProtocolError("worker closed the connection"),
+            )
+        return frame
+
+    def _drop_upstream(self, conn: _RouterConn, upstream: _Upstream) -> None:
+        try:
+            upstream.sock.close()
+        except OSError:
+            pass
+        if conn.links.get(upstream.index) is upstream:
+            del conn.links[upstream.index]
+
+    # -- routing -------------------------------------------------------------
+
+    def _route_name(self, name: str) -> Optional[int]:
+        """The worker owning ``name``; None means partitioned (scatter)."""
+        if self.shard_map.is_partitioned(name):
+            return None
+        with self._learned_lock:
+            learned = self._learned.get(name)
+        if learned is not None:
+            return learned
+        return self.shard_map.owner(name)
+
+    def _learn(self, names, index: int) -> None:
+        """Pin ``names`` to ``index`` (first placement wins)."""
+        with self._learned_lock:
+            for name in names:
+                self._learned.setdefault(name, index)
+
+    def learned_pins(self) -> Dict[str, int]:
+        with self._learned_lock:
+            return dict(self._learned)
+
+    # -- request dispatch ----------------------------------------------------
+
+    def _dispatch(
+        self, conn: _RouterConn, op: str, header, body
+    ) -> PyTuple[Dict[str, object], bytes, bool]:
+        with self._state_lock:
+            self._requests_total += 1
+        if not conn.greeted:
+            if op != "HELLO":
+                return (
+                    {
+                        "ok": False,
+                        "error": "ProtocolError",
+                        "message": f"first request must be HELLO, got {op!r}",
+                    },
+                    b"",
+                    False,
+                )
+            version = header.get("version")
+            if version != PROTOCOL_VERSION:
+                return (
+                    {
+                        "ok": False,
+                        "error": "ProtocolError",
+                        "message": (
+                            f"protocol version mismatch: client speaks "
+                            f"{version!r}, server speaks {PROTOCOL_VERSION}"
+                        ),
+                    },
+                    b"",
+                    False,
+                )
+            conn.greeted = True
+            return (
+                {
+                    "ok": True,
+                    "server": "repro.router/1",
+                    "version": PROTOCOL_VERSION,
+                    "workers": self.pool.count,
+                },
+                b"",
+                True,
+            )
+        if op == "BYE":
+            self._sever_upstreams(conn)
+            return {"ok": True, "bye": True}, b"", False
+        if self._draining and op not in _DRAIN_OPS:
+            raise ProtocolError(
+                f"server is draining for shutdown; {op} refused"
+            )
+        if op == "QUERY":
+            return self._op_query(conn, header), b"", True
+        if op == "FETCH":
+            return self._op_fetch(conn, header) + (True,)
+        if op == "CLOSE_CURSOR":
+            cursor_id = int(header.get("cursor", -1))
+            closed = self._close_cursor(conn, cursor_id)
+            return {"ok": True, "closed": closed}, b"", True
+        if op == "CONSULT":
+            return self._op_consult(conn, header), b"", True
+        if op in ("INSERT", "DELETE"):
+            return self._op_update(conn, op, header), b"", True
+        if op == "STATS":
+            return {"ok": True, "stats": self.stats()}, b"", True
+        if op in ("REPL_HELLO", "PROMOTE", "WORKER_HELLO"):
+            raise ProtocolError(
+                f"{op} is not served by a shard router: replication and "
+                f"worker supervision compose per worker — address the "
+                f"worker directly (see docs/SHARDING.md)"
+            )
+        raise ProtocolError(f"unknown request op {op!r}")
+
+    # -- cursors -------------------------------------------------------------
+
+    def _mint_cursor(self, conn: _RouterConn, cursor) -> int:
+        with self._state_lock:
+            self._next_cursor += 1
+            self._cursors_opened += 1
+            cursor_id = self._next_cursor
+        cursor.cursor_id = cursor_id
+        conn.cursors[cursor_id] = cursor
+        self._m_cursors_opened.inc()
+        self._m_cursors_open.inc()
+        return cursor_id
+
+    def _retire_cursor(self, conn: _RouterConn, cursor_id: int) -> bool:
+        if conn.cursors.pop(cursor_id, None) is None:
+            return False
+        with self._state_lock:
+            self._cursors_closed += 1
+        self._m_cursors_closed.inc()
+        self._m_cursors_open.dec()
+        return True
+
+    def _close_cursor(self, conn: _RouterConn, cursor_id: int) -> bool:
+        cursor = conn.cursors.get(cursor_id)
+        if cursor is None:
+            return False
+        parts = (
+            [cursor.part]
+            if isinstance(cursor, _ProxyCursor)
+            else cursor.parts[cursor.current :]
+        )
+        for part in parts:
+            try:
+                self._forward(
+                    part.upstream,
+                    {"op": "CLOSE_CURSOR", "cursor": part.remote_id},
+                )
+            except _UpstreamLost:
+                # the worker died; its cursors died with it — done either way
+                self._drop_upstream(conn, part.upstream)
+        self._retire_cursor(conn, cursor_id)
+        return True
+
+    def _open_remote_cursor(
+        self, conn: _RouterConn, index: int, text: str
+    ) -> PyTuple[_Part, Dict[str, object]]:
+        upstream = self._upstream(conn, index)
+        try:
+            response, _ = self._forward(
+                upstream, {"op": "QUERY", "query": text}
+            )
+        except _UpstreamLost as exc:
+            self._drop_upstream(conn, upstream)
+            raise WorkerRestartingError(
+                f"worker {index} died while opening a cursor "
+                f"({exc.cause}); retry shortly"
+            ) from exc.cause
+        if not response.get("ok"):
+            raise _remote_error(response)
+        return _Part(upstream, int(response["cursor"])), response
+
+    def _op_query(self, conn: _RouterConn, header) -> Dict[str, object]:
+        text = str(header.get("query", ""))
+        literal = parse_query(text).literal
+        return self._route_query(conn, literal.pred, text)
+
+    def _route_query(
+        self, conn: _RouterConn, pred: str, text: str
+    ) -> Dict[str, object]:
+        owner = self._route_name(pred)
+        if owner is not None:
+            part, response = self._open_remote_cursor(conn, owner, text)
+            cursor_id = self._mint_cursor(conn, _ProxyCursor(0, part))
+            return {
+                "ok": True,
+                "cursor": cursor_id,
+                "vars": response.get("vars", []),
+                "arity": response.get("arity", 0),
+            }
+        # partitioned: one cursor per shard, concatenated
+        self._m_scatter.inc()
+        parts: List[_Part] = []
+        meta: Optional[Dict[str, object]] = None
+        try:
+            for index in range(self.pool.count):
+                part, response = self._open_remote_cursor(conn, index, text)
+                parts.append(part)
+                if meta is None:
+                    meta = response
+        except (CoralError, _UpstreamLost):
+            # a partial scatter must not leak cursors on the shards that
+            # did answer
+            for part in parts:
+                try:
+                    self._forward(
+                        part.upstream,
+                        {"op": "CLOSE_CURSOR", "cursor": part.remote_id},
+                    )
+                except _UpstreamLost:
+                    self._drop_upstream(conn, part.upstream)
+            raise
+        cursor_id = self._mint_cursor(conn, _GatherCursor(0, parts))
+        return {
+            "ok": True,
+            "cursor": cursor_id,
+            "vars": meta.get("vars", []) if meta else [],
+            "arity": meta.get("arity", 0) if meta else 0,
+        }
+
+    def _op_fetch(
+        self, conn: _RouterConn, header
+    ) -> PyTuple[Dict[str, object], bytes]:
+        cursor_id = int(header.get("cursor", -1))
+        cursor = conn.cursors.get(cursor_id)
+        if cursor is None:
+            raise ProtocolError(f"unknown cursor {cursor_id}")
+        limit = int(header.get("max", self.batch_size))
+        if limit < 1:
+            raise ProtocolError(f"FETCH max must be >= 1, got {limit}")
+        if isinstance(cursor, _ProxyCursor):
+            return self._fetch_proxy(conn, cursor, limit)
+        return self._fetch_gather(conn, cursor, limit)
+
+    def _fetch_proxy(
+        self, conn: _RouterConn, cursor: _ProxyCursor, limit: int
+    ) -> PyTuple[Dict[str, object], bytes]:
+        part = cursor.part
+        try:
+            response, body = self._forward(
+                part.upstream,
+                {"op": "FETCH", "cursor": part.remote_id, "max": limit},
+            )
+        except _UpstreamLost as exc:
+            self._drop_upstream(conn, part.upstream)
+            self._retire_cursor(conn, cursor.cursor_id)
+            raise FailoverError(
+                f"cursor {cursor.cursor_id} was lost: worker "
+                f"{part.upstream.index} died mid-stream ({exc.cause}) — "
+                f"reissue the query"
+            ) from exc.cause
+        if not response.get("ok"):
+            self._retire_cursor(conn, cursor.cursor_id)
+            raise _remote_error(response)
+        if response.get("done"):
+            self._retire_cursor(conn, cursor.cursor_id)
+        # the batch bytes are relayed untouched; only the cursor id is ours
+        return (
+            {
+                "ok": True,
+                "cursor": cursor.cursor_id,
+                "count": response.get("count", 0),
+                "done": bool(response.get("done")),
+            },
+            body,
+        )
+
+    def _fetch_gather(
+        self, conn: _RouterConn, cursor: _GatherCursor, limit: int
+    ) -> PyTuple[Dict[str, object], bytes]:
+        """Fill one client batch from the concatenated shard streams.
+
+        Per-upstream backpressure: each worker is asked for at most the
+        *remaining* client budget, so no shard ever runs ahead of what the
+        client consumes.  The loop only exits with rows, or with every
+        part drained — a gather batch is never empty-but-not-done (the
+        client would mistake it for end-of-stream).
+        """
+        rows: List[list] = []
+        while len(rows) < limit and cursor.current < len(cursor.parts):
+            part = cursor.parts[cursor.current]
+            need = limit - len(rows)
+            try:
+                response, body = self._forward(
+                    part.upstream,
+                    {"op": "FETCH", "cursor": part.remote_id, "max": need},
+                )
+            except _UpstreamLost as exc:
+                self._drop_upstream(conn, part.upstream)
+                self._abandon_gather(conn, cursor)
+                raise FailoverError(
+                    f"cursor {cursor.cursor_id} was lost: worker "
+                    f"{part.upstream.index} died mid-scatter-gather "
+                    f"({exc.cause}) — reissue the query"
+                ) from exc.cause
+            if not response.get("ok"):
+                self._abandon_gather(conn, cursor)
+                raise _remote_error(response)
+            batch = decode_batch(body)
+            rows.extend(batch)
+            if response.get("done"):
+                cursor.current += 1
+            elif not batch:
+                # a worker must not answer empty-and-not-done; treat it as
+                # a wedged stream rather than spinning here forever
+                self._abandon_gather(conn, cursor)
+                raise ProtocolError(
+                    f"worker {part.upstream.index} answered an empty "
+                    f"non-final batch for cursor {part.remote_id}"
+                )
+        done = cursor.current >= len(cursor.parts)
+        if done:
+            self._retire_cursor(conn, cursor.cursor_id)
+        return (
+            {
+                "ok": True,
+                "cursor": cursor.cursor_id,
+                "count": len(rows),
+                "done": done,
+            },
+            encode_batch(rows),
+        )
+
+    def _abandon_gather(
+        self, conn: _RouterConn, cursor: _GatherCursor
+    ) -> None:
+        """Free a gather cursor's surviving shard cursors after a failure."""
+        for part in cursor.parts[cursor.current :]:
+            if conn.links.get(part.upstream.index) is not part.upstream:
+                continue  # that upstream is already gone
+            try:
+                self._forward(
+                    part.upstream,
+                    {"op": "CLOSE_CURSOR", "cursor": part.remote_id},
+                )
+            except _UpstreamLost:
+                self._drop_upstream(conn, part.upstream)
+        self._retire_cursor(conn, cursor.cursor_id)
+
+    # -- consults and updates ------------------------------------------------
+
+    def _op_consult(self, conn: _RouterConn, header) -> Dict[str, object]:
+        source = str(header.get("source", ""))
+        program = parse_program(source)
+        if any(c.name == "consult" for c in program.commands):
+            raise ProtocolError("remote consult may not read server-side files")
+        partitioned_facts = [
+            fact
+            for fact in program.facts
+            if self.shard_map.is_partitioned(fact.head.pred)
+        ]
+        plain_facts = [
+            fact
+            for fact in program.facts
+            if not self.shard_map.is_partitioned(fact.head.pred)
+        ]
+        for module in program.modules:
+            bad = [
+                pred
+                for pred, _arity in module.defined_predicates()
+                if self.shard_map.is_partitioned(pred)
+            ]
+            if bad:
+                raise ShardRoutingError(
+                    f"module {module.name!r} defines partitioned "
+                    f"predicate(s) {bad}: a partitioned relation is base "
+                    f"facts only, spread across every worker — rules for "
+                    f"it would need to see all shards at once"
+                )
+            referenced = sorted(
+                {
+                    literal.pred
+                    for rule in module.rules
+                    for literal in rule.body
+                    if self.shard_map.is_partitioned(literal.pred)
+                }
+            )
+            if referenced:
+                # the module would land on ONE worker and silently see one
+                # shard's slice of the relation: partial answers, no error
+                # — refuse loudly instead
+                raise ShardRoutingError(
+                    f"module {module.name!r} reads partitioned relation(s) "
+                    f"{referenced}: a module evaluates on a single worker "
+                    f"and would only see that shard's facts — pin the "
+                    f"relation to a worker instead of partitioning it"
+                )
+        if partitioned_facts:
+            if program.modules or plain_facts or program.queries or (
+                program.index_annotations
+            ):
+                raise ShardRoutingError(
+                    "a consult carrying facts for a partitioned relation "
+                    "must carry only such facts (they are split across "
+                    "every worker; modules, other facts, and queries "
+                    "cannot ride along) — consult them separately"
+                )
+            return self._consult_partitioned(conn, partitioned_facts)
+        if not program.modules and not plain_facts and (
+            not program.index_annotations
+        ):
+            # pure query batch: route each query on its own predicate
+            opened = []
+            for query in program.queries:
+                literal = query.literal
+                response = self._route_query(conn, literal.pred, str(literal))
+                opened.append(
+                    {
+                        "cursor": response["cursor"],
+                        "vars": response["vars"],
+                        "arity": response["arity"],
+                    }
+                )
+            return {"ok": True, "cursors": opened}
+        return self._consult_single_owner(conn, source, program)
+
+    def _consult_partitioned(
+        self, conn: _RouterConn, facts
+    ) -> Dict[str, object]:
+        """Split a batch of partitioned facts by tuple hash and forward
+        each worker its slice — the bulk-load path for spread relations."""
+        slices: Dict[int, List[str]] = {}
+        for fact in facts:
+            head = fact.head
+            index = self.shard_map.tuple_owner(
+                head.pred, partition_key(head.args)
+            )
+            slices.setdefault(index, []).append(str(fact))
+        for index, lines in sorted(slices.items()):
+            upstream = self._upstream(conn, index)
+            try:
+                response, _ = self._forward(
+                    upstream, {"op": "CONSULT", "source": "\n".join(lines)}
+                )
+            except _UpstreamLost as exc:
+                self._drop_upstream(conn, upstream)
+                raise WorkerRestartingError(
+                    f"worker {index} died mid-consult ({exc.cause}); the "
+                    f"batch was partially loaded — retry the consult "
+                    f"(facts are idempotent)"
+                ) from exc.cause
+            if not response.get("ok"):
+                raise _remote_error(response)
+        return {"ok": True, "cursors": []}
+
+    def _consult_single_owner(
+        self, conn: _RouterConn, source: str, program
+    ) -> Dict[str, object]:
+        """Place a whole program text on one worker, verbatim.
+
+        Module text must not be re-rendered (``ModuleDecl.__str__`` drops
+        aggregate selections, index annotations, and flags), so anything
+        that is not a pure query batch or a partitioned-fact batch travels
+        untouched — which also means it must land on exactly one worker.
+        The owner is forced by any name in the program that already has a
+        placement; contradictions are a :class:`ShardRoutingError`.
+        """
+        names: List[str] = []
+        for module in program.modules:
+            names.append(module.name)
+            names.extend(pred for pred, _arity in module.defined_predicates())
+            names.extend(export.pred for export in module.exports)
+        for fact in program.facts:
+            names.append(fact.head.pred)
+        required: Dict[int, List[str]] = {}
+        with self._learned_lock:
+            for name in names:
+                placed = self._learned.get(name)
+                if placed is None:
+                    placed = self.shard_map.pins.get(name)
+                if placed is not None:
+                    required.setdefault(placed, []).append(name)
+        if len(required) > 1:
+            detail = "; ".join(
+                f"worker {index} holds {sorted(set(held))}"
+                for index, held in sorted(required.items())
+            )
+            raise ShardRoutingError(
+                f"this program straddles shards ({detail}): its names are "
+                f"already placed on different workers — split the program "
+                f"or adjust the shard map"
+            )
+        if required:
+            owner = next(iter(required))
+        else:
+            anchor = names[0] if names else "program"
+            owner = self.shard_map.owner(anchor)
+        upstream = self._upstream(conn, owner)
+        try:
+            response, _ = self._forward(
+                upstream, {"op": "CONSULT", "source": source}
+            )
+        except _UpstreamLost as exc:
+            self._drop_upstream(conn, upstream)
+            raise WorkerRestartingError(
+                f"worker {owner} died mid-consult ({exc.cause}); retry "
+                f"shortly"
+            ) from exc.cause
+        if not response.get("ok"):
+            raise _remote_error(response)
+        # placement is only durable once the worker accepted the program
+        self._learn(names, owner)
+        opened = []
+        for item in response.get("cursors", []):
+            part = _Part(upstream, int(item["cursor"]))
+            cursor_id = self._mint_cursor(conn, _ProxyCursor(0, part))
+            opened.append(
+                {
+                    "cursor": cursor_id,
+                    "vars": item.get("vars", []),
+                    "arity": item.get("arity", 0),
+                }
+            )
+        return {"ok": True, "cursors": opened}
+
+    def _op_update(
+        self, conn: _RouterConn, op: str, header
+    ) -> Dict[str, object]:
+        pred = str(header.get("pred", ""))
+        values = header.get("values", [])
+        if not pred or not isinstance(values, list):
+            raise ProtocolError("INSERT/DELETE need a pred and a values list")
+        if self.shard_map.is_partitioned(pred):
+            key = partition_key(to_arg(value) for value in values)
+            index = self.shard_map.tuple_owner(pred, key)
+        else:
+            index = self._route_name(pred)
+        upstream = self._upstream(conn, index)
+        try:
+            response, _ = self._forward(
+                upstream, {"op": op, "pred": pred, "values": values}
+            )
+        except _UpstreamLost as exc:
+            self._drop_upstream(conn, upstream)
+            raise WorkerRestartingError(
+                f"worker {index} died during {op} ({exc.cause}); the "
+                f"write was not acknowledged — retry shortly"
+            ) from exc.cause
+        if not response.get("ok"):
+            raise _remote_error(response)
+        if not self.shard_map.is_partitioned(pred):
+            self._learn([pred], index)
+        return {"ok": True, "changed": bool(response.get("changed"))}
+
+    # -- introspection -------------------------------------------------------
+
+    def _rates(self) -> Dict[str, float]:
+        now = time.perf_counter()
+        horizon = now - self.rate_window
+        recent = [item for item in self._recent if item[0] >= horizon]
+        elapsed = max(1e-9, min(self.rate_window, now - self._started_at))
+        return {
+            "window_seconds": self.rate_window,
+            "requests": len(recent),
+            "requests_per_second": len(recent) / elapsed,
+            "answers_per_second": sum(a for _, a in recent) / elapsed,
+        }
+
+    def _latency(self) -> Dict[str, Dict[str, object]]:
+        out: Dict[str, Dict[str, object]] = {}
+        for labels, snap in self._m_latency.collect().items():
+            if snap["count"]:
+                out[labels[0]] = {
+                    "count": snap["count"],
+                    "p50": snap["p50"],
+                    "p90": snap["p90"],
+                    "p99": snap["p99"],
+                }
+        return out
+
+    def stats(self) -> Dict[str, object]:
+        """The router's STATS payload: its own counters plus a ``workers``
+        section digesting each worker's supervision state and (when the
+        worker is reachable) its own STATS — what ``@top``/``@workers``
+        render and the saturation benchmark reads."""
+        with self._state_lock:
+            connections = {
+                "total": self._connections_total,
+                "active": len(self._connections),
+            }
+            cursors = {
+                "opened": self._cursors_opened,
+                "closed": self._cursors_closed,
+                "open": sum(
+                    len(c.cursors) for c in self._connections.values()
+                ),
+            }
+            requests_total = self._requests_total
+        # a live sweep so @top/@workers see current numbers; a down worker
+        # fails fast (connection refused) and keeps its cached snapshot
+        self.pool.fetch_stats(timeout=2.0)
+        workers: Dict[str, Dict[str, object]] = {}
+        up = 0
+        for handle in self.pool.workers:
+            entry = handle.describe()
+            if handle.state == "up":
+                up += 1
+            seen = self._restart_seen.get(handle.index, 0)
+            if handle.restarts > seen:
+                self._m_restarts.inc(
+                    handle.restarts - seen, str(handle.index)
+                )
+                self._restart_seen[handle.index] = handle.restarts
+            stats = handle.last_stats
+            if isinstance(stats, dict):
+                entry["requests"] = stats.get("requests")
+                entry["rates"] = stats.get("rates")
+                entry["cursors"] = stats.get("cursors")
+                entry["latency"] = stats.get("latency")
+            workers[str(handle.index)] = entry
+        self._m_workers_up.set(up)
+        sharding = self.shard_map.describe()
+        sharding["learned_pins"] = self.learned_pins()
+        sharding["workers_up"] = up
+        return {
+            "connections": connections,
+            "cursors": cursors,
+            "requests": requests_total,
+            "role": "router",
+            "rates": self._rates(),
+            "latency": self._latency(),
+            "sharding": sharding,
+            "workers": workers,
+            "metrics": self.metrics.collect(),
+        }
+
+
+def _remote_error(response: Dict[str, object]) -> CoralError:
+    """Re-raise a worker's error response under its original class, so the
+    router relays it to the client with the class name intact."""
+    from .. import errors as _errors
+
+    name = str(response.get("error", "CoralError"))
+    message = str(response.get("message", "remote error"))
+    cls = getattr(_errors, name, None)
+    if not (isinstance(cls, type) and issubclass(cls, CoralError)):
+        cls = CoralError
+    return cls(message)

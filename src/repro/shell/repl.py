@@ -30,6 +30,9 @@ Shell commands::
     @replicas.                 replication topology (remote mode): role,
                                changelog sequence, per-replica lag or
                                upstream health (docs/REPLICATION.md)
+    @workers.                  shard fleet (remote mode, sharded server):
+                               per-worker state, pid, restarts, req/s, and
+                               the routing policy (docs/SHARDING.md)
     @promote.                  promote the connected replica to a writable
                                primary (failover runbook step)
     @disconnect.               leave remote mode, back to the local session
@@ -139,7 +142,9 @@ class Shell:
                     f"cursors: {stats['cursors']}",
                     f"requests: {stats['requests']}",
                 ]
-                lines += [f"{k}: {v}" for k, v in stats["eval"].items()]
+                # a shard router's STATS has no eval section (it owns no
+                # database); a worker's/standalone server's does
+                lines += [f"{k}: {v}" for k, v in stats.get("eval", {}).items()]
                 return "\n".join(lines)
             snapshot = self.session.stats.snapshot()
             return "\n".join(f"{key}: {value}" for key, value in snapshot.items())
@@ -235,6 +240,14 @@ class Shell:
             except CoralError as error:
                 return f"error: {error}"
             return self._render_replicas(stats)
+        if name == "workers":
+            if self.remote is None:
+                return "@workers needs a server (@connect host:port. first)."
+            try:
+                stats = self.remote.stats()
+            except CoralError as error:
+                return f"error: {error}"
+            return self._render_workers(stats)
         if name == "promote":
             if self.remote is None:
                 return "@promote needs a server (@connect host:port. first)."
@@ -336,6 +349,68 @@ class Shell:
             if buffer_rate is not None:
                 cache_bits.append(f"buffer hit rate: {buffer_rate}")
             lines.append("  " + "   ".join(cache_bits))
+        workers = stats.get("workers")
+        if workers:
+            # a sharded server: one breakdown row per worker, from the
+            # router's aggregated STATS (docs/SHARDING.md)
+            lines.append("  workers:")
+            for index in sorted(workers, key=lambda key: int(key)):
+                info = workers[index]
+                worker_rates = info.get("rates") or {}
+                state = info.get("state", "?")
+                marker = "" if state == "up" else f"  [{state.upper()}]"
+                lines.append(
+                    f"    #{index} {state:<8}"
+                    f" req/s {worker_rates.get('requests_per_second', 0.0):>7.1f}"
+                    f"  answers/s {worker_rates.get('answers_per_second', 0.0):>7.1f}"
+                    f"  restarts {info.get('restarts', 0)}{marker}"
+                )
+        return "\n".join(lines)
+
+    @staticmethod
+    def _render_workers(stats: dict) -> str:
+        """The ``@workers`` view from a shard router's STATS payload."""
+        workers = stats.get("workers")
+        sharding = stats.get("sharding")
+        if not workers:
+            return (
+                "no worker fleet: this server is not a shard router "
+                "(start one with --workers N)."
+            )
+        lines = []
+        if sharding:
+            lines.append(
+                f"fleet: {sharding.get('workers_up', '?')} of "
+                f"{sharding.get('workers', '?')} workers up"
+            )
+            pins = dict(sharding.get("pins") or {})
+            pins.update(sharding.get("learned_pins") or {})
+            if pins:
+                rendered = ", ".join(
+                    f"{name}->{index}" for name, index in sorted(pins.items())
+                )
+                lines.append(f"pinned: {rendered}")
+            partitioned = sharding.get("partitioned") or []
+            if partitioned:
+                lines.append(f"partitioned: {', '.join(partitioned)}")
+        for index in sorted(workers, key=lambda key: int(key)):
+            info = workers[index]
+            worker_rates = info.get("rates") or {}
+            cursors = info.get("cursors") or {}
+            lines.append(
+                f"  worker {index}: {info.get('state', '?')}"
+                f"   {info.get('address') or 'no address'}"
+                f"   pid {info.get('pid') or '?'}"
+                f"   gen {info.get('generation', 0)}"
+                f"   restarts {info.get('restarts', 0)}"
+            )
+            if worker_rates or cursors:
+                lines.append(
+                    f"    req/s {worker_rates.get('requests_per_second', 0.0):.1f}"
+                    f"   answers/s {worker_rates.get('answers_per_second', 0.0):.1f}"
+                    f"   cursors open {cursors.get('open', 0)}"
+                    f"   requests {info.get('requests', 0)}"
+                )
         return "\n".join(lines)
 
     @staticmethod

@@ -216,6 +216,10 @@ class Session:
         #: ``@memo``, a :class:`~repro.eval.memo.MemoPolicy` tunes budget and
         #: damage threshold; None/False disables.
         self.memo: Optional[MemoCache] = None
+        #: live-query registry (docs/LIVE.md), created lazily by the first
+        #: :meth:`subscribe`; None until then so sessions that never
+        #: subscribe pay nothing on the update path
+        self.live = None
         #: always-on bounded ring of recent events (repro.obs.flight);
         #: installed via :meth:`enable_flight_recorder`, None = off
         self.flight = None
@@ -258,8 +262,11 @@ class Session:
             inserted = self.ctx.base_relation(name, len(fact_args)).insert(
                 Tuple(tuple(fact_args))
             )
-            if inserted and self.ctx.memo is not None:
-                self.ctx.memo.on_insert((name, len(fact_args)))
+            if inserted:
+                if self.ctx.memo is not None:
+                    self.ctx.memo.on_insert((name, len(fact_args)))
+                if self.ctx.live is not None:
+                    self.ctx.live.on_insert((name, len(fact_args)))
             yield None
 
         def _retract_impl(args, env, trail):
@@ -269,6 +276,8 @@ class Session:
             if relation is not None and relation.delete(tup):
                 if self.ctx.memo is not None:
                     self.ctx.memo.on_delete((name, len(fact_args)), tup)
+                if self.ctx.live is not None:
+                    self.ctx.live.on_delete((name, len(fact_args)), tup)
                 yield None
 
         self.ctx.builtins.register_function(
@@ -386,6 +395,9 @@ class Session:
         if self.ctx.memo is not None:
             for key in changed_keys:
                 self.ctx.memo.on_insert(key)
+        if self.ctx.live is not None:
+            for key in changed_keys:
+                self.ctx.live.on_insert(key)
         for annotation in program.index_annotations:
             relation = self.ctx.base_relation(annotation.pred, annotation.arity)
             if isinstance(relation, HashRelation):
@@ -538,21 +550,55 @@ class Session:
         inserted = self.ctx.base_relation(
             pred, len(values)
         ).insert_values(*values)
-        if inserted and self.ctx.memo is not None:
-            self.ctx.memo.on_insert((pred, len(values)))
+        if inserted:
+            if self.ctx.memo is not None:
+                self.ctx.memo.on_insert((pred, len(values)))
+            if self.ctx.live is not None:
+                self.ctx.live.on_insert((pred, len(values)))
         return inserted
 
     def delete(self, pred: str, *values: Any) -> bool:
         relation = self.ctx.base_relation(pred, len(values), create=False)
         tup = Tuple(tuple(to_arg(v) for v in values))
         deleted = relation.delete(tup)
-        if deleted and self.ctx.memo is not None:
-            self.ctx.memo.on_delete((pred, len(values)), tup)
+        if deleted:
+            if self.ctx.memo is not None:
+                self.ctx.memo.on_delete((pred, len(values)), tup)
+            if self.ctx.live is not None:
+                self.ctx.live.on_delete((pred, len(values)), tup)
         return deleted
 
     @property
     def stats(self):
         return self.ctx.stats
+
+    # -- live queries (repro.live, docs/LIVE.md) -----------------------------------
+
+    def subscribe(self, query: Union[str, Literal], on_deltas, on_close=None):
+        """Register a live query: ``on_deltas`` receives a list of
+        ``(+1, tuple)`` / ``(-1, tuple)`` deltas after every committed
+        mutation that changes the goal's answer set.  Returns the
+        :class:`~repro.live.LiveView` (its :meth:`~repro.live.LiveView
+        .snapshot` is the initial answer set); pass the view's ``view_id``
+        to :meth:`unsubscribe` to stop.  Raises
+        :class:`~repro.errors.SubscriptionError` when the goal cannot be
+        maintained incrementally (negation, aggregation, compiled modules,
+        ... — docs/LIVE.md lists the refusal matrix)."""
+        if self.live is None:
+            from ..live import LiveViewManager
+
+            self.live = LiveViewManager(self.ctx, self.modules)
+            self.ctx.live = self.live
+        literal = (
+            parse_query(query).literal if isinstance(query, str) else query
+        )
+        return self.live.subscribe(literal, on_deltas, on_close)
+
+    def unsubscribe(self, view_id: int) -> bool:
+        """Deregister a live view by id; True if it was registered."""
+        if self.live is None:
+            return False
+        return self.live.unsubscribe(view_id)
 
     # -- explanation (the tracing tool) ------------------------------------------
 

@@ -6,12 +6,13 @@ query drives the server's get-next-tuple cursor on demand.
 """
 
 from ..errors import FailoverError, ShardRoutingError, WorkerRestartingError
-from .remote import RemoteQueryResult, RemoteSession
+from .remote import RemoteQueryResult, RemoteSession, RemoteSubscription
 
 __all__ = [
     "FailoverError",
     "RemoteQueryResult",
     "RemoteSession",
+    "RemoteSubscription",
     "ShardRoutingError",
     "WorkerRestartingError",
 ]

@@ -219,6 +219,171 @@ class RemoteQueryResult:
         )
 
 
+class RemoteSubscription:
+    """The client half of one live query (docs/LIVE.md).
+
+    Owns a **dedicated connection**: ``DELTA`` is a long-poll that parks on
+    the socket until a delta arrives, so a subscription sharing the
+    session's request link would starve every other call.  The server binds
+    the subscription to this connection — closing it (or dying with it)
+    reclaims the server-side view.
+
+    The subscription keeps a *folded view*: the initial snapshot with every
+    received delta applied, in order.  :meth:`poll` drives it::
+
+        sub = session.subscribe("?- path(1, X).")
+        kind, payload = sub.poll(timeout=5.0)
+        # kind: "deltas" (payload: [(sign, values), ...]),
+        #       "resnapshot" (payload: the replacement view),
+        #       "none" (empty poll), "closed" (payload: the reason)
+
+    or iterate :meth:`deltas`, which polls forever and yields one
+    ``(sign, values)`` pair per delta (resnapshots are folded silently —
+    read :meth:`view` for the authoritative state after any yield)."""
+
+    def __init__(
+        self,
+        session: "RemoteSession",
+        link: _Link,
+        sub_id: int,
+        arity: int,
+        query: str,
+        snapshot_rows: List[list],
+    ) -> None:
+        self._session = session
+        self._link = link
+        self.sub_id = sub_id
+        self.arity = arity
+        self.query = query
+        self.closed = False
+        self.close_reason: Optional[str] = None
+        self.deltas_received = 0
+        self.resnapshots = 0
+        self._state: Dict[object, tuple] = {}
+        for row in snapshot_rows:
+            key, values = self._decode_row(row)
+            self._state[key] = values
+
+    @staticmethod
+    def _decode_row(row: list) -> PyTuple[object, tuple]:
+        from ..terms import from_arg
+
+        args = tuple(row)
+        return Tuple(args).key(), tuple(from_arg(a) for a in args)
+
+    def view(self) -> List[tuple]:
+        """The folded answer set: snapshot plus every delta received so
+        far, as plain Python value tuples."""
+        return sorted(self._state.values(), key=repr)
+
+    def poll(
+        self, timeout: float = 10.0, max: Optional[int] = None
+    ) -> PyTuple[str, object]:
+        """One DELTA long-poll; blocks up to ``timeout`` seconds server-side.
+
+        Folds the response into :meth:`view` and returns ``(kind,
+        payload)`` — see the class docstring for the four kinds."""
+        if self.closed:
+            return "closed", self.close_reason
+        header: Dict[str, object] = {
+            "op": "DELTA",
+            "sub": self.sub_id,
+            "timeout": timeout,
+        }
+        if max is not None:
+            header["max"] = max
+        # the server answers within its clamped timeout; give the socket
+        # room on top so an idle poll is never misread as a wedged server
+        self._link.sock.settimeout(min(timeout, 30.0) + 10.0)
+        try:
+            frame = self._session._transport(self._link, header, b"")
+            response, body = self._session._unwrap(frame)
+        except _TransportLost as exc:
+            self.closed = True
+            self.close_reason = f"connection lost: {exc.cause}"
+            raise exc.cause from None
+        except CoralError:
+            raise
+        kind = str(response.get("kind", "none"))
+        if kind == "closed":
+            self.close_reason = str(response.get("reason", "server closed"))
+            self.closed = True
+            self._hang_up(say_bye=True)
+            return "closed", self.close_reason
+        if kind == "resnapshot":
+            self.resnapshots += 1
+            self._state = {}
+            for row in decode_batch(body):
+                key, values = self._decode_row(row)
+                self._state[key] = values
+            return "resnapshot", self.view()
+        if kind == "deltas":
+            signs = list(response.get("signs", []))
+            out = []
+            for sign, row in zip(signs, decode_batch(body)):
+                key, values = self._decode_row(row)
+                if sign > 0:
+                    self._state[key] = values
+                else:
+                    self._state.pop(key, None)
+                out.append((sign, values))
+            self.deltas_received += len(out)
+            return "deltas", out
+        return "none", []
+
+    def deltas(self, poll_timeout: float = 10.0) -> Iterator[PyTuple[int, tuple]]:
+        """Poll forever, yielding one ``(sign, values)`` pair per delta.
+        Resnapshots fold into :meth:`view` without yielding; the iterator
+        ends when the subscription closes (either side)."""
+        while not self.closed:
+            kind, payload = self.poll(timeout=poll_timeout)
+            if kind == "deltas":
+                for delta in payload:
+                    yield delta
+            elif kind == "closed":
+                return
+
+    def close(self) -> None:
+        """Unsubscribe and drop the dedicated connection.  Idempotent."""
+        if self.closed:
+            return
+        self.closed = True
+        self.close_reason = "closed by client"
+        try:
+            frame = self._session._transport(
+                self._link, {"op": "UNSUBSCRIBE", "sub": self.sub_id}, b""
+            )
+            self._session._unwrap(frame)
+        except (_TransportLost, CoralError, OSError):
+            pass  # connection already gone: the server reclaims the view
+        self._hang_up(say_bye=True)
+
+    def _hang_up(self, say_bye: bool) -> None:
+        if say_bye:
+            try:
+                write_frame(self._link.sock, {"op": "BYE"})
+                read_frame(self._link.sock)
+            except (FrameTimeout, ProtocolError, OSError):
+                pass
+        try:
+            self._link.sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "RemoteSubscription":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = (
+            f"closed ({self.close_reason})" if self.closed else
+            f"open view={len(self._state)}"
+        )
+        return f"<RemoteSubscription #{self.sub_id} {self.query!r} {state}>"
+
+
 def _parse_endpoint(value: Union[str, PyTuple[str, int]]) -> PyTuple[str, int]:
     if isinstance(value, str):
         host, sep, port = value.rpartition(":")
@@ -277,6 +442,7 @@ class RemoteSession:
         self._lock = threading.Lock()
         self._closed = False
         self._generation = 0
+        self._subscriptions: List[RemoteSubscription] = []
         self.counters = {"reconnects": 0, "retries": 0, "failovers": 0}
         if isinstance(host, (list, tuple)):
             if not host:
@@ -362,6 +528,52 @@ class RemoteSession:
         _, (header, _) = self._request({"op": "STATS"})
         return header["stats"]
 
+    def subscribe(self, query: str) -> RemoteSubscription:
+        """Register a live query (docs/LIVE.md): the server answers with an
+        initial snapshot, then streams ``+``/``-`` deltas as base facts
+        change.  Opens a **dedicated connection** — DELTA long-polls park on
+        the socket, so sharing the session's request link would starve it.
+
+        Raises :class:`~repro.errors.SubscriptionError` when the query's
+        program cannot be maintained incrementally (negation, aggregation,
+        compiled modules, ... — the refusal matrix in docs/LIVE.md)."""
+        if self._closed:
+            raise ProtocolError("remote session is closed")
+        with self._lock:
+            index = self._read.index if self._read is not None else 0
+            link = self._connect(index)
+        try:
+            frame = self._transport(
+                link, {"op": "SUBSCRIBE", "query": query}, b""
+            )
+            header, body = self._unwrap(frame)
+        except _TransportLost as exc:
+            try:
+                link.sock.close()
+            except OSError:
+                pass
+            raise exc.cause from None
+        except BaseException:
+            try:
+                link.sock.close()
+            except OSError:
+                pass
+            raise
+        sub = RemoteSubscription(
+            self,
+            link,
+            int(header["sub"]),
+            int(header["arity"]),
+            query,
+            decode_batch(body),
+        )
+        with self._lock:
+            self._subscriptions = [
+                s for s in self._subscriptions if not s.closed
+            ]
+            self._subscriptions.append(sub)
+        return sub
+
     def promote(
         self, endpoint: Union[None, int, str, PyTuple[str, int]] = None
     ) -> Dict[str, Any]:
@@ -414,6 +626,10 @@ class RemoteSession:
             links = {id(l): l for l in (self._read, self._write) if l is not None}
             self._read = None
             self._write = None
+            subscriptions = self._subscriptions
+            self._subscriptions = []
+        for sub in subscriptions:
+            sub.close()
         for link in links.values():
             try:
                 write_frame(link.sock, {"op": "BYE"})

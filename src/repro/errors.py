@@ -104,6 +104,21 @@ class ProtocolError(CoralError):
     case only that connection is dropped; the server keeps serving."""
 
 
+class SubscriptionError(CoralError):
+    """A live query (:mod:`repro.live`) could not be registered, or a
+    delivered subscription is no longer serviceable.
+
+    Raised at SUBSCRIBE time when the queried program cannot be maintained
+    incrementally — negation, aggregation, compiled or ordered-search
+    evaluation, multiset semantics, cross-module calls, impure builtins,
+    ``@save_module``/``@pipelining`` modules, or base relations without
+    insertion marks (the same obstruction list that makes a memo entry
+    evict-on-update; see docs/LIVE.md for the refusal matrix).  The message
+    names the specific obstruction.  Also raised when polling a
+    subscription that the server has closed (module unloaded, redefined
+    predicate)."""
+
+
 class ReadOnlyError(CoralError):
     """A write (INSERT/DELETE/CONSULT) was sent to a read-only replica
     (:mod:`repro.replication`).  Writes go to the primary; a failover-aware

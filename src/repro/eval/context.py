@@ -69,6 +69,11 @@ class EvalContext:
         #: None = off.  Consulted by ExportedRelation.scan, invalidated by
         #: Session.insert/delete and the assertz/retract builtins.
         self.memo = None
+        #: optional live-query registry (a repro.live.LiveViewManager);
+        #: None = off.  Notified by the same update hooks as ``memo`` —
+        #: memo repairs lazily at lookup, live views repair eagerly at
+        #: commit and push the answer-set difference to subscribers.
+        self.live = None
 
     def check_limits(self) -> None:
         """Raise ResourceLimitError if the active guard's budget is spent;

@@ -1,0 +1,457 @@
+"""The shared incremental view-maintenance engine.
+
+PR 4 built two repair paths for the cross-query answer cache: *delta
+refresh* for base-fact inserts (per-SCC ``EXT_DELTA`` rule versions replay
+the unconsumed slice of every base relation, then the retained evaluators
+resume their semi-naive fixpoint — the marks machinery of Section 3.2
+pointed at cross-query time) and *DRed* delete-rederive for base-fact
+deletes (over-delete everything derivable from the removed tuples by
+joining against the pre-deletion state, then re-derive what still has an
+independent proof).  Behrend's *Uniform Fixpoint Approach* (PAPERS.md)
+observes that this is not a cache trick but general view maintenance: the
+same fixpoint machinery that computes a materialized result can repair it.
+
+This module is that observation made concrete.  The machinery formerly
+private to :mod:`repro.eval.memo` lives here as a consumer-neutral engine
+with **strictly per-consumer state**: a :class:`MaintenancePlan` wraps one
+retained :class:`~repro.modules.manager.MaterializedInstance` together with
+its base dependencies, its consumed-marks table, and its delta rule
+versions.  Two consumers drive it today:
+
+* :class:`repro.eval.memo.MemoCache` — lazy repair: entries marked stale by
+  an update are freshened at the next lookup;
+* :class:`repro.live.LiveViewManager` — eager repair: registered live views
+  are repaired at commit time and the answer-set difference is pushed to
+  subscribers as ``+tuple``/``-tuple`` deltas (docs/LIVE.md).
+
+The per-consumer discipline matters: a memo entry and a live view over the
+same predicate each hold their *own* pending-delete queue and build their
+*own* pre-state union (current contents ∪ tuples that consumer has not yet
+repaired for).  Nothing here attaches repair state to the shared base
+relations, so one consumer's DRed pass can never double-apply — or starve —
+another's.  ``tests/test_live.py`` pins this with an interleaved
+memo+subscription regression.
+
+:func:`analyze_instance` decides *whether* a plan can exist and reports the
+first obstruction as a human-readable reason (negation, aggregation,
+compiled or ordered-search evaluation, aggregate selections, multiset
+semantics, cross-module calls, impure builtins, unmarked base relations) —
+the memo cache uses the reason to fall back to evict-on-update, the live
+subsystem surfaces it verbatim in a typed ``SubscriptionError`` refusal.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple as PyTuple,
+)
+
+from ..relations import GeneratorTupleIterator, MarkedRelation, Relation, Tuple
+from ..rewriting.magic import MAGIC_PREFIX
+from ..rewriting.seminaive import ScanKind, SNLiteral, SNRule
+from ..terms import BindEnv, Trail
+from ..terms.unify import unify_fact
+from .fixpoint import apply_rule
+from .join import BodyExecutor, instantiate_head
+
+PredKey = PyTuple[str, int]
+
+#: optional callback resolving the transitive base dependencies of a module
+#: reached through a cross-module call (the memo cache supplies its cached
+#: module info; consumers that refuse cross-module plans may pass None)
+ModuleDeps = Callable[[str], FrozenSet[PredKey]]
+
+
+class DamageExceeded(Exception):
+    """DRed over-deletion crossed the damage threshold.
+
+    The plan's local relations are partially over-deleted when this is
+    raised, so the consumer must discard the instance: the memo cache
+    evicts the entry, a live view rebuilds from scratch (and still emits a
+    correct delta, because the delta is a diff against its last published
+    answer set)."""
+
+
+def analyze_instance(
+    ctx,
+    instance,
+    exports: Dict[PredKey, tuple],
+    module_deps: Optional[ModuleDeps] = None,
+) -> PyTuple[FrozenSet[PredKey], Optional[str]]:
+    """Direct base dependencies of a compiled instance, plus the first
+    reason (or None) why incremental maintenance is impossible.
+
+    ``deps`` is complete even when a reason is returned — consumers that
+    retain unmaintainable results (the memo cache's evict-on-update
+    entries) still need the reverse-dependency index.  Cross-module calls
+    contribute the callee's transitive base deps through ``module_deps``
+    when provided.
+    """
+    compiled = instance.compiled
+    scope = instance.scope
+    deps: Set[PredKey] = set()
+    reason: Optional[str] = None
+
+    def obstruct(why: str) -> None:
+        nonlocal reason
+        if reason is None:
+            reason = why
+
+    if compiled.compiled:
+        obstruct("the module is compiled (@compiled)")
+    if compiled.ordered_search:
+        obstruct("the module uses ordered search")
+    if compiled.constraints:
+        obstruct("the module declares aggregate selections")
+    if compiled.multiset_preds:
+        obstruct("the module uses multiset semantics (@multiset)")
+    for rule in compiled.rewritten.rules:
+        if rule.head_aggregates:
+            obstruct("the module uses grouped aggregation")
+        for literal in rule.body:
+            lkey = literal.key
+            builtin = ctx.builtins.lookup(*lkey)
+            if builtin is not None:
+                if not builtin.pure:
+                    obstruct(
+                        f"the module calls the side-effecting builtin "
+                        f"{lkey[0]}/{lkey[1]}"
+                    )
+                continue
+            if literal.negated:
+                obstruct("the module uses negation")
+            if scope.is_local(*lkey):
+                continue
+            exported = exports.get(lkey)
+            if exported is not None:
+                obstruct(
+                    f"the module calls {lkey[0]}/{lkey[1]} exported by "
+                    f"module {exported[0]}"
+                )
+                if module_deps is not None:
+                    deps |= module_deps(exported[0])
+            else:
+                deps.add(lkey)
+    if reason is None:
+        for dep in deps:
+            relation = ctx.base_relation(*dep)
+            if not isinstance(relation, MarkedRelation):
+                reason = (
+                    f"base relation {dep[0]}/{dep[1]} does not track "
+                    f"insertion marks"
+                )
+                break
+    return frozenset(deps), reason
+
+
+class MaintenancePlan:
+    """One retained instance plus everything needed to repair it in place.
+
+    Built by :func:`plan_maintenance`.  All repair state — the consumed
+    marks in ``base_seen``, the per-SCC delta rule versions — is owned by
+    this plan (and therefore by one consumer); the engine never hangs
+    repair state off the shared base relations.
+    """
+
+    __slots__ = ("ctx", "instance", "deps", "reason", "base_seen",
+                 "base_delta_rules")
+
+    def __init__(
+        self,
+        ctx,
+        instance,
+        deps: FrozenSet[PredKey],
+        reason: Optional[str],
+    ) -> None:
+        self.ctx = ctx
+        self.instance = instance
+        self.deps = deps
+        self.reason = reason
+        #: per base dep: the relation mark up to which inserts are absorbed
+        self.base_seen: Dict[PredKey, int] = {}
+        #: per evaluator index: [(SNRule, BodyExecutor)] replaying base deltas
+        self.base_delta_rules: List[List] = []
+        if reason is None:
+            self._build_base_delta_rules()
+            self.record_base_marks()
+
+    @property
+    def maintainable(self) -> bool:
+        return self.reason is None
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def record_base_marks(self) -> None:
+        """Snapshot every base dependency's current mark: inserts at or
+        below it are considered absorbed.  Called at build time and after
+        every successful repair."""
+        if not self.maintainable:
+            return
+        for dep in self.deps:
+            relation = self.ctx.base_relation(*dep)
+            self.base_seen[dep] = relation.mark()
+
+    def _build_base_delta_rules(self) -> None:
+        """For every rule and every base body literal, a delta version
+        scanning that literal's *unconsumed* base facts (EXT_DELTA ranged by
+        ``base_seen``) against the full extent of everything else — the
+        cross-query analogue of ``ext_rewrite``."""
+        instance = self.instance
+        scope = instance.scope
+        use_backjumping = instance.compiled.use_backjumping
+        self.base_delta_rules = []
+        for plan in instance.compiled.scc_plans:
+            versions = []
+            for rule in plan.rules:
+                for position, literal in enumerate(rule.body):
+                    if literal.negated or literal.key not in self.deps:
+                        continue
+                    body = tuple(
+                        SNLiteral(
+                            item,
+                            ScanKind.EXT_DELTA if index == position
+                            else ScanKind.ALL,
+                        )
+                        for index, item in enumerate(rule.body)
+                    )
+                    sn_rule = SNRule(rule.head, body, rule.head_aggregates,
+                                     once=True)
+                    versions.append(
+                        (sn_rule, BodyExecutor(scope, body, use_backjumping))
+                    )
+            self.base_delta_rules.append(versions)
+
+    # -- insert repair ---------------------------------------------------------
+
+    def apply_inserts(self) -> None:
+        """Absorb base-predicate inserts: replay each SCC's base-delta rule
+        versions over the unconsumed slice of every base relation, then let
+        the retained evaluators resume their fixpoint (their own EXT rules
+        pick up growth of earlier SCCs)."""
+        scope = self.instance.scope
+        base_seen = self.base_seen
+
+        def ranges(pred: PredKey, kind: ScanKind):
+            if kind is ScanKind.EXT_DELTA:
+                return (base_seen.get(pred, 0), None)
+            return None
+
+        for index, evaluator in enumerate(self.instance.evaluators):
+            for sn_rule, executor in self.base_delta_rules[index]:
+                apply_rule(scope, sn_rule, executor, ranges)
+            evaluator.run_to_completion()
+
+    # -- delete repair (DRed) --------------------------------------------------
+
+    def apply_deletes(
+        self,
+        pending: Dict[PredKey, List[Tuple]],
+        damage_threshold: float,
+    ) -> PyTuple[int, int]:
+        """DRed delete-rederive over the instance's retained local
+        relations; ``pending`` maps each base predicate to the tuples this
+        consumer has not yet repaired for.  Returns ``(over_deleted,
+        re_derived)`` counts; raises :class:`DamageExceeded` when
+        over-deletion touches more than ``damage_threshold`` of the derived
+        facts (the plan is then unusable — discard the instance)."""
+        instance = self.instance
+        scope = instance.scope
+        rewritten = instance.compiled.rewritten
+        magic_names = {
+            name for name in (rewritten.magic_pred,) if name is not None
+        }
+        for adorned in rewritten.origin:
+            magic_names.add(MAGIC_PREFIX + adorned)
+
+        total = sum(len(relation) for relation in scope.local.values())
+        budget = max(64, int(damage_threshold * total))
+        use_backjumping = instance.compiled.use_backjumping
+
+        # pre-state view: current contents plus everything removed so far —
+        # built from *this consumer's* pending queue, never shared state
+        removed_store: Dict[PredKey, List[Tuple]] = {
+            key: list(tuples) for key, tuples in pending.items()
+        }
+        pre_state = PreStateScope(scope, removed_store)
+
+        # --- over-delete: propagate deletion deltas to fixpoint -------------
+        over_deleted: List[PyTuple[PredKey, Tuple]] = []
+        wave = {key: list(tuples) for key, tuples in pending.items()}
+        executors: Dict[PyTuple[int, int], BodyExecutor] = {}
+        rules = list(rewritten.rules)
+        while wave:
+            next_wave: Dict[PredKey, List[Tuple]] = {}
+            for rule_index, rule in enumerate(rules):
+                head_key = rule.head.key
+                if rule.head.pred in magic_names:
+                    continue  # over-complete magic is sound; never shrink it
+                head_relation = scope.local.get(head_key)
+                if head_relation is None:
+                    continue
+                for position, literal in enumerate(rule.body):
+                    deleted = wave.get(literal.key)
+                    if not deleted or literal.negated \
+                            or self.ctx.builtins.lookup(*literal.key):
+                        continue
+                    executor = executors.get((rule_index, position))
+                    if executor is None:
+                        rest = tuple(
+                            SNLiteral(item, ScanKind.ALL)
+                            for index, item in enumerate(rule.body)
+                            if index != position
+                        )
+                        executor = BodyExecutor(pre_state, rest, use_backjumping)
+                        executors[(rule_index, position)] = executor
+                    for tup in deleted:
+                        env = BindEnv()
+                        trail = Trail()
+                        if not unify_fact(
+                            literal.args, env, tup.renamed().args, trail
+                        ):
+                            trail.undo_to(0)
+                            continue
+                        for _ in executor.solutions(env, trail, None):
+                            head_fact = instantiate_head(rule.head.args, env)
+                            if head_relation.delete(head_fact):
+                                over_deleted.append((head_key, head_fact))
+                                next_wave.setdefault(head_key, []).append(
+                                    head_fact
+                                )
+                                if len(over_deleted) > budget:
+                                    raise DamageExceeded()
+                        trail.undo_to(0)
+            for key, tuples in next_wave.items():
+                removed_store.setdefault(key, []).extend(tuples)
+            wave = next_wave
+
+        # --- re-derive: restore over-deleted tuples with surviving proofs ---
+        rederived = 0
+        rules_by_head: Dict[PredKey, List] = {}
+        for rule in rules:
+            rules_by_head.setdefault(rule.head.key, []).append(rule)
+        full_executors: Dict[int, BodyExecutor] = {}
+        pending_facts = list(over_deleted)
+        while pending_facts:
+            progressed = False
+            remaining: List[PyTuple[PredKey, Tuple]] = []
+            for head_key, tup in pending_facts:
+                if self._rederivable(
+                    scope, rules_by_head.get(head_key, ()), tup,
+                    full_executors, use_backjumping,
+                ):
+                    scope.local[head_key].insert(tup)
+                    rederived += 1
+                    progressed = True
+                else:
+                    remaining.append((head_key, tup))
+            if not progressed:
+                break  # the rest have no support left: correctly deleted
+            pending_facts = remaining
+        return len(over_deleted), rederived
+
+    def _rederivable(
+        self, scope, candidate_rules, tup, executors, use_backjumping
+    ) -> bool:
+        """Does some rule still derive ``tup`` over the *current* state?"""
+        target_key = tup.key()
+        for rule in candidate_rules:
+            rule_id = id(rule)
+            executor = executors.get(rule_id)
+            if executor is None:
+                body = tuple(
+                    SNLiteral(item, ScanKind.ALL) for item in rule.body
+                )
+                executor = BodyExecutor(scope, body, use_backjumping)
+                executors[rule_id] = executor
+            env = BindEnv()
+            trail = Trail()
+            if not unify_fact(rule.head.args, env, tup.renamed().args, trail):
+                trail.undo_to(0)
+                continue
+            for _ in executor.solutions(env, trail, None):
+                head_fact = instantiate_head(rule.head.args, env)
+                if head_fact.key() == target_key or tup.is_ground():
+                    trail.undo_to(0)
+                    return True
+            trail.undo_to(0)
+        return False
+
+
+def plan_maintenance(
+    ctx,
+    instance,
+    exports: Dict[PredKey, tuple],
+    module_deps: Optional[ModuleDeps] = None,
+) -> MaintenancePlan:
+    """Analyze an instance and wrap it in a :class:`MaintenancePlan`.
+
+    The plan is always returned — ``plan.maintainable`` / ``plan.reason``
+    tell the consumer whether repairs will work or why they won't."""
+    deps, reason = analyze_instance(ctx, instance, exports, module_deps)
+    return MaintenancePlan(ctx, instance, deps, reason)
+
+
+# -- pre-state views -----------------------------------------------------------
+
+
+class UnionRelation(Relation):
+    """Pre-state view of one relation: current contents ∪ removed tuples."""
+
+    def __init__(self, current: Relation, removed: Sequence[Tuple]) -> None:
+        super().__init__(current.name, current.arity)
+        self.current = current
+        self.removed = removed
+
+    def insert(self, tup: Tuple) -> bool:  # pragma: no cover - never written
+        raise NotImplementedError("pre-state views are read-only")
+
+    def delete(self, tup: Tuple) -> bool:  # pragma: no cover - never written
+        raise NotImplementedError("pre-state views are read-only")
+
+    def __len__(self) -> int:
+        return len(self.current) + len(self.removed)
+
+    def scan(self, pattern=None, env=None) -> "GeneratorTupleIterator":
+        def generate() -> Iterator[Tuple]:
+            cursor = self.current.scan(pattern, env)
+            try:
+                while True:
+                    candidate = cursor.get_next()
+                    if candidate is None:
+                        break
+                    yield candidate
+            finally:
+                cursor.close()
+            yield from self.removed
+
+        return GeneratorTupleIterator(generate())
+
+
+class PreStateScope:
+    """A :class:`LocalScope` stand-in whose relations show the pre-deletion
+    state (current ∪ removed), for DRed's over-deletion joins.
+
+    ``removed`` belongs to exactly one repair pass of one consumer; it is
+    threaded in per call rather than cached anywhere shared, which is what
+    keeps concurrent consumers (memo + live views) from double-applying
+    each other's deletions."""
+
+    def __init__(self, scope, removed: Dict[PredKey, List[Tuple]]) -> None:
+        self._scope = scope
+        self.ctx = scope.ctx
+        self._removed = removed
+
+    def relation(self, name: str, arity: int) -> Relation:
+        underlying = self._scope.relation(name, arity)
+        removed = self._removed.get((name, arity))
+        if removed:
+            return UnionRelation(underlying, removed)
+        return underlying

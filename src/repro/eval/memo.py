@@ -44,12 +44,16 @@ Three mechanisms make the cache safe:
 Entries live in an LRU keyed store under a byte budget
 (:class:`MemoPolicy`); ``@memo`` / ``@no_memo`` module annotations and the
 ``Session(memo=...)`` policy select which modules participate.
+
+The repair machinery itself (EXT_DELTA replay, DRed, pre-state unions)
+lives in :mod:`repro.eval.maintenance` — this cache and the live-query
+subsystem (:mod:`repro.live`) are two consumers of one engine.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import (
     Dict,
     FrozenSet,
@@ -61,19 +65,10 @@ from typing import (
     Tuple as PyTuple,
 )
 
-from ..relations import (
-    GeneratorTupleIterator,
-    MarkedRelation,
-    Relation,
-    Tuple,
-    TupleIterator,
-)
-from ..rewriting.magic import MAGIC_PREFIX
-from ..rewriting.seminaive import ScanKind, SNLiteral, SNRule
+from ..relations import GeneratorTupleIterator, Tuple, TupleIterator
 from ..terms import Atom, BindEnv, Double, Functor, Int, Str, Trail, Var
 from ..terms.unify import unify_fact
-from .fixpoint import apply_rule
-from .join import BodyExecutor, instantiate_head
+from .maintenance import plan_maintenance
 
 PredKey = PyTuple[str, int]
 
@@ -126,13 +121,12 @@ class _ModuleInfo:
     impure: bool  # reaches a side-effecting builtin (assertz/retract, ...)
 
 
-class _DamageExceeded(Exception):
-    """DRed over-deletion crossed the damage threshold; evict instead."""
-
-
 class MemoEntry:
-    """One retained module invocation: its answers, its evaluators, and the
-    bookkeeping needed to maintain them incrementally."""
+    """One retained module invocation: its answers, its evaluators (held by
+    ``plan.instance``), and its private repair state.  The *mechanics* of
+    repair live in the entry's :class:`~repro.eval.maintenance.MaintenancePlan`;
+    the pending-delete queue stays here because it is strictly per-consumer
+    state (a live view over the same predicate keeps its own)."""
 
     __slots__ = (
         "key",
@@ -143,12 +137,9 @@ class MemoEntry:
         "call_args",
         "answers",
         "instance",
-        "deps",
-        "maintainable",
+        "plan",
         "stale_inserts",
         "pending_deletes",
-        "base_seen",
-        "base_delta_rules",
         "nbytes",
     )
 
@@ -162,15 +153,18 @@ class MemoEntry:
         self.call_args = list(call_args)
         self.answers: List[Tuple] = []
         self.instance = None
-        self.deps: FrozenSet[PredKey] = frozenset()
-        self.maintainable = False
+        self.plan = None
         self.stale_inserts = False
         self.pending_deletes: Dict[PredKey, List[Tuple]] = {}
-        #: per base dep: the relation mark up to which inserts are absorbed
-        self.base_seen: Dict[PredKey, int] = {}
-        #: per evaluator index: [(SNRule, BodyExecutor)] replaying base deltas
-        self.base_delta_rules: List[List] = []
         self.nbytes = 0
+
+    @property
+    def deps(self) -> FrozenSet[PredKey]:
+        return self.plan.deps if self.plan is not None else frozenset()
+
+    @property
+    def maintainable(self) -> bool:
+        return self.plan is not None and self.plan.maintainable
 
     @property
     def stale(self) -> bool:
@@ -392,7 +386,6 @@ class MemoCache:
         instance = self.manager.instance_for(module_name, export.pred, form)
         entry.instance = instance
         self._analyze(entry)
-        self._record_base_marks(entry)
         self._building.add(key)
         try:
             entry.answers = list(instance.call(call_args))
@@ -406,83 +399,15 @@ class MemoCache:
         return _serve(entry.answers, resolved, form)
 
     def _analyze(self, entry: MemoEntry) -> None:
-        """Direct base deps of the compiled form, the transitive deps of any
-        modules it calls, and whether incremental maintenance is possible."""
-        instance = entry.instance
-        compiled = instance.compiled
-        scope = instance.scope
-        deps: Set[PredKey] = set()
-        maintainable = not (
-            compiled.compiled
-            or compiled.ordered_search
-            or compiled.constraints
-            or compiled.multiset_preds
+        """Delegate to the shared maintenance engine: the plan carries the
+        base deps (for the reverse-dependency index even when eviction is
+        the only option) and whether incremental repair is possible."""
+        entry.plan = plan_maintenance(
+            self.ctx,
+            entry.instance,
+            self.manager.exports,
+            module_deps=lambda name: self._info(name).base_deps,
         )
-        for rule in compiled.rewritten.rules:
-            if rule.head_aggregates:
-                maintainable = False
-            for literal in rule.body:
-                lkey = literal.key
-                if self.ctx.builtins.lookup(*lkey) is not None:
-                    continue
-                if literal.negated:
-                    maintainable = False
-                if scope.is_local(*lkey):
-                    continue
-                exported = self.manager.exports.get(lkey)
-                if exported is not None:
-                    maintainable = False  # cross-module: evict on update
-                    info = self._info(exported[0])
-                    deps |= info.base_deps
-                else:
-                    deps.add(lkey)
-        if maintainable:
-            for dep in deps:
-                relation = self.ctx.base_relation(*dep)
-                if not isinstance(relation, MarkedRelation):
-                    maintainable = False  # no marks: cannot track deltas
-                    break
-        entry.deps = frozenset(deps)
-        entry.maintainable = maintainable
-        if maintainable:
-            self._build_base_delta_rules(entry)
-
-    def _build_base_delta_rules(self, entry: MemoEntry) -> None:
-        """For every rule and every base body literal, a delta version
-        scanning that literal's *unconsumed* base facts (EXT_DELTA ranged by
-        ``entry.base_seen``) against the full extent of everything else —
-        the cross-query analogue of ``ext_rewrite``."""
-        instance = entry.instance
-        scope = instance.scope
-        use_backjumping = instance.compiled.use_backjumping
-        entry.base_delta_rules = []
-        for plan in instance.compiled.scc_plans:
-            versions = []
-            for rule in plan.rules:
-                for position, literal in enumerate(rule.body):
-                    if literal.negated or literal.key not in entry.deps:
-                        continue
-                    body = tuple(
-                        SNLiteral(
-                            item,
-                            ScanKind.EXT_DELTA if index == position
-                            else ScanKind.ALL,
-                        )
-                        for index, item in enumerate(rule.body)
-                    )
-                    sn_rule = SNRule(rule.head, body, rule.head_aggregates,
-                                     once=True)
-                    versions.append(
-                        (sn_rule, BodyExecutor(scope, body, use_backjumping))
-                    )
-            entry.base_delta_rules.append(versions)
-
-    def _record_base_marks(self, entry: MemoEntry) -> None:
-        if not entry.maintainable:
-            return
-        for dep in entry.deps:
-            relation = self.ctx.base_relation(*dep)
-            entry.base_seen[dep] = relation.mark()
 
     def _store(self, entry: MemoEntry) -> None:
         old = self._entries.get(entry.key)
@@ -527,10 +452,14 @@ class MemoCache:
             return True
         try:
             if entry.pending_deletes:
-                self._refresh_deletes(entry)
+                over_deleted, rederived = entry.plan.apply_deletes(
+                    entry.pending_deletes, self.policy.damage_threshold
+                )
+                self.stats.dred_overdeleted += over_deleted
+                self.stats.dred_rederived += rederived
                 self.stats.delete_refreshes += 1
             if entry.stale_inserts:
-                self._refresh_inserts(entry)
+                entry.plan.apply_inserts()
                 self.stats.insert_refreshes += 1
         except Exception:
             # any repair failure degrades to eviction: correctness comes
@@ -539,7 +468,7 @@ class MemoCache:
             return False
         entry.pending_deletes = {}
         entry.stale_inserts = False
-        self._record_base_marks(entry)
+        entry.plan.record_base_marks()
         old_bytes = entry.nbytes
         entry.answers = self._collect_answers(entry)
         entry.nbytes = _estimate_entry_bytes(entry)
@@ -549,146 +478,6 @@ class MemoCache:
 
     def _collect_answers(self, entry: MemoEntry) -> List[Tuple]:
         return list(entry.instance._answer_cursor(entry.call_args, since=0))
-
-    def _refresh_inserts(self, entry: MemoEntry) -> None:
-        """Absorb base-predicate inserts: replay each SCC's base-delta rule
-        versions over the unconsumed slice of every base relation, then let
-        the retained evaluators resume their fixpoint (their own EXT rules
-        pick up growth of earlier SCCs)."""
-        scope = entry.instance.scope
-        base_seen = entry.base_seen
-
-        def ranges(pred: PredKey, kind: ScanKind):
-            if kind is ScanKind.EXT_DELTA:
-                return (base_seen.get(pred, 0), None)
-            return None
-
-        for index, evaluator in enumerate(entry.instance.evaluators):
-            for sn_rule, executor in entry.base_delta_rules[index]:
-                apply_rule(scope, sn_rule, executor, ranges)
-            evaluator.run_to_completion()
-
-    def _refresh_deletes(self, entry: MemoEntry) -> None:
-        """DRed delete-rederive over the entry's retained local relations."""
-        instance = entry.instance
-        scope = instance.scope
-        rewritten = instance.compiled.rewritten
-        magic_names = {
-            name for name in (rewritten.magic_pred,) if name is not None
-        }
-        for adorned in rewritten.origin:
-            magic_names.add(MAGIC_PREFIX + adorned)
-
-        total = sum(len(relation) for relation in scope.local.values())
-        budget = max(64, int(self.policy.damage_threshold * total))
-        use_backjumping = instance.compiled.use_backjumping
-
-        # pre-state view: current contents plus everything removed so far
-        removed_store: Dict[PredKey, List[Tuple]] = {
-            key: list(tuples) for key, tuples in entry.pending_deletes.items()
-        }
-        pre_state = _PreStateScope(scope, removed_store)
-
-        # --- over-delete: propagate deletion deltas to fixpoint -------------
-        over_deleted: List[PyTuple[PredKey, Tuple]] = []
-        wave = {key: list(tuples) for key, tuples in entry.pending_deletes.items()}
-        executors: Dict[PyTuple[int, int], BodyExecutor] = {}
-        rules = list(rewritten.rules)
-        while wave:
-            next_wave: Dict[PredKey, List[Tuple]] = {}
-            for rule_index, rule in enumerate(rules):
-                head_key = rule.head.key
-                if rule.head.pred in magic_names:
-                    continue  # over-complete magic is sound; never shrink it
-                head_relation = scope.local.get(head_key)
-                if head_relation is None:
-                    continue
-                for position, literal in enumerate(rule.body):
-                    deleted = wave.get(literal.key)
-                    if not deleted or literal.negated \
-                            or self.ctx.builtins.lookup(*literal.key):
-                        continue
-                    executor = executors.get((rule_index, position))
-                    if executor is None:
-                        rest = tuple(
-                            SNLiteral(item, ScanKind.ALL)
-                            for index, item in enumerate(rule.body)
-                            if index != position
-                        )
-                        executor = BodyExecutor(pre_state, rest, use_backjumping)
-                        executors[(rule_index, position)] = executor
-                    for tup in deleted:
-                        env = BindEnv()
-                        trail = Trail()
-                        if not unify_fact(
-                            literal.args, env, tup.renamed().args, trail
-                        ):
-                            trail.undo_to(0)
-                            continue
-                        for _ in executor.solutions(env, trail, None):
-                            head_fact = instantiate_head(rule.head.args, env)
-                            if head_relation.delete(head_fact):
-                                over_deleted.append((head_key, head_fact))
-                                next_wave.setdefault(head_key, []).append(
-                                    head_fact
-                                )
-                                if len(over_deleted) > budget:
-                                    raise _DamageExceeded()
-                        trail.undo_to(0)
-            for key, tuples in next_wave.items():
-                removed_store.setdefault(key, []).extend(tuples)
-            wave = next_wave
-        self.stats.dred_overdeleted += len(over_deleted)
-
-        # --- re-derive: restore over-deleted tuples with surviving proofs ---
-        rules_by_head: Dict[PredKey, List] = {}
-        for rule in rules:
-            rules_by_head.setdefault(rule.head.key, []).append(rule)
-        full_executors: Dict[int, BodyExecutor] = {}
-        pending = list(over_deleted)
-        while pending:
-            progressed = False
-            remaining: List[PyTuple[PredKey, Tuple]] = []
-            for head_key, tup in pending:
-                if self._rederivable(
-                    scope, rules_by_head.get(head_key, ()), rules, tup,
-                    full_executors, use_backjumping,
-                ):
-                    scope.local[head_key].insert(tup)
-                    self.stats.dred_rederived += 1
-                    progressed = True
-                else:
-                    remaining.append((head_key, tup))
-            if not progressed:
-                break  # the rest have no support left: correctly deleted
-            pending = remaining
-
-    def _rederivable(
-        self, scope, candidate_rules, all_rules, tup, executors, use_backjumping
-    ) -> bool:
-        """Does some rule still derive ``tup`` over the *current* state?"""
-        target_key = tup.key()
-        for rule in candidate_rules:
-            rule_id = id(rule)
-            executor = executors.get(rule_id)
-            if executor is None:
-                body = tuple(
-                    SNLiteral(item, ScanKind.ALL) for item in rule.body
-                )
-                executor = BodyExecutor(scope, body, use_backjumping)
-                executors[rule_id] = executor
-            env = BindEnv()
-            trail = Trail()
-            if not unify_fact(rule.head.args, env, tup.renamed().args, trail):
-                trail.undo_to(0)
-                continue
-            for _ in executor.solutions(env, trail, None):
-                head_fact = instantiate_head(rule.head.args, env)
-                if head_fact.key() == target_key or tup.is_ground():
-                    trail.undo_to(0)
-                    return True
-            trail.undo_to(0)
-        return False
 
 
 # -- serving -------------------------------------------------------------------
@@ -731,56 +520,6 @@ def _serve(
                 yield fact
 
     return GeneratorTupleIterator(generate())
-
-
-class _UnionRelation(Relation):
-    """Pre-state view of one relation: current contents ∪ removed tuples."""
-
-    def __init__(self, current: Relation, removed: Sequence[Tuple]) -> None:
-        super().__init__(current.name, current.arity)
-        self.current = current
-        self.removed = removed
-
-    def insert(self, tup: Tuple) -> bool:  # pragma: no cover - never written
-        raise NotImplementedError("pre-state views are read-only")
-
-    def delete(self, tup: Tuple) -> bool:  # pragma: no cover - never written
-        raise NotImplementedError("pre-state views are read-only")
-
-    def __len__(self) -> int:
-        return len(self.current) + len(self.removed)
-
-    def scan(self, pattern=None, env=None) -> TupleIterator:
-        def generate() -> Iterator[Tuple]:
-            cursor = self.current.scan(pattern, env)
-            try:
-                while True:
-                    candidate = cursor.get_next()
-                    if candidate is None:
-                        break
-                    yield candidate
-            finally:
-                cursor.close()
-            yield from self.removed
-
-        return GeneratorTupleIterator(generate())
-
-
-class _PreStateScope:
-    """A :class:`LocalScope` stand-in whose relations show the pre-deletion
-    state (current ∪ removed), for DRed's over-deletion joins."""
-
-    def __init__(self, scope, removed: Dict[PredKey, List[Tuple]]) -> None:
-        self._scope = scope
-        self.ctx = scope.ctx
-        self._removed = removed
-
-    def relation(self, name: str, arity: int) -> Relation:
-        underlying = self._scope.relation(name, arity)
-        removed = self._removed.get((name, arity))
-        if removed:
-            return _UnionRelation(underlying, removed)
-        return underlying
 
 
 # -- sizing --------------------------------------------------------------------

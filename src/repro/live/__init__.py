@@ -1,0 +1,9 @@
+"""Live queries: incremental subscriptions over maintained views.
+
+See :mod:`repro.live.view` for the machinery and docs/LIVE.md for the wire
+protocol, delivery semantics, and refusal matrix.
+"""
+
+from .view import Delta, LiveStats, LiveView, LiveViewManager
+
+__all__ = ["Delta", "LiveStats", "LiveView", "LiveViewManager"]

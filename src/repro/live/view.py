@@ -1,0 +1,489 @@
+"""Live queries: maintained materialized views pushing deltas to subscribers.
+
+A :class:`LiveView` registers one goal — ``path(1, X)``, ``edge(X, Y)`` —
+and keeps its answer set continuously correct as base facts change,
+delivering the *difference* after every committed mutation as a list of
+``(+1, tuple)`` / ``(-1, tuple)`` deltas: materialized views as a service,
+the push analogue of the server's pull cursors (ROADMAP item 4).
+
+Two kinds of view share one registry:
+
+* **Derived views** — the goal's predicate is exported by a module.  The
+  view holds a private retained
+  :class:`~repro.modules.manager.MaterializedInstance` wrapped in a
+  :class:`~repro.eval.maintenance.MaintenancePlan`, the same engine the
+  memo cache uses: inserts are absorbed by EXT_DELTA fixpoint resumption,
+  deletes by DRed delete-rederive.  Where the memo cache repairs *lazily*
+  (entries marked stale, freshened at the next lookup) a live view repairs
+  *eagerly*, at mutation time, because the delta itself is the product.
+  The emitted delta is the keyed difference between the answer set before
+  and after the repair — so even when a repair fails (damage threshold,
+  any unexpected error) the view falls back to a full rebuild and still
+  emits a correct difference, where the memo cache can only evict.
+
+* **Base views** — the predicate is a plain base relation.  No fixpoint is
+  needed: inserts are read straight off the relation's insertion marks
+  (everything past the view's consumed mark), deletes arrive with the
+  mutation hook; both are filtered through the goal's pattern.
+
+Exactly-once, ordered delivery follows from the hook discipline: every
+committed mutation (``Session.insert/delete``, consulted fact batches, the
+``assertz``/``retract`` builtins, replicated changelog records) notifies
+the :class:`LiveViewManager` once, synchronously, in commit order; each
+notification produces at most one delta event per view.  Re-entrant
+notifications (an ``assertz`` firing mid-repair) are queued and drained in
+order rather than recursed into.
+
+Programs the maintenance engine cannot repair — negation, aggregation,
+compiled/ordered-search evaluation, multiset semantics, cross-module
+calls, impure builtins, ``@save_module``/``@pipelining`` — are refused at
+subscribe time with a typed :class:`~repro.errors.SubscriptionError`
+naming the obstruction: the same list that demotes a memo entry to
+evict-on-update (docs/LIVE.md has the full matrix).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple as PyTuple
+
+from ..errors import SubscriptionError
+from ..eval.maintenance import MaintenancePlan, plan_maintenance
+from ..language.ast import Literal
+from ..relations import MarkedRelation, Tuple
+from ..terms import BindEnv, Trail, resolve
+from ..terms.unify import unify_fact
+
+PredKey = PyTuple[str, int]
+
+#: one delta: (+1, tuple) for an arriving answer, (-1, tuple) for a leaving one
+Delta = PyTuple[int, Tuple]
+
+#: subscriber callback: one call per committed mutation that changed the view
+DeltaSink = Callable[[List[Delta]], None]
+
+#: optional teardown callback: the reason the view stopped being serviceable
+CloseSink = Callable[[str], None]
+
+
+@dataclass
+class LiveStats:
+    """Counters surfaced through ``LiveViewManager.snapshot()``, the
+    server's STATS live section, and the ``/metrics`` exposition."""
+
+    subscriptions: int = 0  # currently registered views
+    subscribed_total: int = 0
+    unsubscribed_total: int = 0
+    refusals: int = 0  # SUBSCRIBE attempts rejected with SubscriptionError
+    deltas_emitted: int = 0  # individual +/- tuples pushed to sinks
+    events_emitted: int = 0  # non-empty delta batches pushed to sinks
+    refreshes: int = 0  # incremental repairs (EXT_DELTA / DRed)
+    rebuilds: int = 0  # full re-evaluations (damage threshold, repair failure)
+    closes: int = 0  # views closed server-side (module unload/redefinition)
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(vars(self))
+
+
+class LiveView:
+    """One registered goal and its continuously maintained answer set."""
+
+    __slots__ = (
+        "manager",
+        "view_id",
+        "literal",
+        "pattern",
+        "module_name",
+        "form",
+        "call_args",
+        "instance",
+        "plan",
+        "base_key",
+        "base_seen",
+        "answers",
+        "on_deltas",
+        "on_close",
+        "closed",
+        "deltas_emitted",
+        "rebuilds",
+    )
+
+    def __init__(self, manager: "LiveViewManager", view_id: int,
+                 literal: Literal, on_deltas: DeltaSink,
+                 on_close: Optional[CloseSink]) -> None:
+        self.manager = manager
+        self.view_id = view_id
+        self.literal = literal
+        #: the goal's argument pattern (constants bind, variables select)
+        self.pattern = [resolve(arg, None) for arg in literal.args]
+        self.module_name: Optional[str] = None
+        self.form: Optional[str] = None
+        self.call_args: Optional[list] = None
+        self.instance = None
+        self.plan: Optional[MaintenancePlan] = None
+        self.base_key: Optional[PredKey] = None
+        self.base_seen = 0
+        #: current answer set, keyed for diffing (Tuple.key() -> Tuple)
+        self.answers: Dict[object, Tuple] = {}
+        self.on_deltas = on_deltas
+        self.on_close = on_close
+        self.closed = False
+        self.deltas_emitted = 0
+        self.rebuilds = 0
+
+    @property
+    def deps(self) -> Set[PredKey]:
+        if self.base_key is not None:
+            return {self.base_key}
+        if self.plan is not None:
+            return set(self.plan.deps)
+        return set()
+
+    def snapshot(self) -> List[Tuple]:
+        """The current answer set (a copy; safe to hand to a cursor)."""
+        return list(self.answers.values())
+
+    # -- registration ----------------------------------------------------------
+
+    def _matches(self, tup: Tuple) -> bool:
+        env = BindEnv()
+        trail = Trail()
+        matched = unify_fact(self.pattern, env, tup.renamed().args, trail)
+        trail.undo_to(0)
+        return matched
+
+    def _register(self) -> None:
+        """Resolve the goal, refuse the unmaintainable, compute the initial
+        answer set.  Raises :class:`SubscriptionError` on any obstruction."""
+        manager = self.manager
+        ctx = manager.ctx
+        pred, arity = self.literal.pred, self.literal.arity
+        if ctx.is_builtin(pred, arity):
+            raise SubscriptionError(
+                f"cannot subscribe to builtin {pred}/{arity}"
+            )
+        exported = manager.modules.exports.get((pred, arity))
+        if exported is not None:
+            self._register_derived(exported[0], exported[1])
+        else:
+            self._register_base(pred, arity)
+
+    def _register_derived(self, module_name: str, export) -> None:
+        manager = self.manager
+        module = manager.modules.modules[module_name]
+        if module.has_flag("pipelining"):
+            raise SubscriptionError(
+                f"module {module_name} is pipelined (@pipelining): it has "
+                f"no materialized answer set to maintain"
+            )
+        if module.has_flag("save_module"):
+            raise SubscriptionError(
+                f"module {module_name} retains shared state across calls "
+                f"(@save_module); a live view needs a private instance"
+            )
+        self.module_name = module_name
+        bound = [arg.is_ground() for arg in self.pattern]
+        self.form = manager.modules.choose_form(export, bound)
+        from ..terms import Var
+
+        self.call_args = [
+            self.pattern[position] if flag == "b" else Var("_")
+            for position, flag in enumerate(self.form)
+        ]
+        self._build_instance()
+
+    def _build_instance(self) -> None:
+        """(Re)compile a private instance + plan and evaluate it fully."""
+        manager = self.manager
+        instance = manager.modules.instance_for(
+            self.module_name, self.literal.pred, self.form
+        )
+        plan = plan_maintenance(
+            manager.ctx, instance, manager.modules.exports
+        )
+        if not plan.maintainable:
+            raise SubscriptionError(
+                f"{self.literal.pred}/{self.literal.arity} cannot be "
+                f"maintained incrementally: {plan.reason}"
+            )
+        self.instance = instance
+        self.plan = plan
+        answers: Dict[object, Tuple] = {}
+        cursor = instance.call(self.call_args)
+        try:
+            while True:
+                candidate = cursor.get_next()
+                if candidate is None:
+                    break
+                if self._matches(candidate):
+                    answers[candidate.key()] = candidate
+        finally:
+            cursor.close()
+        self.answers = answers
+        # the evaluation consumed everything present in the base relations,
+        # so re-sync the consumed marks to now (they were recorded pre-eval)
+        plan.record_base_marks()
+
+    def _register_base(self, pred: str, arity: int) -> None:
+        relation = self.manager.ctx.base_relation(pred, arity)
+        if not isinstance(relation, MarkedRelation):
+            raise SubscriptionError(
+                f"base relation {pred}/{arity} does not track insertion "
+                f"marks; live views need them to stream inserts"
+            )
+        self.base_key = (pred, arity)
+        answers: Dict[object, Tuple] = {}
+        for tup in relation.scan():
+            if self._matches(tup):
+                answers[tup.key()] = tup
+        self.answers = answers
+        self.base_seen = relation.mark()
+
+    # -- repair + delta emission ----------------------------------------------
+
+    def _emit(self, deltas: List[Delta]) -> None:
+        if not deltas:
+            return
+        stats = self.manager.stats
+        stats.deltas_emitted += len(deltas)
+        stats.events_emitted += 1
+        self.deltas_emitted += len(deltas)
+        self.on_deltas(deltas)
+
+    def _apply(self, key: PredKey, deleted: Optional[Tuple]) -> None:
+        """Absorb one committed mutation of base predicate ``key`` and push
+        the resulting difference (possibly empty) to the sink."""
+        if self.base_key is not None:
+            self._apply_base(deleted)
+        else:
+            self._apply_derived(key, deleted)
+
+    def _apply_base(self, deleted: Optional[Tuple]) -> None:
+        deltas: List[Delta] = []
+        if deleted is not None:
+            removed = self.answers.pop(deleted.key(), None)
+            if removed is not None:
+                deltas.append((-1, removed))
+        else:
+            relation = self.manager.ctx.base_relation(*self.base_key)
+            for tup in relation.scan(since=self.base_seen):
+                if tup.key() not in self.answers and self._matches(tup):
+                    self.answers[tup.key()] = tup
+                    deltas.append((+1, tup))
+            self.base_seen = relation.mark()
+        self._emit(deltas)
+
+    def _apply_derived(self, key: PredKey, deleted: Optional[Tuple]) -> None:
+        plan = self.plan
+        try:
+            if deleted is not None:
+                plan.apply_deletes(
+                    {key: [deleted]}, self.manager.damage_threshold
+                )
+            plan.apply_inserts()
+            plan.record_base_marks()
+            self.manager.stats.refreshes += 1
+        except Exception:
+            # damage threshold or any repair failure: rebuild from scratch.
+            # The delta stays correct either way — it is a diff against the
+            # last *published* answer set, not a claim about the repair.
+            self._rebuild()
+            return
+        self._emit(self._diff(self._collect()))
+
+    def _collect(self) -> Dict[object, Tuple]:
+        fresh: Dict[object, Tuple] = {}
+        cursor = self.instance._answer_cursor(self.call_args, since=0)
+        try:
+            while True:
+                candidate = cursor.get_next()
+                if candidate is None:
+                    break
+                if self._matches(candidate):
+                    fresh[candidate.key()] = candidate
+        finally:
+            cursor.close()
+        return fresh
+
+    def _diff(self, fresh: Dict[object, Tuple]) -> List[Delta]:
+        deltas: List[Delta] = []
+        for key, tup in self.answers.items():
+            if key not in fresh:
+                deltas.append((-1, tup))
+        for key, tup in fresh.items():
+            if key not in self.answers:
+                deltas.append((+1, tup))
+        self.answers = fresh
+        return deltas
+
+    def _rebuild(self) -> None:
+        """Full re-evaluation against the current database, diffed against
+        the last published answer set."""
+        self.manager.stats.rebuilds += 1
+        self.rebuilds += 1
+        old = self.answers
+        try:
+            self._build_instance()
+        except Exception as exc:
+            self.manager._close_view(
+                self, f"rebuild failed: {exc}"
+            )
+            return
+        fresh = self.answers
+        self.answers = old
+        self._emit(self._diff(fresh))
+
+
+class LiveViewManager:
+    """The per-session registry of live views, installed as ``ctx.live``.
+
+    Mutation hooks (:meth:`on_insert` / :meth:`on_delete`) arrive from the
+    same call sites that notify the memo cache; each hook call is one
+    committed mutation and produces at most one delta event per dependent
+    view, in commit order.  Each view's repair state (pending deletes,
+    consumed marks) lives in its own :class:`MaintenancePlan`, so a memo
+    entry and a live view over the same predicate repair independently —
+    neither consumes or double-applies the other's deltas."""
+
+    def __init__(self, ctx, modules, damage_threshold: float = 0.5) -> None:
+        self.ctx = ctx
+        self.modules = modules
+        #: DRed bail-out fraction, as MemoPolicy.damage_threshold — above
+        #: it a view rebuilds instead of repairing (still emitting deltas)
+        self.damage_threshold = damage_threshold
+        self.stats = LiveStats()
+        self._views: Dict[int, LiveView] = {}
+        self._by_dep: Dict[PredKey, Set[int]] = {}
+        self._next_id = 1
+        self._queue: deque = deque()
+        self._draining = False
+
+    # -- registration ----------------------------------------------------------
+
+    def subscribe(
+        self,
+        literal: Literal,
+        on_deltas: DeltaSink,
+        on_close: Optional[CloseSink] = None,
+    ) -> LiveView:
+        """Register a goal; returns the view with its initial answer set
+        already computed (``view.snapshot()``).  Raises
+        :class:`SubscriptionError` when the goal cannot be maintained."""
+        view = LiveView(self, self._next_id, literal, on_deltas, on_close)
+        try:
+            view._register()
+        except SubscriptionError:
+            self.stats.refusals += 1
+            self._trace("live.refuse", literal.pred, literal.arity)
+            raise
+        self._next_id += 1
+        self._views[view.view_id] = view
+        for dep in view.deps:
+            self._by_dep.setdefault(dep, set()).add(view.view_id)
+        self.stats.subscriptions = len(self._views)
+        self.stats.subscribed_total += 1
+        self._trace("live.subscribe", literal.pred, literal.arity,
+                    view=view.view_id, answers=len(view.answers))
+        return view
+
+    def unsubscribe(self, view_id: int) -> bool:
+        view = self._views.pop(view_id, None)
+        if view is None:
+            return False
+        view.closed = True
+        for dep in view.deps:
+            bucket = self._by_dep.get(dep)
+            if bucket is not None:
+                bucket.discard(view_id)
+                if not bucket:
+                    del self._by_dep[dep]
+        self.stats.subscriptions = len(self._views)
+        self.stats.unsubscribed_total += 1
+        self._trace("live.unsubscribe", view.literal.pred,
+                    view.literal.arity, view=view_id)
+        return True
+
+    def _close_view(self, view: LiveView, reason: str) -> None:
+        """Server-side teardown (module unloaded, rebuild impossible)."""
+        if self.unsubscribe(view.view_id):
+            self.stats.closes += 1
+            if view.on_close is not None:
+                view.on_close(reason)
+
+    # -- mutation hooks (same call sites as ctx.memo) --------------------------
+
+    def on_insert(self, key: PredKey) -> None:
+        """One committed insert batch on base predicate ``key`` (the new
+        tuples are read off the relation's insertion marks)."""
+        self._notify(key, None)
+
+    def on_delete(self, key: PredKey, tup: Tuple) -> None:
+        """One committed delete of ``tup`` from base predicate ``key``."""
+        self._notify(key, tup)
+
+    def _notify(self, key: PredKey, deleted: Optional[Tuple]) -> None:
+        if key not in self._by_dep:
+            return
+        self._queue.append((key, deleted))
+        if self._draining:
+            return  # re-entrant hook (assertz mid-repair): drain in order
+        self._draining = True
+        try:
+            while self._queue:
+                pending_key, pending_deleted = self._queue.popleft()
+                for view_id in list(self._by_dep.get(pending_key, ())):
+                    view = self._views.get(view_id)
+                    if view is not None:
+                        view._apply(pending_key, pending_deleted)
+        finally:
+            self._draining = False
+
+    def on_modules_changed(self) -> None:
+        """A module was loaded or unloaded: what any predicate resolves to
+        may have changed.  Derived views rebuild (emitting the difference);
+        views whose goal no longer resolves the same way are closed."""
+        for view in list(self._views.values()):
+            goal_key = (view.literal.pred, view.literal.arity)
+            exported = self.modules.exports.get(goal_key)
+            if view.base_key is not None:
+                if exported is not None:
+                    self._close_view(
+                        view,
+                        f"{goal_key[0]}/{goal_key[1]} is now derived by "
+                        f"module {exported[0]}",
+                    )
+                continue
+            if exported is None or exported[0] != view.module_name:
+                self._close_view(
+                    view,
+                    f"{goal_key[0]}/{goal_key[1]} is no longer exported by "
+                    f"module {view.module_name}",
+                )
+                continue
+            old_deps = view.deps
+            view._rebuild()
+            if view.closed:
+                continue
+            if view.deps != old_deps:
+                for dep in old_deps:
+                    bucket = self._by_dep.get(dep)
+                    if bucket is not None:
+                        bucket.discard(view.view_id)
+                        if not bucket:
+                            del self._by_dep[dep]
+                for dep in view.deps:
+                    self._by_dep.setdefault(dep, set()).add(view.view_id)
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def views(self) -> List[LiveView]:
+        return list(self._views.values())
+
+    def snapshot(self) -> Dict[str, int]:
+        return self.stats.snapshot()
+
+    def _trace(self, name: str, pred: str, arity: int, **extra) -> None:
+        obs = self.ctx.obs
+        if obs is not None:
+            obs.event(name, cat="live", pred=f"{pred}/{arity}", **extra)

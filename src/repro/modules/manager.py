@@ -80,6 +80,8 @@ class ModuleManager:
         if self.ctx.memo is not None:
             # loading can change what any predicate name resolves to
             self.ctx.memo.clear()
+        if self.ctx.live is not None:
+            self.ctx.live.on_modules_changed()
 
     def unload(self, name: str) -> None:
         module = self.modules.pop(name, None)
@@ -94,6 +96,8 @@ class ModuleManager:
             del self._saved[key]
         if self.ctx.memo is not None:
             self.ctx.memo.clear()
+        if self.ctx.live is not None:
+            self.ctx.live.on_modules_changed()
 
     # -- resolution (Section 5.6) -------------------------------------------------
 

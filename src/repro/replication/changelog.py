@@ -328,9 +328,10 @@ def encode_mutation(rows: Iterable[PyTuple[Arg, ...]]) -> bytes:
 
 
 def apply_record(session, record: ChangelogRecord) -> None:
-    """Replay one record against a session, firing the same memo
-    invalidation hooks a local update would (docs/MEMO.md) so a replica's
-    answer cache is incrementally refreshed rather than cold.
+    """Replay one record against a session, firing the same memo and
+    live-view hooks a local update would (docs/MEMO.md, docs/LIVE.md) so a
+    replica's answer cache is incrementally refreshed rather than cold and
+    subscriptions attached to a replica stream the replicated deltas.
 
     Callers are responsible for the sequence gate (``Changelog.append`` with
     an explicit seq); the apply itself is a plain redo.
@@ -348,22 +349,29 @@ def apply_record(session, record: ChangelogRecord) -> None:
         return
     rows = decode_batch(record.payload)
     memo = session.ctx.memo
+    live = session.ctx.live
     if record.kind == KIND_INSERT:
         changed = False
         relation = None
         for row in rows:
             relation = session.relation(record.pred, len(row))
             changed = relation.insert(Tuple(tuple(row))) or changed
-        if changed and memo is not None and rows:
-            memo.on_insert((record.pred, len(rows[0])))
+        if changed and rows:
+            if memo is not None:
+                memo.on_insert((record.pred, len(rows[0])))
+            if live is not None:
+                live.on_insert((record.pred, len(rows[0])))
         return
     for row in rows:
         relation = session.ctx.base_relations.get((record.pred, len(row)))
         if relation is None:
             continue
         tup = Tuple(tuple(row))
-        if relation.delete(tup) and memo is not None:
-            memo.on_delete((record.pred, len(row)), tup)
+        if relation.delete(tup):
+            if memo is not None:
+                memo.on_delete((record.pred, len(row)), tup)
+            if live is not None:
+                live.on_delete((record.pred, len(row)), tup)
 
 
 def replay_into(session, records: Iterable[ChangelogRecord]) -> int:

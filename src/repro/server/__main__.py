@@ -155,6 +155,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="reap connections idle longer than this many seconds",
     )
     parser.add_argument(
+        "--live-queue", type=int, default=1024, metavar="N",
+        help="bounded per-subscription delta queue for live queries "
+             "(docs/LIVE.md); a subscriber lagging past this many queued "
+             "deltas is resnapshotted instead of blocking writers",
+    )
+    parser.add_argument(
         "--drain-timeout", type=float, default=5.0, metavar="S",
         help="on SIGTERM/SIGINT, wait this long for open cursors to finish "
              "before closing",
@@ -295,6 +301,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         ack_timeout=args.ack_timeout,
         io_timeout=args.io_timeout,
         idle_timeout=args.idle_timeout,
+        live_queue=args.live_queue,
     )
     host, port = server.address
     print(f"coral-server listening on {host}:{port} ({server.role})", flush=True)

@@ -75,9 +75,11 @@ from .protocol import (
 #: default answers per FETCH when the client does not say
 DEFAULT_BATCH = 64
 
-#: ops a draining server still accepts: existing cursors may finish, the
-#: rest of the lifecycle keeps working, but no new work is admitted
-_DRAIN_OPS = ("HELLO", "FETCH", "CLOSE_CURSOR", "STATS", "BYE")
+#: ops a draining server still accepts: existing cursors may finish, live
+#: subscribers may drain their queues and detach, the rest of the lifecycle
+#: keeps working, but no new work is admitted
+_DRAIN_OPS = ("HELLO", "FETCH", "CLOSE_CURSOR", "DELTA", "UNSUBSCRIBE",
+              "STATS", "BYE")
 
 #: ops that mutate the shared database — refused on a read replica
 _WRITE_OPS = ("CONSULT", "INSERT", "DELETE")
@@ -117,11 +119,44 @@ class _Cursor:
         self.query = query
 
 
+class _Subscription:
+    """One live subscription: the session-side view plus the per-subscriber
+    outbound queue the connection's ``DELTA`` long-polls drain.
+
+    The queue is the backpressure boundary: the commit path (holding the db
+    lock) only appends under ``cond`` — never touching the subscriber's
+    socket — so a stalled subscriber cannot wedge a writer.  When the queue
+    would exceed ``max_queue`` deltas the whole queue is discarded and the
+    subscription flips to ``lagged``: the next DELTA poll answers with a
+    full resnapshot instead of deltas (docs/LIVE.md)."""
+
+    __slots__ = (
+        "sub_id", "conn_id", "view", "query", "cond", "queue", "max_queue",
+        "lagged", "closed_reason", "drops", "deltas_sent", "resnapshots",
+    )
+
+    def __init__(self, sub_id: int, conn_id: int, query: str,
+                 max_queue: int) -> None:
+        self.sub_id = sub_id
+        self.conn_id = conn_id
+        self.view = None
+        self.query = query
+        self.cond = threading.Condition()
+        #: pending (sign, Tuple) deltas, in commit order
+        self.queue: deque = deque()
+        self.max_queue = max_queue
+        self.lagged = False
+        self.closed_reason: Optional[str] = None
+        self.drops = 0
+        self.deltas_sent = 0
+        self.resnapshots = 0
+
+
 class _Connection:
     """Per-connection server state: identity, handshake flag, open cursors."""
 
     __slots__ = (
-        "conn_id", "peer", "peer_host", "greeted", "cursors",
+        "conn_id", "peer", "peer_host", "greeted", "cursors", "subs",
         "ship_from", "replica_name", "sock",
     )
 
@@ -134,6 +169,8 @@ class _Connection:
         self.peer_host = peer.rsplit(":", 1)[0] if ":" in peer else peer
         self.greeted = False
         self.cursors: Dict[int, _Cursor] = {}
+        #: live subscriptions owned by this connection (reclaimed with it)
+        self.subs: Dict[int, _Subscription] = {}
         #: set by a successful REPL_HELLO: the replica's last applied
         #: sequence — the connection then becomes a ship stream
         self.ship_from: Optional[int] = None
@@ -215,6 +252,7 @@ class CoralServer:
         stall_after: float = 5.0,
         io_timeout: Optional[float] = 30.0,
         idle_timeout: Optional[float] = 300.0,
+        live_queue: int = 1024,
     ) -> None:
         self.session = session if session is not None else Session()
         self.limits = limits
@@ -231,6 +269,9 @@ class CoralServer:
         self.stall_after = stall_after
         self.io_timeout = io_timeout
         self.idle_timeout = idle_timeout
+        #: per-subscription outbound queue bound, in deltas; overflow flips
+        #: the subscription to lagged → next DELTA answers a resnapshot
+        self.live_queue = live_queue
         #: the changelog, present whenever replication is in play: a
         #: replica always keeps one (it is what REPL_HELLO resumes from and
         #: what promotion inherits); a primary keeps one when given a path
@@ -305,6 +346,7 @@ class CoralServer:
         self._connections: Dict[int, _Connection] = {}
         self._next_conn = 0
         self._next_cursor = 0
+        self._next_sub = 0
         self._requests_total = 0
         self._connections_total = 0
         self._cursors_opened = 0
@@ -364,6 +406,21 @@ class CoralServer:
         self._m_replicas_connected = m.gauge(
             "replication.replicas.connected",
             "replicas currently on the ship stream (primary role)",
+        )
+        self._m_live_subs = m.gauge(
+            "live.subscriptions", "live subscriptions currently registered"
+        )
+        self._m_live_deltas = m.counter(
+            "live.deltas_sent", "deltas shipped to subscribers"
+        )
+        self._m_live_lag = m.gauge(
+            "live.lag", "deltas queued across all subscriptions, not yet polled"
+        )
+        self._m_live_drops = m.counter(
+            "live.drops", "deltas discarded by bounded-queue overflow"
+        )
+        self._m_live_resnapshots = m.counter(
+            "live.resnapshots", "full snapshots re-sent after queue overflow"
         )
 
     def repl_metric(self, event: str) -> None:
@@ -481,6 +538,7 @@ class CoralServer:
                 except OSError:
                     pass
             self._free_cursors(conn)
+            self._free_subscriptions(conn)
         if self.changelog is not None:
             self.changelog.close()
 
@@ -613,6 +671,7 @@ class CoralServer:
         with self._state_lock:
             self._connections.pop(conn.conn_id, None)
         self._free_cursors(conn)
+        self._free_subscriptions(conn)
         self._m_active.dec()
         if self.tracer is not None:
             self.tracer.instant("net.close", "server", conn=conn.conn_id)
@@ -701,6 +760,14 @@ class CoralServer:
             return self._op_update(header, insert=True), b"", True
         if op == "DELETE":
             return self._op_update(header, insert=False), b"", True
+        if op == "SUBSCRIBE":
+            return self._op_subscribe(conn, header) + (True,)
+        if op == "DELTA":
+            return self._op_delta(conn, header) + (True,)
+        if op == "UNSUBSCRIBE":
+            sub_id = int(header.get("sub", -1))
+            closed = self._close_subscription(conn, sub_id)
+            return {"ok": True, "closed": closed}, b"", True
         if op == "STATS":
             return {"ok": True, "stats": self.stats()}, b"", True
         if op == "REPL_HELLO":
@@ -878,6 +945,204 @@ class CoralServer:
             # writers proceed while this response waits for its replicas
             self._await_replication(record.seq)
         return {"ok": True, "changed": bool(changed)}
+
+    # -- live subscriptions (docs/LIVE.md) -----------------------------------
+
+    def _op_subscribe(
+        self, conn: _Connection, header
+    ) -> PyTuple[Dict[str, object], bytes]:
+        """Register a live query and answer with its initial snapshot.
+
+        The session-side :class:`~repro.live.view.LiveView` runs its delta
+        callback synchronously on the commit path (under the db lock); the
+        callback only appends to the subscription's bounded in-memory queue
+        under its own condition — it never touches this connection's socket,
+        so a subscriber that stops polling cannot stall a writer."""
+        text = str(header.get("query", ""))
+        with self._state_lock:
+            self._next_sub += 1
+            sub = _Subscription(
+                self._next_sub, conn.conn_id, text, self.live_queue
+            )
+
+        def on_deltas(deltas) -> None:
+            with sub.cond:
+                if sub.closed_reason is not None:
+                    return
+                if len(sub.queue) + len(deltas) > sub.max_queue:
+                    # overflow: drop *everything* and flip to lagged — the
+                    # next DELTA poll answers with a full resnapshot, which
+                    # is both correct and cheaper than a partial queue
+                    dropped = len(sub.queue) + len(deltas)
+                    sub.queue.clear()
+                    sub.lagged = True
+                    sub.drops += dropped
+                    self._m_live_drops.inc(dropped)
+                    if self.tracer is not None:
+                        self.tracer.instant(
+                            "live.drop", "live", sub=sub.sub_id,
+                            dropped=dropped,
+                        )
+                else:
+                    sub.queue.extend(deltas)
+                sub.cond.notify_all()
+            self._update_live_lag()
+
+        def on_close(reason: str) -> None:
+            with sub.cond:
+                if sub.closed_reason is None:
+                    sub.closed_reason = reason
+                sub.queue.clear()
+                sub.cond.notify_all()
+
+        with self._db_lock:
+            literal = parse_query(text).literal
+            view = self.session.subscribe(literal, on_deltas, on_close)
+            sub.view = view
+            snapshot = view.snapshot()
+        conn.subs[sub.sub_id] = sub
+        self._m_live_subs.inc()
+        self._m_query_preds.inc(1, f"{literal.pred}/{literal.arity}")
+        if self.tracer is not None:
+            self.tracer.instant(
+                "live.subscribe", "live", sub=sub.sub_id, query=text
+            )
+        body = encode_batch([list(t.args) for t in snapshot])
+        return (
+            {
+                "ok": True,
+                "sub": sub.sub_id,
+                "arity": literal.arity,
+                "count": len(snapshot),
+            },
+            body,
+        )
+
+    def _op_delta(
+        self, conn: _Connection, header
+    ) -> PyTuple[Dict[str, object], bytes]:
+        """Long-poll one subscription's delta queue.
+
+        Pull, not push: the client asks, waits up to ``timeout`` seconds on
+        the queue's condition (the db lock is *not* held while waiting), and
+        receives one of four kinds — ``deltas`` (signs in the header, tuples
+        in the body), ``resnapshot`` (the queue overflowed; replace all
+        folded state with the body), ``none`` (empty poll), or ``closed``
+        (server-side teardown: module reload, eviction, shutdown)."""
+        sub_id = int(header.get("sub", -1))
+        sub = conn.subs.get(sub_id)
+        if sub is None:
+            raise ProtocolError(f"unknown subscription {sub_id}")
+        timeout = min(max(float(header.get("timeout", 10.0)), 0.0), 30.0)
+        limit = int(header.get("max", self.batch_size))
+        if limit < 1:
+            raise ProtocolError(f"DELTA max must be >= 1, got {limit}")
+        deadline = time.monotonic() + timeout
+        signs: List[int] = []
+        rows: List[List[object]] = []
+        need_resnapshot = False
+        with sub.cond:
+            while (
+                not sub.queue
+                and not sub.lagged
+                and sub.closed_reason is None
+            ):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                sub.cond.wait(remaining)
+            if sub.closed_reason is not None:
+                reason = sub.closed_reason
+                conn.subs.pop(sub_id, None)
+                self._m_live_subs.dec()
+                return (
+                    {"ok": True, "sub": sub_id, "kind": "closed",
+                     "reason": reason},
+                    b"",
+                )
+            if sub.lagged:
+                need_resnapshot = True
+            else:
+                while sub.queue and len(rows) < limit:
+                    sign, tup = sub.queue.popleft()
+                    signs.append(sign)
+                    rows.append(list(tup.args))
+        if need_resnapshot:
+            # lock order everywhere is db lock, then sub.cond: take the
+            # snapshot under the db lock (no commit can interleave), clear
+            # the queue under the condition — deltas enqueued after this
+            # point apply cleanly on top of the snapshot
+            with self._db_lock:
+                with sub.cond:
+                    sub.queue.clear()
+                    sub.lagged = False
+                    sub.resnapshots += 1
+                if sub.view is None or sub.view.closed:
+                    snapshot = []
+                else:
+                    snapshot = sub.view.snapshot()
+            self._m_live_resnapshots.inc()
+            self._update_live_lag()
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "live.resnapshot", "live", sub=sub_id,
+                    count=len(snapshot),
+                )
+            return (
+                {
+                    "ok": True,
+                    "sub": sub_id,
+                    "kind": "resnapshot",
+                    "count": len(snapshot),
+                },
+                encode_batch([list(t.args) for t in snapshot]),
+            )
+        if not rows:
+            return ({"ok": True, "sub": sub_id, "kind": "none"}, b"")
+        sub.deltas_sent += len(rows)
+        self._m_live_deltas.inc(len(rows))
+        self._update_live_lag()
+        return (
+            {
+                "ok": True,
+                "sub": sub_id,
+                "kind": "deltas",
+                "signs": signs,
+                "count": len(rows),
+            },
+            encode_batch(rows),
+        )
+
+    def _close_subscription(self, conn: _Connection, sub_id: int) -> bool:
+        sub = conn.subs.pop(sub_id, None)
+        if sub is None:
+            return False
+        with self._db_lock:
+            if sub.view is not None and not sub.view.closed:
+                self.session.unsubscribe(sub.view.view_id)
+        with sub.cond:
+            if sub.closed_reason is None:
+                sub.closed_reason = "unsubscribed"
+            sub.queue.clear()
+            sub.cond.notify_all()
+        self._m_live_subs.dec()
+        self._update_live_lag()
+        return True
+
+    def _free_subscriptions(self, conn: _Connection) -> None:
+        for sub_id in list(conn.subs):
+            self._close_subscription(conn, sub_id)
+
+    def _update_live_lag(self) -> None:
+        """Refresh the ``live.lag`` gauge: total queued-but-unsent deltas
+        across every subscription (the backlog a slow poller is behind by)."""
+        with self._state_lock:
+            total = sum(
+                len(sub.queue)
+                for c in self._connections.values()
+                for sub in c.subs.values()
+            )
+        self._m_live_lag.set(total)
 
     # -- replication (docs/REPLICATION.md) -----------------------------------
 
@@ -1196,7 +1461,20 @@ class CoralServer:
             eval_stats = self.session.stats.snapshot()
             memo = getattr(self.session, "memo", None)
             memo_stats = memo.snapshot() if memo is not None else None
+            live = getattr(self.session, "live", None)
+            live_stats = live.snapshot() if live is not None else None
             buffer_stats = self.session.buffer_stats()
+        if live_stats is not None:
+            with self._state_lock:
+                subs = [
+                    sub
+                    for c in self._connections.values()
+                    for sub in c.subs.values()
+                ]
+            live_stats["queued"] = sum(len(s.queue) for s in subs)
+            live_stats["deltas_sent"] = sum(s.deltas_sent for s in subs)
+            live_stats["drops"] = sum(s.drops for s in subs)
+            live_stats["resnapshots"] = sum(s.resnapshots for s in subs)
         payload = {
             "connections": connections,
             "cursors": cursors,
@@ -1219,4 +1497,6 @@ class CoralServer:
             payload["buffer"] = buffer_stats
         if memo_stats is not None:
             payload["memo"] = memo_stats
+        if live_stats is not None:
+            payload["live"] = live_stats
         return payload

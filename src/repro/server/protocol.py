@@ -31,6 +31,15 @@ Request ops (client to server)::
     CLOSE_CURSOR  abandon a cursor early (Section 5.4.3 on the wire)
     INSERT        add one base fact
     DELETE        remove one base fact
+    SUBSCRIBE     register a live query (repro.live): the response carries
+                  a subscription id and the initial snapshot as its body
+    DELTA         long-poll one subscription's delta queue: the response
+                  carries +/- signs in the header and the tuples in the
+                  body; kind "resnapshot" replaces the client's folded
+                  state after the bounded queue overflowed; kind "none"
+                  is an empty poll (timeout), kind "closed" a server-side
+                  teardown
+    UNSUBSCRIBE   deregister a live query
     STATS         server counters: connections, cursors, requests, metrics
     REPL_HELLO    enter the replication stream: the sender is a replica,
                   the header carries its last applied changelog sequence
@@ -77,6 +86,9 @@ REQUEST_OPS = (
     "CLOSE_CURSOR",
     "INSERT",
     "DELETE",
+    "SUBSCRIBE",
+    "DELTA",
+    "UNSUBSCRIBE",
     "STATS",
     "REPL_HELLO",
     "PROMOTE",

@@ -35,6 +35,13 @@ Shell commands::
                                the routing policy (docs/SHARDING.md)
     @promote.                  promote the connected replica to a writable
                                primary (failover runbook step)
+    @subscribe "path(1, X)".   register a live query (docs/LIVE.md): the
+                               answer set is kept continuously correct and
+                               every committed change streams in as +/-
+                               deltas; works locally and in remote mode
+    @subs.                     list live subscriptions and print the deltas
+                               that arrived since the last @subs
+    @unsubscribe N.            cancel live subscription #N
     @disconnect.               leave remote mode, back to the local session
     @help.                     this text
     @quit. (or @exit.)         leave
@@ -66,6 +73,9 @@ class Shell:
         self.done = False
         #: a repro.client.RemoteSession while in remote mode, else None
         self.remote = None
+        #: live subscriptions by shell-assigned number (docs/LIVE.md)
+        self.subscriptions = {}
+        self._next_sub = 0
 
     # -- command execution -------------------------------------------------------
 
@@ -106,6 +116,7 @@ class Shell:
         name = parts[0].lstrip("@")
 
         if name == "quit" or name == "exit":
+            self._drop_subscriptions()
             if self.remote is not None:
                 self.remote.close()
                 self.remote = None
@@ -122,12 +133,14 @@ class Shell:
             except (ValueError, CoralError) as error:
                 return f"error: {error}"
             if self.remote is not None:
+                self._drop_subscriptions(kind="remote")
                 self.remote.close()
             self.remote = remote
             return f"connected to {parts[1]} ({remote.server_info})."
         if name == "disconnect":
             if self.remote is None:
                 return "not connected."
+            self._drop_subscriptions(kind="remote")
             self.remote.close()
             self.remote = None
             return "disconnected; back to the local session."
@@ -261,6 +274,43 @@ class Shell:
                     f"#{outcome.get('last_seq', 0)}; writes accepted here now."
                 )
             return "already the primary; nothing to do."
+        if name == "subscribe":
+            query_text = body[len("@subscribe") :].strip().strip('"')
+            if not query_text:
+                return 'usage: @subscribe "path(1, X)".'
+            try:
+                entry = self._open_subscription(query_text)
+            except CoralError as error:
+                return f"error: {error}"
+            count = (
+                len(entry["handle"].view())
+                if entry["kind"] == "remote"
+                else len(entry["handle"].snapshot())
+            )
+            return (
+                f"subscription #{entry['id']} on {query_text!r}: "
+                f"{count} answer(s) in the initial snapshot "
+                f"(@subs. for deltas)."
+            )
+        if name == "subs":
+            if not self.subscriptions:
+                return "no live subscriptions (@subscribe \"...\". first)."
+            return "\n".join(
+                self._render_subscription(entry)
+                for entry in self.subscriptions.values()
+            )
+        if name == "unsubscribe":
+            if len(parts) != 2:
+                return "usage: @unsubscribe N."
+            try:
+                sub_id = int(parts[1].lstrip("#"))
+            except ValueError:
+                return "usage: @unsubscribe N."
+            entry = self.subscriptions.pop(sub_id, None)
+            if entry is None:
+                return f"no subscription #{sub_id}."
+            self._close_subscription(entry)
+            return f"subscription #{sub_id} closed."
         if name == "modules":
             loaded = self.session.modules.modules
             if not loaded:
@@ -305,6 +355,86 @@ class Shell:
         # not a shell command: let the parser treat it as an annotation
         return None
 
+    # -- live subscriptions (docs/LIVE.md) ---------------------------------------
+
+    def _open_subscription(self, query_text: str) -> dict:
+        """Register one live query against the current target (remote
+        server or local session) and book-keep it under a shell number."""
+        self._next_sub += 1
+        entry = {
+            "id": self._next_sub,
+            "query": query_text,
+            "pending": [],
+            "closed": None,
+        }
+        if self.remote is not None:
+            entry["kind"] = "remote"
+            entry["handle"] = self.remote.subscribe(f"?- {query_text}.")
+        else:
+            entry["kind"] = "local"
+            pending = entry["pending"]
+
+            def on_close(reason, entry=entry):
+                entry["closed"] = reason
+
+            entry["handle"] = self.session.subscribe(
+                f"?- {query_text}.", pending.extend, on_close
+            )
+        self.subscriptions[entry["id"]] = entry
+        return entry
+
+    def _render_subscription(self, entry: dict) -> str:
+        """One ``@subs`` row: the folded view size plus any deltas that
+        arrived since the last look."""
+        lines = []
+        if entry["kind"] == "remote":
+            handle = entry["handle"]
+            notes = []
+            while not handle.closed:
+                kind, payload = handle.poll(timeout=0.0)
+                if kind == "deltas":
+                    for sign, values in payload:
+                        rendered = ", ".join(str(v) for v in values)
+                        lines.append(f"    {'+' if sign > 0 else '-'} ({rendered})")
+                elif kind == "resnapshot":
+                    notes.append("resnapshot (the delta queue overflowed)")
+                else:
+                    if kind == "closed":
+                        entry["closed"] = payload
+                    break
+            size = len(handle.view())
+        else:
+            for sign, tup in entry["pending"]:
+                rendered = ", ".join(str(arg) for arg in tup.args)
+                lines.append(f"    {'+' if sign > 0 else '-'} ({rendered})")
+            entry["pending"].clear()
+            notes = []
+            size = len(entry["handle"].answers)
+        state = f"CLOSED: {entry['closed']}" if entry["closed"] else f"{size} answer(s)"
+        head = (
+            f"#{entry['id']} {entry['query']}: {state}, "
+            f"{len(lines)} delta(s) since last @subs"
+        )
+        for note in notes:
+            lines.insert(0, f"    [{note}]")
+        return "\n".join([head] + lines)
+
+    def _close_subscription(self, entry: dict) -> None:
+        try:
+            if entry["kind"] == "remote":
+                entry["handle"].close()
+            else:
+                self.session.unsubscribe(entry["handle"].view_id)
+        except CoralError:
+            pass
+
+    def _drop_subscriptions(self, kind: Optional[str] = None) -> None:
+        """Close every tracked subscription (optionally only one kind —
+        leaving remote mode must not tear down local views)."""
+        for sub_id in list(self.subscriptions):
+            if kind is None or self.subscriptions[sub_id]["kind"] == kind:
+                self._close_subscription(self.subscriptions.pop(sub_id))
+
     # -- dashboard rendering -----------------------------------------------------
 
     @staticmethod
@@ -339,6 +469,15 @@ class Shell:
                 f"  {op:<6} p50 {_ms(snap['p50']):>8}"
                 f"  p99 {_ms(snap['p99']):>8}"
                 f"  ({snap['count']} request(s))"
+            )
+        live = stats.get("live")
+        if live:
+            lines.append(
+                f"  live: {live.get('subscriptions', 0)} subscription(s)"
+                f"   deltas sent {live.get('deltas_sent', 0)}"
+                f"   lag {live.get('queued', 0)}"
+                f"   resnapshots {live.get('resnapshots', 0)}"
+                f"   rebuilds {live.get('rebuilds', 0)}"
             )
         memo_rate = _hit_rate(stats.get("memo"))
         buffer_rate = _hit_rate(stats.get("buffer"))

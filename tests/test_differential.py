@@ -12,6 +12,13 @@ and is compared as a set.  Failures dump a standalone repro file under
 
 ``REPRO_DIFF_CASES`` overrides the number of generated cases (default 200:
 120 static programs + 80 query/update interleavings).
+
+The **streamed-deltas mode** (ISSUE 8, satellite 1) points the same
+generator at live queries: subscribe to a generated query, replay a random
+insert/delete schedule, fold the emitted delta stream into the initial
+snapshot, and require the folded view to equal a cold re-evaluation over
+the final fact state at every checkpoint.  ``REPRO_LIVE_SCHEDULES``
+overrides the number of schedules (default 100).
 """
 
 import os
@@ -27,6 +34,7 @@ _FAILURE_DIR = Path(__file__).parent / "_diff_failures"
 _TOTAL_CASES = max(10, int(os.environ.get("REPRO_DIFF_CASES", "200")))
 _N_STATIC = (_TOTAL_CASES * 3) // 5
 _N_INTERLEAVED = _TOTAL_CASES - _N_STATIC
+_N_LIVE = max(10, int(os.environ.get("REPRO_LIVE_SCHEDULES", "100")))
 
 
 # ---------------------------------------------------------------------------
@@ -265,3 +273,83 @@ def test_update_interleavings_agree(seed):
                 f"repro dumped to {path}"
             )
         trail.append(f"query {query} -> {len(cold)} answers")
+
+
+# ---------------------------------------------------------------------------
+# streamed-deltas mode: fold a subscription's delta stream, compare cold
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(20_000, 20_000 + _N_LIVE))
+def test_streamed_deltas_fold_to_cold_truth(seed):
+    """Subscribe to a generated query, replay a random update schedule,
+    fold the delta stream into the snapshot, and require the folded view
+    to equal a cold re-evaluation at every query checkpoint."""
+    from repro.terms import from_arg
+
+    case = GeneratedCase(seed, allow_negation=False)
+    rng = random.Random(seed ^ 0xBEEF)
+    ops = _random_ops(rng, case)
+    # every schedule folds the free query; odd seeds add a bound goal too
+    queries = [case.queries[0]]
+    if seed % 2:
+        queries.append(case.queries[1])
+
+    session = Session()
+    session.consult_string(case.program())
+
+    folded = {}  # query -> {tuple.key(): python-value tuple}
+    views = {}
+    for query in queries:
+        state = folded[query] = {}
+
+        def sink(deltas, state=state):
+            for sign, tup in deltas:
+                if sign > 0:
+                    state[tup.key()] = tuple(from_arg(a) for a in tup.args)
+                else:
+                    state.pop(tup.key(), None)
+
+        view = session.subscribe(f"?- {query}.", sink)
+        views[query] = view
+        for tup in view.snapshot():
+            state[tup.key()] = tuple(from_arg(a) for a in tup.args)
+
+    trail = []
+    for op in ops:
+        if op[0] in ("insert", "delete"):
+            kind, pred, tup = op
+            getattr(session, kind)(pred, *tup)
+            trail.append(f"{kind} {pred}{tup}")
+            continue
+        _, _, live = op
+        saved = case.facts
+        case.facts = {pred: set(t) for pred, t in live.items()}
+        cold_all = _evaluate(case.program(), queries)
+        case.facts = saved
+        for query in queries:
+            cold = cold_all[query]
+            got = sorted(set(folded[query].values()))
+            if got != cold:
+                detail = "# ops so far:\n# " + "\n# ".join(trail or ["(none)"])
+                path = _dump_failure(
+                    case,
+                    f"# streamed-deltas divergence on: {query}\n"
+                    f"# cold (ground truth): {cold}\n"
+                    f"# folded delta stream: {got}\n"
+                    f"# view: {views[query]!r}\n{detail}",
+                )
+                pytest.fail(
+                    f"seed {seed}: folded delta stream for {query} diverged "
+                    f"(cold={cold}, folded={got}); repro dumped to {path}"
+                )
+        trail.append(f"checkpoint -> ok")
+
+    # final checkpoint regardless of the schedule's query placement
+    for query in queries:
+        cold = sorted(set(session.query(query).tuples()))
+        got = sorted(set(folded[query].values()))
+        assert got == cold, (
+            f"seed {seed}: final folded view for {query} diverged: "
+            f"cold={cold}, folded={got}"
+        )

@@ -200,9 +200,13 @@ class Session:
         buffer_capacity: int = 64,
         limits: Optional[ResourceLimits] = None,
         memo: Union[None, bool, str, MemoPolicy] = None,
+        compiled: Optional[str] = None,
     ) -> None:
         self.ctx = EvalContext(builtins)
-        self.modules = ModuleManager(self.ctx)
+        #: ``compiled="closure"`` / ``compiled="push"`` evaluates every
+        #: module through that code generator by default (docs/COMPILED.md);
+        #: an explicit ``@compiled(...)`` module annotation still wins
+        self.modules = ModuleManager(self.ctx, default_compiled=compiled)
         #: default ResourceLimits applied to every query (None = unbounded);
         #: per-call ``QueryResult.all(timeout=...)`` overrides it
         self.limits = limits

@@ -34,12 +34,58 @@ class NotCompilable(Exception):
 
 @dataclass
 class CompileStats:
-    """Consult-time accounting for the compiled-vs-interpreted comparison."""
+    """Consult-time accounting for the compiled-vs-interpreted comparison.
+
+    ``fallbacks`` maps a human-readable reason (the :class:`NotCompilable`
+    message) to how many rules fell back to the interpreter for it, so
+    silent per-rule fallback is visible through ``EXPLAIN``, the profiler's
+    ``compile.fallbacks`` counter, and ``instance.compiler.stats``.
+    """
 
     rules_compiled: int = 0
     rules_interpreted: int = 0
     codegen_seconds: float = 0.0
     generated_lines: int = 0
+    #: which generator produced the stats: "closure" or "push"
+    backend: str = "closure"
+    #: fallback reason -> number of rules interpreted for that reason
+    fallbacks: Dict[str, int] = field(default_factory=dict)
+
+    def record_fallback(self, reason: str, count: int = 1) -> None:
+        self.rules_interpreted += count
+        self.fallbacks[reason] = self.fallbacks.get(reason, 0) + count
+
+    def merge(self, other: "CompileStats") -> None:
+        self.rules_compiled += other.rules_compiled
+        self.rules_interpreted += other.rules_interpreted
+        self.codegen_seconds += other.codegen_seconds
+        self.generated_lines += other.generated_lines
+        for reason, count in other.fallbacks.items():
+            self.fallbacks[reason] = self.fallbacks.get(reason, 0) + count
+
+
+def note_fallback(obs, rule, reason: str, backend: str) -> None:
+    """Surface one rule's interpreter fallback through the observability
+    plane: a trace event plus the ``compile.fallbacks`` counter (labelled by
+    reason) when a metrics registry is installed."""
+    if obs is None:
+        return
+    event = getattr(obs, "event", None)
+    if event is not None:
+        event(
+            "compile.fallback",
+            cat="compile",
+            backend=backend,
+            rule=str(rule),
+            reason=reason,
+        )
+    registry = getattr(obs, "registry", None)
+    if registry is not None:
+        registry.counter(
+            "compile.fallbacks",
+            "rules interpreted under a compiled backend, by reason",
+            ("reason",),
+        ).inc(1, reason)
 
 
 @dataclass
@@ -73,15 +119,19 @@ class RuleCompiler:
     def __init__(self) -> None:
         self.stats = CompileStats()
 
-    def try_compile(self, rule: SNRule) -> Optional[CompiledRule]:
+    def try_compile(self, rule: SNRule, obs=None) -> Optional[CompiledRule]:
         """A :class:`CompiledRule`, or None when the rule falls outside the
         compiled class (aggregation, negation, functor arguments, builtins
-        beyond comparisons/arithmetic-=)."""
+        beyond comparisons/arithmetic-=).  Fallbacks are recorded by reason
+        in :attr:`stats` and, when ``obs`` is given, on the observability
+        plane (:func:`note_fallback`)."""
         started = time.perf_counter()
         try:
             compiled = self._compile(rule)
-        except NotCompilable:
-            self.stats.rules_interpreted += 1
+        except NotCompilable as exc:
+            reason = str(exc) or "not compilable"
+            self.stats.record_fallback(reason)
+            note_fallback(obs, rule, reason, self.stats.backend)
             return None
         finally:
             self.stats.codegen_seconds += time.perf_counter() - started

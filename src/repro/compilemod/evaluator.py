@@ -33,7 +33,7 @@ class CompiledSCCEvaluator(SCCEvaluator):
         self._compiled: Dict[int, CompiledRule] = {}
         for rule in (list(plan.once_rules) + list(plan.delta_rules)
                      + list(plan.ext_rules)):
-            compiled = self.compiler.try_compile(rule)
+            compiled = self.compiler.try_compile(rule, obs=scope.ctx.obs)
             if compiled is not None:
                 self._compiled[id(rule)] = compiled
 

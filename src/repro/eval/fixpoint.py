@@ -196,7 +196,17 @@ class SCCEvaluator:
         iteration (the lazy-evaluation suspension points, Section 5.4.3).
         Calling it again after new facts were seeded resumes incrementally
         (the save-module facility, Section 5.4.2)."""
-        stats = self.scope.ctx.stats
+        yield self._seed()
+        if self.strategy == "naive":
+            yield from self._naive_loop()
+            self._advance_ext_seen()
+            return
+        yield from self._delta_loop()
+
+    def _seed(self) -> int:
+        """Apply the once rules (first call) or the cross-call delta versions
+        (resumption), set the initial delta windows, and return the number of
+        facts present — the pre-iteration half of one fixpoint run."""
         obs = self.scope.ctx.obs
         seed_started = obs.begin_span() if obs is not None else None
         if not self._started:
@@ -222,13 +232,12 @@ class SCCEvaluator:
             obs.end_span(
                 "fixpoint.seed", "eval", seed_started, scc=self._obs_label()
             )
-        yield produced
+        return produced
 
-        if self.strategy == "naive":
-            yield from self._naive_loop()
-            self._advance_ext_seen()
-            return
-
+    def _delta_loop(self) -> Iterator[int]:
+        """The BSN/PSN iteration loop: run every delta-rule group, advance
+        the delta windows, stop when an iteration derives nothing new."""
+        stats = self.scope.ctx.stats
         iteration_index = 0
         while True:
             if self.scope.ctx.limits is not None:

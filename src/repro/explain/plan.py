@@ -56,7 +56,10 @@ def _explain_module(session, literal: Literal, lines: List[str]) -> None:
     bound = [_is_bound(arg) for arg in literal.args]
     call_adornment = "".join("b" if flag else "f" for flag in bound)
     form = session.modules.choose_form(export, bound)
-    flags = " ".join(f"@{f.name}" for f in module.flags)
+    flags = " ".join(
+        f"@{f.name}({f.argument})" if f.argument else f"@{f.name}"
+        for f in module.flags
+    )
     lines.append(
         f"+- predicate: {literal.pred}/{literal.arity}"
         f"   module: {module_name}"
@@ -76,13 +79,28 @@ def _explain_module(session, literal: Literal, lines: List[str]) -> None:
         return
     compiled = session.modules.compiled_form(module_name, literal.pred, form)
     rewritten = compiled.rewritten
-    mode = "compiled to Python" if compiled.compiled else "interpreted"
+    mode = (
+        f"compiled to Python ({compiled.compiled})"
+        if compiled.compiled
+        else "interpreted"
+    )
     lines.append(
         f"+- rewriting: {rewritten.technique}"
         f"   strategy: {compiled.strategy}"
         f"   answers: {'lazy' if compiled.lazy else 'eager'}"
         f"   {mode}"
     )
+    if compiled.compiled:
+        from ..compilemod import compile_report
+
+        report = compile_report(compiled, session.ctx.is_builtin)
+        lines.append(
+            f"|      compile ({report.backend}): "
+            f"{report.rules_compiled} rule(s) compiled, "
+            f"{report.rules_interpreted} interpreted"
+        )
+        for reason, count in sorted(report.fallbacks.items()):
+            lines.append(f"|        fallback x{count}: {reason}")
     details = []
     if rewritten.magic_pred:
         details.append(f"magic predicate: {rewritten.magic_pred}")

@@ -180,6 +180,11 @@ class Parser:
             argument = None
             if self._at(IDENT):
                 argument = self._advance().text
+            elif self._at(PUNCT, "("):
+                # parenthesized flag argument: @compiled(push).
+                self._advance()
+                argument = self._expect(IDENT).text
+                self._expect(PUNCT, ")")
             self._expect(END)
             module.flags.append(FlagAnnotation(name, argument))
         else:

@@ -43,9 +43,13 @@ PredKey = PyTuple[str, int]
 class ModuleManager:
     """Loads modules, compiles query forms on demand, and routes calls."""
 
-    def __init__(self, ctx: EvalContext) -> None:
+    def __init__(
+        self, ctx: EvalContext, default_compiled: Optional[str] = None
+    ) -> None:
         self.ctx = ctx
-        self.optimizer = Optimizer(ctx.is_builtin, ctx.builtins.lookup)
+        self.optimizer = Optimizer(
+            ctx.is_builtin, ctx.builtins.lookup, default_compiled=default_compiled
+        )
         self.modules: Dict[str, ModuleDecl] = {}
         self.exports: Dict[PredKey, PyTuple[str, ExportDecl]] = {}
         self._compiled: Dict[PyTuple[str, str, str], CompiledForm] = {}
@@ -284,7 +288,45 @@ class MaterializedInstance:
             self._ordered = OrderedSearchEvaluator(self.scope, compiled)
         else:
             self._ordered = None
-            if compiled.compiled:
+            if compiled.compiled == "push":
+                from ..compilemod import (
+                    PushCompiler,
+                    PushSCCEvaluator,
+                    module_level_push_fallback,
+                )
+                from ..compilemod.codegen import note_fallback
+
+                self.compiler = PushCompiler()
+                reason = module_level_push_fallback(compiled)
+                if reason is None:
+                    self.evaluators = [
+                        PushSCCEvaluator(
+                            self.scope,
+                            plan,
+                            strategy=compiled.strategy,
+                            use_backjumping=compiled.use_backjumping,
+                            compiler=self.compiler,
+                        )
+                        for plan in compiled.scc_plans
+                    ]
+                else:
+                    # module-level fallback: the whole module runs
+                    # interpreted, but the reason stays visible in the stats
+                    total = sum(len(plan.rules) for plan in compiled.scc_plans)
+                    self.compiler.stats.record_fallback(reason, max(total, 1))
+                    note_fallback(
+                        ctx.obs, f"module {compiled.module_name}", reason, "push"
+                    )
+                    self.evaluators = [
+                        SCCEvaluator(
+                            self.scope,
+                            plan,
+                            strategy=compiled.strategy,
+                            use_backjumping=compiled.use_backjumping,
+                        )
+                        for plan in compiled.scc_plans
+                    ]
+            elif compiled.compiled:
                 from ..compilemod import CompiledSCCEvaluator, RuleCompiler
 
                 self.compiler = RuleCompiler()

@@ -78,8 +78,9 @@ class CompiledForm:
     use_backjumping: bool
     save_module: bool
     ordered_search: bool
-    #: evaluate through generated Python code (Section 2's compiled mode)
-    compiled: bool
+    #: generated-code backend ("closure" or "push"), or None for the
+    #: interpreter (Section 2's compiled mode; truthy iff compiled)
+    compiled: Optional[str]
     #: original-name aggregate selections mapped onto rewritten predicates
     constraints: List[PyTuple[PredKey, AggregateSelection]]
     #: index specs to create on local relations: (pred key) -> specs
@@ -113,11 +114,14 @@ class Optimizer:
         self,
         is_builtin: Callable[[str, int], bool],
         lookup_builtin: Optional[Callable[[str, int], object]] = None,
+        default_compiled: Optional[str] = None,
     ) -> None:
         self.is_builtin = is_builtin
         self._lookup_builtin = lookup_builtin or (
             lambda name, arity: _PureMarker() if is_builtin(name, arity) else None
         )
+        #: session-wide compiled backend; an @compiled module flag wins
+        self.default_compiled = default_compiled
 
     # -- public entry ---------------------------------------------------------
 
@@ -222,7 +226,7 @@ class Optimizer:
             use_backjumping=not module.has_flag("no_backjumping"),
             save_module=save_module,
             ordered_search=ordered_search,
-            compiled=module.has_flag("compiled"),
+            compiled=self._compiled_backend(module),
             constraints=constraints,
             multiset_preds=multiset_preds,
         )
@@ -230,6 +234,22 @@ class Optimizer:
             self._select_indexes(compiled)
         self._map_index_annotations(module, compiled)
         return compiled
+
+    def _compiled_backend(self, module: ModuleDecl) -> Optional[str]:
+        """Which code generator (if any) this module evaluates through:
+        ``@compiled.`` / ``@compiled(closure).`` / ``@compiled(push).`` on
+        the module, else the session-wide default."""
+        flag = module.flag("compiled")
+        if flag is not None:
+            backend = flag.argument or "closure"
+        else:
+            backend = self.default_compiled
+        if backend not in (None, "closure", "push"):
+            raise RewriteError(
+                f"unknown compiled backend {backend!r} "
+                f"(expected 'closure' or 'push')"
+            )
+        return backend
 
     # -- technique choice --------------------------------------------------------
 

@@ -51,6 +51,18 @@ class Tuple:
         #: by the marks mechanism (Section 3.2) to partition deltas.
         self.seqno: int = -1
 
+    @classmethod
+    def ground(cls, args: Sequence[Arg]) -> "Tuple":
+        """A tuple the caller guarantees is ground — skips the groundness
+        walk.  The push compiler's flush creates tens of thousands at once
+        from already-interned (hence ground) Args."""
+        tup = cls.__new__(cls)
+        tup.args = tuple(args)
+        tup._ground = True
+        tup._key = None
+        tup.seqno = -1
+        return tup
+
     @property
     def arity(self) -> int:
         return len(self.args)

@@ -172,6 +172,26 @@ class HashRelation(MarkedRelation):
         self._count += 1
         return True
 
+    def extend_new(self, tuples) -> int:
+        """Bulk-insert tuples the caller guarantees are ground, of the right
+        arity, and not already present — no duplicate or subsumption checks.
+
+        The push evaluator's flush qualifies: it seeds its ``seen`` set from
+        this relation's contents, so everything beyond the seed prefix is
+        genuinely new.  Marks and indexes are maintained exactly as
+        :meth:`insert` would."""
+        segment = self._segments[-1]
+        by_key = self._by_key if self.policy is DuplicatePolicy.SET else None
+        count = 0
+        for tup in tuples:
+            tup.seqno = next(_next_seqno)
+            segment.insert(tup)
+            if by_key is not None:
+                by_key[tup.key()] = tup
+            count += 1
+        self._count += count
+        return count
+
     def delete(self, tup: Tuple) -> bool:
         stored = self._by_key.get(tup.key()) if self.policy is DuplicatePolicy.SET else None
         target = stored if stored is not None else self._find_exact(tup)

@@ -72,28 +72,35 @@ class SNRule:
         return f"{self.head} :- {body}."
 
 
+def recursive_body_positions(
+    rule: Rule,
+    recursive: Set[PredKey],
+    is_builtin: Callable[[str, int], bool],
+) -> List[int]:
+    """Body positions of ``rule`` that are recursive in the given SCC: the
+    positive, non-builtin occurrences of the SCC's own predicates.  Shared
+    by the semi-naive rewriters and the push compiler's rule classifier (a
+    negated literal in the same SCC would make the program unstratified and
+    is rejected upstream)."""
+    return [
+        position
+        for position, literal in enumerate(rule.body)
+        if not literal.negated
+        and literal.key in recursive
+        and not is_builtin(literal.pred, literal.arity)
+    ]
+
+
 def seminaive_rewrite(
     rules: Sequence[Rule],
     recursive: Set[PredKey],
     is_builtin: Callable[[str, int], bool],
 ) -> PyTuple[List[SNRule], List[SNRule]]:
-    """Split ``rules`` into (once_rules, delta_rules) for one SCC.
-
-    ``recursive`` is the set of predicates belonging to the SCC being
-    evaluated; only positive, non-builtin occurrences of those count as
-    recursive literals (a negated literal in the same SCC would make the
-    program unstratified and is rejected upstream).
-    """
+    """Split ``rules`` into (once_rules, delta_rules) for one SCC."""
     once_rules: List[SNRule] = []
     delta_rules: List[SNRule] = []
     for index, rule in enumerate(rules):
-        recursive_positions = [
-            position
-            for position, literal in enumerate(rule.body)
-            if not literal.negated
-            and literal.key in recursive
-            and not is_builtin(literal.pred, literal.arity)
-        ]
+        recursive_positions = recursive_body_positions(rule, recursive, is_builtin)
         if not recursive_positions:
             once_rules.append(
                 SNRule(
@@ -194,11 +201,8 @@ def naive_rewrite(
             once=False,
             source_index=index,
         )
-        has_recursive = any(
-            not lit.negated
-            and lit.key in recursive
-            and not is_builtin(lit.pred, lit.arity)
-            for lit in rule.body
+        has_recursive = bool(
+            recursive_body_positions(rule, recursive, is_builtin)
         )
         if has_recursive:
             all_rules.append(sn)

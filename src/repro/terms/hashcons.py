@@ -103,6 +103,70 @@ class HashConsTable:
             self._terms.clear()
 
 
+class InternTable:
+    """Dense interning of ground constants for the push compiler.
+
+    Unlike :class:`HashConsTable` (sparse ids for functor terms, shared
+    process-wide), an ``InternTable`` is built per push-evaluation run and
+    maps *any* ground :class:`Arg` — Int, Double, Str, Atom, or a ground
+    functor term — to a small dense integer.  Generated push code then
+    compares and hashes plain ints; ``args[ident]`` recovers the original
+    Arg for the final flush back into relations, and ``vals[ident]`` holds
+    the raw Python value for inlined comparisons/arithmetic.
+
+    Identity follows :meth:`Arg.ground_key` — the same key relations use
+    for duplicate elimination — so interning agrees exactly with the
+    interpreter's set semantics: ``Int(0)`` and ``Double(0.0)`` stay
+    distinct, ``Str("a")`` and ``Atom("a")`` stay distinct, ``-0.0`` and
+    ``0.0`` collapse (``Double.__eq__`` does too), and a NaN equals itself
+    under dict semantics (same object → same slot) although ``x == x`` is
+    false — consistent with how ``HashRelation`` dedups NaN-carrying
+    tuples.  Tables are single-run, single-thread: no lock, no clearing —
+    the table dies with the run, so interned ids never leak across queries.
+    """
+
+    __slots__ = ("_ids", "args", "vals")
+
+    def __init__(self) -> None:
+        self._ids: Dict[Any, int] = {}
+        #: ident -> original Arg (for flushing results back into relations)
+        self.args: list = []
+        #: ident -> raw Python value (for inlined arithmetic/comparisons)
+        self.vals: list = []
+
+    def __len__(self) -> int:
+        return len(self.args)
+
+    def intern(self, arg: Arg) -> int:
+        """The dense id of a ground Arg (assigning one on first sight)."""
+        key = arg.ground_key()
+        ident = self._ids.get(key)
+        if ident is None:
+            ident = len(self.args)
+            self._ids[key] = ident
+            self.args.append(arg)
+            self.vals.append(getattr(arg, "value", arg))
+        return ident
+
+    def intern_num(self, value) -> int:
+        """Intern a computed Python number (arithmetic results in generated
+        code), boxing it lazily only when first seen."""
+        key = ("int", value) if isinstance(value, int) else ("dbl", value)
+        ident = self._ids.get(key)
+        if ident is None:
+            from .base import Double, Int
+
+            ident = len(self.args)
+            self._ids[key] = ident
+            self.args.append(Int(value) if isinstance(value, int) else Double(value))
+            self.vals.append(value)
+        return ident
+
+    def arg_for(self, ident: int) -> Arg:
+        """The canonical Arg first interned under ``ident``."""
+        return self.args[ident]
+
+
 #: The process-wide table used by default.
 GLOBAL_TABLE = HashConsTable()
 

@@ -2,8 +2,14 @@
 
 A seeded generator produces small stratified Datalog programs plus
 query/update interleavings, and every evaluation configuration —
-semi-naive (BSN and PSN), pipelined, compiled, magic-on, magic-off,
-memo-on and memo-off — must return identical answer multisets.
+semi-naive (BSN and PSN), pipelined, compiled (closure and push
+backends), magic-on, magic-off, memo-on and memo-off — must return
+identical answer multisets.
+
+The generator's rule shapes are biased toward the compiled class (flat
+positive literals, comparisons, arithmetic ``=``) so well over half of all
+generated rules actually exercise the code generators; negation cases
+exercise the per-rule interpreter fallback under ``@compiled(push).``.
 
 Materialized engines use set semantics, so answers are compared as sorted
 duplicate-free lists; the pipelined engine enumerates one answer per proof
@@ -77,7 +83,12 @@ class GeneratedCase:
 
     def _random_rule(self, rng, pred, level, allow_negation):
         sources = self._positive_sources(level)
-        shape = rng.choice(["copy", "swap", "chain", "chain", "recursive"])
+        # copy/swap/chain/recursive/guard/incr are all in the compiled
+        # class, so most generated rules exercise the code generators;
+        # negation (appended below) forces the per-rule fallback
+        shape = rng.choice(
+            ["copy", "swap", "chain", "chain", "recursive", "guard", "incr"]
+        )
         if shape == "recursive" and level == 0:
             shape = "chain"
         if shape == "copy":
@@ -86,10 +97,16 @@ class GeneratedCase:
             body = [f"{rng.choice(sources)}(Y, X)"]
         elif shape == "chain":
             body = [f"{rng.choice(sources)}(X, Z)", f"{rng.choice(sources)}(Z, Y)"]
+        elif shape == "guard":
+            # a comparison over bound values: compiled as an inline guard
+            body = [f"{rng.choice(sources)}(X, Y)", "X < Y"]
+        elif shape == "incr":
+            # arithmetic assignment: compiled as inline arithmetic
+            body = [f"{rng.choice(sources)}(X, Z)", "Y = Z + 1"]
         else:  # recursive: d_i joins a lower predicate with itself
             self.recursive = True
             body = [f"{rng.choice(sources)}(X, Z)", f"{pred}(Z, Y)"]
-        if allow_negation and shape != "recursive" and rng.random() < 0.4:
+        if allow_negation and shape not in ("recursive", "incr") and rng.random() < 0.4:
             # strictly-lower stratum, all variables bound: stratified + safe
             self.has_negation = True
             body.append(f"not {rng.choice(sources)}(X, Y)")
@@ -121,9 +138,14 @@ class GeneratedCase:
         return "\n".join(lines) + "\n"
 
 
-def _evaluate(program: str, queries, memo=None):
+def _evaluate(program: str, queries, memo=None, compiled=None):
     """All query answers for one engine configuration, as sorted lists."""
-    session = Session(memo=memo) if memo is not None else Session()
+    kwargs = {}
+    if memo is not None:
+        kwargs["memo"] = memo
+    if compiled is not None:
+        kwargs["compiled"] = compiled
+    session = Session(**kwargs)
     session.consult_string(program)
     return {q: sorted(set(session.query(q).tuples())) for q in queries}
 
@@ -165,6 +187,7 @@ _ENGINE_FLAGS = {
     "no_rewriting": "@no_rewriting.",
     "psn": "@psn.",
     "compiled": "@compiled.",
+    "push": "@compiled(push).",
 }
 
 
@@ -180,13 +203,24 @@ def test_static_engines_agree(seed):
     _assert_same(case, baseline, memo_run, "memo")
 
     engines = (
-        {"psn": "@psn.", "no_rewriting": "@no_rewriting."}
+        # negation: the materialized semi-naive configurations, plus the
+        # push backend, whose per-rule fallback must keep negated rules on
+        # the interpreter and still agree
+        {
+            "psn": "@psn.",
+            "no_rewriting": "@no_rewriting.",
+            "push": "@compiled(push).",
+        }
         if case.has_negation
         else _ENGINE_FLAGS
     )
     for engine, flags in engines.items():
         run = _evaluate(case.program(flags), case.queries)
         _assert_same(case, baseline, run, engine)
+
+    # the session-wide default must behave exactly like the module flag
+    run = _evaluate(case.program(), case.queries, compiled="push")
+    _assert_same(case, baseline, run, "push-session-default")
 
     if not case.recursive and not case.has_negation:
         run = _evaluate(case.program("@pipelining."), case.queries)

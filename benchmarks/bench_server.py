@@ -101,17 +101,19 @@ def _sharded_query(index):
     return f"path{shard}(1, Y)", CHAIN - 1
 
 
-def _run_clients(address, n_clients, queries_per_client, make_query=None):
+def _run_clients(address, n_clients, queries_per_client, make_query=None,
+                 session_kw=None):
     """Each client drains one bound TC query per round; returns the
     per-request wall-clock latencies (query open + full cursor drain)."""
     make_query = make_query or _default_query
+    session_kw = session_kw or {}
     latencies = [[] for _ in range(n_clients)]
     errors = []
 
     def worker(index):
         query, expected = make_query(index)
         try:
-            with RemoteSession(*address, batch_size=16) as db:
+            with RemoteSession(*address, batch_size=16, **session_kw) as db:
                 for _ in range(queries_per_client):
                     began = time.perf_counter()
                     answers = db.query(query).all()
@@ -251,6 +253,79 @@ class TestServerThroughput:
             },
         )
         assert path.endswith("BENCH_server.json")
+
+    def test_emit_tracing_overhead_json(self, tmp_path):
+        """The distributed-tracing plane, priced: the same 4-client TC
+        workload with tracing off (``--trace-sample 0``, the inert path
+        the 1.15x observability guard covers) and with every request
+        sampled end to end (client mints, server records, spans drained
+        to a ``--span-dir`` JSONL)."""
+        runs = {}
+        for mode, server_kw, client_kw in (
+            ("off", {}, {}),
+            (
+                "sampled",
+                {
+                    "trace_sample": 1.0,
+                    "span_dir": str(tmp_path),
+                    "process_name": "server",
+                },
+                {"trace_sample": 1.0, "process_name": "client"},
+            ),
+        ):
+            session = _server_session()
+            with CoralServer(session, port=0, **server_kw) as server:
+                with RemoteSession(*server.address) as db:
+                    db.query("path(1, Y)").all()  # warm
+                with timed() as t:
+                    latencies = _run_clients(
+                        server.address, CLIENTS, QUERIES_PER_CLIENT,
+                        session_kw=client_kw,
+                    )
+                spans = server.spans.recorded
+            session.close()
+            p50, p99 = _percentiles(latencies)
+            runs[mode] = {
+                "rps": (CLIENTS * QUERIES_PER_CLIENT) / t.seconds,
+                "p50": p50,
+                "p99": p99,
+                "seconds": t.seconds,
+                "spans": spans,
+            }
+
+        assert runs["off"]["spans"] == 0
+        assert runs["sampled"]["spans"] > 0
+        overhead = runs["off"]["rps"] / runs["sampled"]["rps"]
+
+        report(
+            "Server: distributed tracing overhead (4 clients, TC drain)",
+            ["mode", "req/s", "p50 ms", "p99 ms", "server spans"],
+            [
+                (mode, round(run["rps"], 1), round(run["p50"] * 1e3, 3),
+                 round(run["p99"] * 1e3, 3), run["spans"])
+                for mode, run in runs.items()
+            ],
+        )
+        path = emit(
+            "server_tracing",
+            workload={
+                "graph": "chain",
+                "length": CHAIN,
+                "clients": CLIENTS,
+                "queries_per_client": QUERIES_PER_CLIENT,
+                "cpus": os.cpu_count(),
+            },
+            wall_time_seconds=runs["sampled"]["seconds"],
+            counters={
+                "untraced_requests_per_second": runs["off"]["rps"],
+                "sampled_requests_per_second": runs["sampled"]["rps"],
+                "sampled_overhead_ratio": overhead,
+                "untraced_latency_p99_seconds": runs["off"]["p99"],
+                "sampled_latency_p99_seconds": runs["sampled"]["p99"],
+                "server_spans_recorded": runs["sampled"]["spans"],
+            },
+        )
+        assert path.endswith("BENCH_server_tracing.json")
 
     def test_single_client_roundtrip_speed(self, benchmark):
         session = _server_session()

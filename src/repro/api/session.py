@@ -230,6 +230,11 @@ class Session:
         #: slow-query log (repro.obs.slowlog); queries whose evaluation
         #: exceeds its threshold append a plan-annotated JSONL entry
         self.slow_log = None
+        #: the distributed trace context of the request currently being
+        #: evaluated (repro.obs.disttrace) — set by the server around each
+        #: traced dispatch so the slow-query log can tag its entries and
+        #: force-sample threshold outliers; None when untraced
+        self.current_trace = None
         if memo:
             if isinstance(memo, MemoPolicy):
                 policy = memo

@@ -44,6 +44,7 @@ failures raise :class:`~repro.errors.ProtocolError`.
 
 from __future__ import annotations
 
+import os
 import random
 import socket
 import threading
@@ -68,6 +69,7 @@ from ..errors import (
     ReadOnlyError,
     WorkerRestartingError,
 )
+from ..obs.disttrace import HeadSampler, SpanBuffer, TraceContext
 from ..relations import Tuple
 from ..server.protocol import (
     PROTOCOL_VERSION,
@@ -124,6 +126,7 @@ class RemoteQueryResult:
         variables: List[str],
         arity: int,
         batch_size: int,
+        trace: Optional[TraceContext] = None,
     ) -> None:
         self._session = session
         self._link = link
@@ -135,6 +138,11 @@ class RemoteQueryResult:
         self._cache: List[Answer] = []
         self._pending: List[Answer] = []
         self._done = False
+        #: the trace context minted for the QUERY that opened this cursor;
+        #: every FETCH runs under a child of it, so the whole drain shares
+        #: one trace id
+        self._trace = trace
+        self.trace_id = trace.trace_id if trace is not None else None
 
     # -- the get-next-tuple interface ---------------------------------------
 
@@ -178,32 +186,49 @@ class RemoteQueryResult:
         if self._done:
             return
         self._done = True
+        header: Dict[str, object] = {
+            "op": "CLOSE_CURSOR",
+            "cursor": self._cursor_id,
+        }
+        if self._trace is not None:
+            header["trace"] = self._trace.to_wire()
         try:
-            self._session._cursor_request(
-                self._link,
-                self._generation,
-                {"op": "CLOSE_CURSOR", "cursor": self._cursor_id},
-            )
+            self._session._cursor_request(self._link, self._generation, header)
         except (ProtocolError, OSError):
             pass  # connection already gone: the server freed it on its side
 
     # -- internals ----------------------------------------------------------
 
     def _fetch_batch(self) -> None:
+        request: Dict[str, object] = {
+            "op": "FETCH",
+            "cursor": self._cursor_id,
+            "max": self._batch_size,
+        }
+        # each FETCH gets its own child span: the server's request.FETCH
+        # span then nests under this hop's client.fetch in the assembly
+        child = self._trace.child() if self._trace is not None else None
+        started = 0.0
+        if child is not None:
+            request["trace"] = child.to_wire()
+            started = SpanBuffer.now()
         try:
             header, body = self._session._cursor_request(
-                self._link,
-                self._generation,
-                {
-                    "op": "FETCH",
-                    "cursor": self._cursor_id,
-                    "max": self._batch_size,
-                },
+                self._link, self._generation, request
             )
         except CoralError:
             self._done = True  # server freed the cursor before erroring
             raise
         rows = decode_batch(body)
+        if child is not None:
+            self._session.spans.record(
+                child,
+                "client.fetch",
+                started,
+                SpanBuffer.now(),
+                cursor=self._cursor_id,
+                rows=len(rows),
+            )
         for row in rows:
             args = tuple(row[: self._arity])
             bindings = dict(zip(self._vars, row[self._arity :]))
@@ -427,11 +452,30 @@ class RemoteSession:
         backoff: float = 0.05,
         backoff_cap: float = 1.0,
         restart_retries: int = 10,
+        trace_sample: float = 0.0,
+        trace_dir: Optional[str] = None,
+        process_name: str = "client",
     ) -> None:
         if batch_size < 1:
             raise ProtocolError(f"batch_size must be >= 1, got {batch_size}")
         self.batch_size = batch_size
         self.timeout = timeout
+        #: distributed tracing (docs/OBSERVABILITY.md): mint a sampled
+        #: trace context for this fraction of logical operations and carry
+        #: it on their wire headers; client-side spans land in ``spans``
+        #: (and, with ``trace_dir``, in <trace_dir>/<process_name>.jsonl)
+        self.trace_sampler = HeadSampler(trace_sample)
+        self.spans = SpanBuffer(
+            process_name,
+            path=(
+                os.path.join(trace_dir, f"{process_name}.jsonl")
+                if trace_dir
+                else None
+            ),
+        )
+        #: the trace id of the most recently sampled operation (what the
+        #: shell prints so ``@trace <id>`` has something to look up)
+        self.last_trace_id: Optional[str] = None
         self.retries = max(1, retries)
         self.backoff = backoff
         self.backoff_cap = backoff_cap
@@ -467,11 +511,51 @@ class RemoteSession:
             self.address = self.endpoints[0]
             self.server_info = link.info
 
+    # -- distributed tracing --------------------------------------------------
+
+    def _begin_trace(self) -> Optional[TraceContext]:
+        """One head-based sampling decision; a yes mints a fresh root
+        context and remembers its trace id as :attr:`last_trace_id`."""
+        if not self.trace_sampler.decide():
+            return None
+        ctx = TraceContext.mint(sampled=True)
+        self.last_trace_id = ctx.trace_id
+        return ctx
+
+    def trace(self, trace_id: Optional[str] = None) -> List[Dict[str, Any]]:
+        """All spans recorded under ``trace_id`` (default: the last trace
+        this session sampled): the server's — gathered cluster-wide by a
+        router — via the ``TRACE`` op, merged with this client's own."""
+        target = trace_id if trace_id is not None else self.last_trace_id
+        if target is None:
+            raise ProtocolError(
+                "no trace id given and no operation has been sampled yet "
+                "(construct the session with trace_sample > 0)"
+            )
+        _, (header, _) = self._request({"op": "TRACE", "id": target})
+        spans = [
+            span
+            for span in header.get("spans", [])
+            if isinstance(span, dict)
+        ]
+        spans.extend(self.spans.spans_for(target))
+        return spans
+
     # -- queries ------------------------------------------------------------
 
     def query(self, text: str, batch_size: Optional[int] = None) -> RemoteQueryResult:
         """Open a server-side cursor for a textual query."""
-        link, (header, _) = self._request({"op": "QUERY", "query": text})
+        request: Dict[str, object] = {"op": "QUERY", "query": text}
+        ctx = self._begin_trace()
+        started = 0.0
+        if ctx is not None:
+            request["trace"] = ctx.to_wire()
+            started = SpanBuffer.now()
+        link, (header, _) = self._request(request)
+        if ctx is not None:
+            self.spans.record(
+                ctx, "client.query", started, SpanBuffer.now(), query=text
+            )
         return RemoteQueryResult(
             self,
             link,
@@ -479,6 +563,7 @@ class RemoteSession:
             list(header["vars"]),
             int(header["arity"]),
             batch_size or self.batch_size,
+            trace=ctx,
         )
 
     def query_values(self, pred: str, *values: Any) -> RemoteQueryResult:
@@ -493,9 +578,18 @@ class RemoteSession:
         """Load program text into the shared server database; queries in the
         text come back as open cursors (one per query, in order).  A write:
         routed to the primary in replica-set mode."""
-        link, (header, _) = self._request(
-            {"op": "CONSULT", "source": source}, write=True
-        )
+        request: Dict[str, object] = {"op": "CONSULT", "source": source}
+        ctx = self._begin_trace()
+        started = 0.0
+        if ctx is not None:
+            request["trace"] = ctx.to_wire()
+            started = SpanBuffer.now()
+        link, (header, _) = self._request(request, write=True)
+        if ctx is not None:
+            self.spans.record(
+                ctx, "client.consult", started, SpanBuffer.now(),
+                bytes=len(source),
+            )
         return [
             RemoteQueryResult(
                 self,
@@ -504,6 +598,7 @@ class RemoteSession:
                 list(item["vars"]),
                 int(item["arity"]),
                 self.batch_size,
+                trace=ctx,
             )
             for item in header.get("cursors", [])
         ]
@@ -511,15 +606,24 @@ class RemoteSession:
     # -- updates and introspection ------------------------------------------
 
     def insert(self, pred: str, *values: Any) -> bool:
-        _, (header, _) = self._request(
-            {"op": "INSERT", "pred": pred, "values": list(values)}, write=True
-        )
-        return bool(header.get("changed"))
+        return self._update("INSERT", pred, list(values))
 
     def delete(self, pred: str, *values: Any) -> bool:
-        _, (header, _) = self._request(
-            {"op": "DELETE", "pred": pred, "values": list(values)}, write=True
-        )
+        return self._update("DELETE", pred, list(values))
+
+    def _update(self, op: str, pred: str, values: List[Any]) -> bool:
+        request: Dict[str, object] = {"op": op, "pred": pred, "values": values}
+        ctx = self._begin_trace()
+        started = 0.0
+        if ctx is not None:
+            request["trace"] = ctx.to_wire()
+            started = SpanBuffer.now()
+        _, (header, _) = self._request(request, write=True)
+        if ctx is not None:
+            self.spans.record(
+                ctx, f"client.{op.lower()}", started, SpanBuffer.now(),
+                pred=pred,
+            )
         return bool(header.get("changed"))
 
     def stats(self) -> Dict[str, Any]:
@@ -542,10 +646,14 @@ class RemoteSession:
         with self._lock:
             index = self._read.index if self._read is not None else 0
             link = self._connect(index)
+        request: Dict[str, object] = {"op": "SUBSCRIBE", "query": query}
+        ctx = self._begin_trace()
+        started = 0.0
+        if ctx is not None:
+            request["trace"] = ctx.to_wire()
+            started = SpanBuffer.now()
         try:
-            frame = self._transport(
-                link, {"op": "SUBSCRIBE", "query": query}, b""
-            )
+            frame = self._transport(link, request, b"")
             header, body = self._unwrap(frame)
         except _TransportLost as exc:
             try:
@@ -559,6 +667,11 @@ class RemoteSession:
             except OSError:
                 pass
             raise
+        if ctx is not None:
+            self.spans.record(
+                ctx, "client.subscribe", started, SpanBuffer.now(),
+                query=query,
+            )
         sub = RemoteSubscription(
             self,
             link,
@@ -641,6 +754,7 @@ class RemoteSession:
                     link.sock.close()
                 except OSError:
                     pass
+        self.spans.close()
 
     def __enter__(self) -> "RemoteSession":
         return self

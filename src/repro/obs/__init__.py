@@ -15,12 +15,14 @@ Everything hot is gated behind ``ctx.obs is None`` single-branch guards;
 see docs/OBSERVABILITY.md for metric names and the span taxonomy.
 """
 
+from .disttrace import HeadSampler, SpanBuffer, TraceCollector, TraceContext
 from .exposition import TelemetryServer, render_prometheus
 from .flight import FlightRecorder
 from .metrics import (
     Counter,
     Gauge,
     Histogram,
+    LabelCapper,
     MetricError,
     MetricsRegistry,
     SIZE_BUCKETS,
@@ -35,15 +37,20 @@ __all__ = [
     "EventTracer",
     "FlightRecorder",
     "Gauge",
+    "HeadSampler",
     "Histogram",
+    "LabelCapper",
     "MetricError",
     "MetricsRegistry",
     "Profiler",
     "QueryProfile",
     "SIZE_BUCKETS",
     "SlowQueryLog",
+    "SpanBuffer",
     "TIME_BUCKETS",
     "TelemetryServer",
+    "TraceCollector",
+    "TraceContext",
     "TraceEvent",
     "render_prometheus",
 ]

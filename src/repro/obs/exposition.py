@@ -11,7 +11,10 @@ values, and for histograms the cumulative ``_bucket{le=...}`` series plus
 * ``GET /healthz``  — liveness: ``200 ok`` (or ``503`` if a health
   callable says otherwise);
 * ``GET /debug/flight`` — the live flight-recorder ring as JSON lines
-  (404 when no recorder is attached).
+  (404 when no recorder is attached);
+* ``GET /debug/trace/<id>`` — one assembled cross-process Chrome trace
+  for a distributed trace id (:mod:`repro.obs.disttrace`); 404 when no
+  trace lookup is attached or the id recorded no spans.
 
 Start it through ``CoralServer(telemetry_port=...)`` — which wires in the
 server's registry and flight recorder and ties the endpoint's lifecycle to
@@ -267,6 +270,21 @@ class _Handler(BaseHTTPRequestHandler):
                         for record in flight.snapshot()
                     ).encode("utf-8")
                     self._send(200, "application/x-ndjson", body)
+            elif path.startswith("/debug/trace/"):
+                trace_id = path[len("/debug/trace/"):]
+                assembled = None
+                if telemetry.trace_lookup is not None and trace_id:
+                    assembled = telemetry.trace_lookup(trace_id)
+                if assembled is None:
+                    self._send(
+                        404, "text/plain; charset=utf-8",
+                        b"no such trace\n",
+                    )
+                else:
+                    self._send(
+                        200, "application/json",
+                        json.dumps(assembled, sort_keys=True).encode("utf-8"),
+                    )
             else:
                 self._send(
                     404, "text/plain; charset=utf-8", b"not found\n"
@@ -277,7 +295,7 @@ class _Handler(BaseHTTPRequestHandler):
 
 class TelemetryServer:
     """The operator endpoint: a daemon HTTP thread serving ``/metrics``,
-    ``/healthz``, and ``/debug/flight``."""
+    ``/healthz``, ``/debug/flight``, and ``/debug/trace/<id>``."""
 
     def __init__(
         self,
@@ -295,10 +313,16 @@ class TelemetryServer:
                 ],
             ]
         ] = None,
+        trace_lookup: Optional[
+            Callable[[str], Optional[Dict[str, object]]]
+        ] = None,
     ) -> None:
         self._registries: List[MetricsRegistry] = list(registries)
         self.flight = flight
         self._health = health
+        #: trace id -> assembled Chrome trace dict (or None when unknown);
+        #: backs ``/debug/trace/<id>``
+        self.trace_lookup = trace_lookup
         #: called per scrape: (extra_labels, collected) pairs for remote
         #: registries — a shard router's cached worker snapshots
         self._snapshots = snapshots

@@ -116,6 +116,11 @@ class FlightRecorder:
         self.recorded = 0
         self.dump_count = 0
         self.last_dump_reason: Optional[str] = None
+        #: the distributed trace context active when the next dump fires
+        #: (repro.obs.disttrace) — the server mirrors the session's
+        #: ``current_trace`` here so a crash dump's header names the trace
+        #: id of the request that died; None when untraced
+        self.current_trace = None
 
     def __len__(self) -> int:
         return len(self._ring)
@@ -259,6 +264,9 @@ class FlightRecorder:
             "recorded_total": self.recorded,
             "wall_time": time.time(),
         }
+        ctx = self.current_trace
+        if ctx is not None:
+            header["trace"] = ctx.trace_id
         lines = [json.dumps(header, sort_keys=True)]
         lines.extend(json.dumps(record, sort_keys=True) for record in events)
         return "\n".join(lines) + "\n"

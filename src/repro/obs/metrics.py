@@ -30,6 +30,7 @@ keep unconditional ``metric.inc()`` calls if it prefers that style.
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
 from typing import Dict, List, Optional, Sequence, Tuple as PyTuple
 
@@ -245,6 +246,43 @@ class Histogram:
 
     def collect(self) -> Dict[PyTuple[str, ...], Dict[str, object]]:
         return {labels: self.snapshot(*labels) for labels in self._series}
+
+
+class LabelCapper:
+    """Bound the cardinality of one labeled counter family.
+
+    Metrics labeled by uncontrolled input (client host, query predicate)
+    are a cardinality bomb: a million distinct clients would mint a million
+    time series and an unboundedly large ``/metrics`` payload.  The capper
+    admits the first ``k`` distinct label values it sees and collapses
+    every later new value into a single ``overflow`` bucket (``"other"``),
+    so the family can never exceed ``k + 1`` series.  First-come admission
+    keeps the steady long-lived labels (a fleet's real clients, an
+    application's hot predicates) and sheds the churn.
+    """
+
+    __slots__ = ("counter", "k", "overflow", "overflowed", "_seen", "_lock")
+
+    def __init__(self, counter, k: int = 32, overflow: str = "other") -> None:
+        if k < 1:
+            raise MetricError(f"label cap must be >= 1, got {k}")
+        self.counter = counter
+        self.k = k
+        self.overflow = overflow
+        #: label values collapsed into the overflow bucket so far
+        self.overflowed = 0
+        self._seen: set = set()
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1, label: str = "") -> None:
+        with self._lock:
+            if label not in self._seen:
+                if len(self._seen) < self.k:
+                    self._seen.add(label)
+                else:
+                    self.overflowed += 1
+                    label = self.overflow
+        self.counter.inc(amount, label)
 
 
 class _NullBound:

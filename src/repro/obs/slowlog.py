@@ -17,6 +17,12 @@ is re-run under a trace-free profiler and the entry gains a ``profile``
 section with per-rule applications/derived/duplicates/time.  The re-run is
 guarded by a reentrancy flag so the analysis query can never log itself.
 
+When a distributed trace context is active on the session (the server sets
+``session.current_trace`` around each traced request — docs/OBSERVABILITY.md),
+the entry also carries a ``trace`` field with the trace id and the context
+is flipped to sampled, so a p99 outlier always links to its cross-process
+trace even when head-based sampling would have skipped it.
+
 Wire it up with ``session.enable_slow_query_log(path, threshold=...)`` or
 ``python -m repro.server --slow-query-log FILE --slow-query-seconds S``.
 """
@@ -75,6 +81,14 @@ class SlowQueryLog:
             "finished": finished,
             "eval": {k: v for k, v in eval_delta.items() if v},
         }
+        # distributed tracing (repro.obs.disttrace): a query slow enough to
+        # log is always worth a trace — tag the entry with the active trace
+        # id and flip the context to sampled so every hop that sees it
+        # afterwards records its spans (tail-based forced sampling)
+        ctx = getattr(session, "current_trace", None)
+        if ctx is not None:
+            entry["trace"] = ctx.trace_id
+            ctx.sampled = True
         self._busy = True  # the plan (and any analyze re-run) must not re-log
         try:
             plan = explain_literal(session, literal, analyze=self.analyze)

@@ -86,6 +86,11 @@ class EventTracer:
         self.events: List[TraceEvent] = []
         self.limit = limit
         self.dropped = 0
+        #: optional callable invoked (outside the lock, best-effort) once
+        #: per event dropped at the cap — the server points this at an
+        #: ``obs.trace.dropped`` counter so span loss is visible in
+        #: /metrics and STATS, not just inside an exported profile
+        self.on_drop: Optional[Callable[[], None]] = None
         self._clock = clock
         # server handler threads share one tracer; the lock keeps the
         # bounded append (a check-then-act) and the exporters' snapshots
@@ -105,8 +110,15 @@ class EventTracer:
         with self._lock:
             if len(self.events) >= self.limit:
                 self.dropped += 1
+                hook = self.on_drop
+            else:
+                self.events.append(event)
                 return
-            self.events.append(event)
+        if hook is not None:
+            try:
+                hook()
+            except Exception:
+                pass
 
     def _snapshot(self) -> Tuple[List[TraceEvent], int]:
         with self._lock:

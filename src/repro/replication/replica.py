@@ -199,7 +199,12 @@ class ReplicationClient:
                     f"(truncated or corrupted in flight)"
                 )
             self.server.faults.check("repl.apply")
-            self.server.apply_replicated(seq, kind, pred, payload)
+            # the optional trace field carries the originating write's
+            # distributed-trace context (repro.obs.disttrace): the apply
+            # records a replica-side span under the same trace id
+            self.server.apply_replicated(
+                seq, kind, pred, payload, trace=header.get("trace")
+            )
         write_frame(
             sock, {"op": "REPL_ACK", "seq": self.server.changelog.last_seq}
         )

@@ -87,6 +87,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="record per-connection trace events (repro.obs)",
     )
     parser.add_argument(
+        "--trace-sample", type=float, default=0.0, metavar="RATE",
+        help="distributed-tracing head sampling rate in [0, 1]: mint a "
+             "sampled trace context for this fraction of untraced requests "
+             "(0 disables; queries tripping the slow-query log are always "
+             "sampled — docs/OBSERVABILITY.md)",
+    )
+    parser.add_argument(
+        "--span-dir", default=None, metavar="DIR",
+        help="drain this process's distributed-tracing spans to "
+             "DIR/<process-name>.jsonl (with --workers the whole fleet "
+             "shares the directory, one file per process)",
+    )
+    parser.add_argument(
+        "--process-name", default=None, metavar="NAME",
+        help="the process name spans are recorded under (default: "
+             "<role>-<pid>)",
+    )
+    parser.add_argument(
         "--telemetry-port", type=int, default=None, metavar="PORT",
         help="serve /metrics, /healthz and /debug/flight over HTTP on this "
              "port (0 picks an ephemeral one, printed on stdout)",
@@ -208,6 +226,15 @@ def _run_router(args) -> int:
         worker_args += ["--timeout", str(args.timeout)]
     if args.max_tuples is not None:
         worker_args += ["--max-tuples", str(args.max_tuples)]
+    if args.trace_sample or args.span_dir:
+        # the fleet shares one trace plane: workers keep the router's
+        # sampling rate for requests arriving untraced, drain spans into
+        # the shared --span-dir, and record under stable per-index names
+        worker_args += ["--process-name", "worker-{index}"]
+        if args.trace_sample:
+            worker_args += ["--trace-sample", str(args.trace_sample)]
+        if args.span_dir:
+            worker_args += ["--span-dir", args.span_dir]
     pool = WorkerPool(
         args.workers,
         data_dir=args.data_dir,
@@ -225,6 +252,9 @@ def _run_router(args) -> int:
         telemetry_host=args.telemetry_host,
         io_timeout=args.io_timeout,
         idle_timeout=args.idle_timeout,
+        trace_sample=args.trace_sample,
+        span_dir=args.span_dir,
+        process_name=args.process_name or "router",
     )
     host, port = router.address
     print(f"coral-server listening on {host}:{port} (router)", flush=True)
@@ -302,6 +332,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         io_timeout=args.io_timeout,
         idle_timeout=args.idle_timeout,
         live_queue=args.live_queue,
+        trace_sample=args.trace_sample,
+        span_dir=args.span_dir,
+        process_name=args.process_name,
     )
     host, port = server.address
     print(f"coral-server listening on {host}:{port} ({server.role})", flush=True)

@@ -40,6 +40,7 @@ import socketserver
 import threading
 import time
 from collections import deque
+from contextlib import contextmanager
 from typing import Dict, List, Optional, Tuple as PyTuple, Union
 
 from ..api import Session
@@ -48,7 +49,14 @@ from ..errors import CoralError, ProtocolError, ReadOnlyError, StorageError
 from ..eval.limits import ResourceLimits
 from ..faults import FaultInjector, SimulatedCrash
 from ..language import Literal, parse_program, parse_query
-from ..obs import EventTracer, FlightRecorder, MetricsRegistry, TelemetryServer
+from ..obs import (
+    EventTracer,
+    FlightRecorder,
+    LabelCapper,
+    MetricsRegistry,
+    TelemetryServer,
+)
+from ..obs.disttrace import HeadSampler, SpanBuffer, TraceCollector, TraceContext
 # only the changelog side is imported eagerly: ReplicationClient lives in
 # repro.replication.replica, which imports this package's protocol module —
 # importing it here at module level would make repro.replication and
@@ -79,7 +87,15 @@ DEFAULT_BATCH = 64
 #: subscribers may drain their queues and detach, the rest of the lifecycle
 #: keeps working, but no new work is admitted
 _DRAIN_OPS = ("HELLO", "FETCH", "CLOSE_CURSOR", "DELTA", "UNSUBSCRIBE",
-              "STATS", "BYE")
+              "STATS", "TRACE", "BYE")
+
+#: cap on distinct label values for metric families fed by uncontrolled
+#: input (client hosts, query predicates); later values collapse to "other"
+_LABEL_CAP = 64
+
+#: how many recent changelog sequences keep their originating trace context
+#: for REPL_SHIP stamping (a bounded map — old writes simply ship untraced)
+_SHIP_TRACE_CAP = 1024
 
 #: ops that mutate the shared database — refused on a read replica
 _WRITE_OPS = ("CONSULT", "INSERT", "DELETE")
@@ -253,6 +269,10 @@ class CoralServer:
         io_timeout: Optional[float] = 30.0,
         idle_timeout: Optional[float] = 300.0,
         live_queue: int = 1024,
+        trace_sample: float = 0.0,
+        span_dir: Optional[str] = None,
+        process_name: Optional[str] = None,
+        span_limit: int = 20_000,
     ) -> None:
         self.session = session if session is not None else Session()
         self.limits = limits
@@ -260,6 +280,16 @@ class CoralServer:
         self.faults = faults if faults is not None else FaultInjector()
         self.metrics = MetricsRegistry()
         self.tracer = EventTracer(limit=trace_limit) if trace else None
+        #: distributed tracing (docs/OBSERVABILITY.md): head-sample this
+        #: fraction of requests arriving without a wire ``trace`` context
+        self.trace_sampler = HeadSampler(trace_sample)
+        self.span_dir = span_dir
+        self.process_name = process_name or f"{role}-{os.getpid()}"
+        self._span_limit = span_limit
+        #: the request-scoped trace context, per handler thread
+        self._trace_local = threading.local()
+        #: seq -> wire trace context for REPL_SHIP stamping (bounded)
+        self._ship_traces: Dict[int, str] = {}
         if role not in ("primary", "replica"):
             raise ProtocolError(f"role must be 'primary' or 'replica', got {role!r}")
         self.role = role
@@ -338,6 +368,7 @@ class CoralServer:
                 registries=[self.metrics],
                 flight=self.flight,
                 health=self._health,
+                trace_lookup=self._trace_lookup,
             )
         #: serializes all database work (parse, evaluate, update)
         self._db_lock = threading.RLock()
@@ -372,13 +403,48 @@ class CoralServer:
         )
         self._m_answers = m.counter("server.answers.sent", "answers shipped to clients")
         # per-client host (not host:port — an ephemeral port per connection
-        # would mint unbounded label series) and per-query-predicate labels
-        self._m_client_requests = m.counter(
-            "server.client.requests", "requests by client host", ("client",)
+        # would mint unbounded label series) and per-query-predicate labels;
+        # both are fed by uncontrolled input, so each family is capped at
+        # _LABEL_CAP distinct values with an "other" overflow bucket — a
+        # million distinct clients cannot blow up the registry or /metrics
+        self._m_client_requests = LabelCapper(
+            m.counter(
+                "server.client.requests",
+                "requests by client host (top clients; rest under 'other')",
+                ("client",),
+            ),
+            k=_LABEL_CAP,
         )
-        self._m_query_preds = m.counter(
-            "server.query.predicates",
-            "cursors opened per query predicate", ("pred",),
+        self._m_query_preds = LabelCapper(
+            m.counter(
+                "server.query.predicates",
+                "cursors opened per query predicate (top predicates; rest "
+                "under 'other')",
+                ("pred",),
+            ),
+            k=_LABEL_CAP,
+        )
+        self._m_trace_dropped = m.counter(
+            "obs.trace.dropped",
+            "trace events/spans dropped at bounded-buffer caps",
+            ("buffer",),
+        )
+        if self.tracer is not None:
+            self.tracer.on_drop = (
+                lambda: self._m_trace_dropped.inc(1, "events")
+            )
+        span_path = (
+            os.path.join(span_dir, f"{self.process_name}.jsonl")
+            if span_dir
+            else None
+        )
+        #: bounded per-process buffer of distributed-trace spans, drained
+        #: to <span_dir>/<process_name>.jsonl when a span directory is set
+        self.spans = SpanBuffer(
+            self.process_name,
+            limit=span_limit,
+            path=span_path,
+            on_drop=lambda: self._m_trace_dropped.inc(1, "spans"),
         )
         self._m_repl_events = m.counter(
             "replication.events",
@@ -457,6 +523,104 @@ class CoralServer:
         self._m_repl_lag_records.set(client.lag_records())
         stalled = client.stalled_for()
         self._m_repl_lag_seconds.set(stalled if stalled is not None else -1.0)
+
+    # -- distributed tracing (repro.obs.disttrace) ---------------------------
+
+    def _request_trace(self, header) -> Optional[TraceContext]:
+        """The trace context this request runs under, or None.
+
+        A wire ``trace`` field (any client, any hop) wins: the request runs
+        under a child of the carried context, sampled or not.  Without one,
+        the head sampler may mint a sampled root (``trace_sample`` > 0);
+        failing that, a server with a slow-query log still mints an
+        *unsampled* root so a threshold trip can flip it to sampled
+        (forced sampling) — otherwise tracing stays entirely off-path."""
+        wire = header.get("trace")
+        if wire is not None:
+            parent = TraceContext.from_wire(wire)
+            if parent is not None:
+                return parent.child()
+        if self.trace_sampler.rate > 0.0 and self.trace_sampler.decide():
+            return TraceContext.mint(True)
+        if self.session.slow_log is not None:
+            return TraceContext.mint(False)
+        return None
+
+    def _current_trace(self) -> Optional[TraceContext]:
+        return getattr(self._trace_local, "ctx", None)
+
+    @contextmanager
+    def _session_trace(self):
+        """Expose the request's trace context on the shared session (and
+        flight recorder) for the duration of one db-locked block, so the
+        slow-query log can tag entries / force-sample and a crash dump
+        names the trace that died.  Callers hold ``_db_lock``, which is
+        what makes the set/restore race-free across handler threads."""
+        ctx = self._current_trace()
+        if ctx is None:
+            yield None
+            return
+        session = self.session
+        flight = self.flight
+        previous = session.current_trace
+        session.current_trace = ctx
+        if flight is not None:
+            flight.current_trace = ctx
+        try:
+            yield ctx
+        finally:
+            session.current_trace = previous
+            if flight is not None:
+                flight.current_trace = previous
+
+    def _note_ship_trace(self, seq: int) -> None:
+        """Remember the trace context that produced changelog record ``seq``
+        so the ship loop can stamp it onto the REPL_SHIP frame.  Called
+        under the db lock; the map is bounded (old writes ship untraced)."""
+        ctx = self._current_trace()
+        if ctx is None or not ctx.sampled:
+            return
+        self._ship_traces[seq] = ctx.to_wire()
+        while len(self._ship_traces) > _SHIP_TRACE_CAP:
+            self._ship_traces.pop(next(iter(self._ship_traces)))
+
+    def _trace_lookup(self, trace_id: str) -> Optional[Dict[str, object]]:
+        """Assemble one trace id from this process's spans plus whatever
+        sibling processes drained into ``span_dir`` — the payload behind
+        ``/debug/trace/<id>`` on the telemetry endpoint."""
+        collector = TraceCollector()
+        if self.span_dir:
+            try:
+                collector.load_dir(self.span_dir)
+            except OSError:
+                pass
+        collector.add_spans(self.spans.snapshot())
+        if not collector.spans(trace_id):
+            return None
+        return collector.assemble(trace_id)
+
+    def _op_trace(self, header) -> Dict[str, object]:
+        """The TRACE op: return this process's spans for one trace id (the
+        shard router additionally gathers its workers' — that is how the
+        shell's ``@trace <id>`` sees the whole cluster)."""
+        trace_id = str(header.get("id", ""))
+        spans = self.spans.spans_for(trace_id)
+        if self.span_dir:
+            # merge sibling processes' drained spans (e.g. a replica's):
+            # the collector dedupes ids, first writer wins
+            collector = TraceCollector()
+            collector.add_spans(spans)
+            try:
+                collector.load_dir(self.span_dir)
+            except OSError:
+                pass
+            spans = collector.spans(trace_id)
+        return {
+            "ok": True,
+            "id": trace_id,
+            "process": self.process_name,
+            "spans": spans,
+        }
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -541,6 +705,7 @@ class CoralServer:
             self._free_subscriptions(conn)
         if self.changelog is not None:
             self.changelog.close()
+        self.spans.close()
 
     def __enter__(self) -> "CoralServer":
         return self.start()
@@ -604,6 +769,9 @@ class CoralServer:
         connection (BYE, handshake refusal, or a dead socket)."""
         op = str(header.get("op", ""))
         started = time.perf_counter()
+        trace_ctx = self._request_trace(header)
+        self._trace_local.ctx = trace_ctx
+        wall = SpanBuffer.now() if trace_ctx is not None else 0.0
         keep_going = True
         try:
             response, rbody, keep_going = self._dispatch(conn, op, header, body)
@@ -638,6 +806,18 @@ class CoralServer:
             self.tracer.complete(
                 f"request.{op or '?'}", "server", started, conn=conn.conn_id
             )
+        if trace_ctx is not None and trace_ctx.sampled:
+            # sampled either from the start or force-flipped by a slowlog
+            # trip during dispatch — either way the hop is worth a span
+            self.spans.record(
+                trace_ctx,
+                f"request.{op or '?'}",
+                wall,
+                SpanBuffer.now(),
+                conn=conn.conn_id,
+                ok=bool(response.get("ok")),
+            )
+        self._trace_local.ctx = None
         try:
             self.faults.check("net.write")
             write_frame(sock, response, rbody)
@@ -770,6 +950,8 @@ class CoralServer:
             return {"ok": True, "closed": closed}, b"", True
         if op == "STATS":
             return {"ok": True, "stats": self.stats()}, b"", True
+        if op == "TRACE":
+            return self._op_trace(header), b"", True
         if op == "REPL_HELLO":
             return self._op_repl_hello(conn, header), b"", True
         if op == "PROMOTE":
@@ -830,7 +1012,7 @@ class CoralServer:
 
     def _op_query(self, conn: _Connection, header) -> Dict[str, object]:
         text = str(header.get("query", ""))
-        with self._db_lock:
+        with self._db_lock, self._session_trace():
             literal = parse_query(text).literal
             cursor = self._open_cursor(conn, literal, text)
         return {
@@ -843,7 +1025,7 @@ class CoralServer:
     def _op_consult(self, conn: _Connection, header) -> Dict[str, object]:
         source = str(header.get("source", ""))
         record = None
-        with self._db_lock:
+        with self._db_lock, self._session_trace():
             program = parse_program(source)
             if any(c.name == "consult" for c in program.commands):
                 raise ProtocolError(
@@ -859,6 +1041,7 @@ class CoralServer:
                 record = self.changelog.append(
                     KIND_CONSULT, "", source.encode("utf-8")
                 )
+                self._note_ship_trace(record.seq)
                 self._m_repl_last_seq.set(self.changelog.last_seq)
             opened = []
             for query, result in zip(program.queries, results):
@@ -889,7 +1072,7 @@ class CoralServer:
             raise ProtocolError(f"FETCH max must be >= 1, got {limit}")
         rows = []
         done = False
-        with self._db_lock:
+        with self._db_lock, self._session_trace():
             if self.limits is not None:
                 cursor.result.set_limits(self.limits.clone())
             try:
@@ -927,7 +1110,7 @@ class CoralServer:
         if not pred or not isinstance(values, list):
             raise ProtocolError("INSERT/DELETE need a pred and a values list")
         record = None
-        with self._db_lock:
+        with self._db_lock, self._session_trace():
             if insert:
                 changed = self.session.insert(pred, *values)
             else:
@@ -939,6 +1122,7 @@ class CoralServer:
                     pred,
                     encode_mutation([[to_arg(v) for v in values]]),
                 )
+                self._note_ship_trace(record.seq)
                 self._m_repl_last_seq.set(self.changelog.last_seq)
         if record is not None:
             # the ack wait happens *outside* the db lock: readers and other
@@ -966,6 +1150,18 @@ class CoralServer:
             )
 
         def on_deltas(deltas) -> None:
+            # the callback runs on the committing writer's handler thread:
+            # if that write is traced, the delta emission joins its trace
+            writer_ctx = self._current_trace()
+            if writer_ctx is not None and writer_ctx.sampled:
+                self.spans.record(
+                    writer_ctx.child(),
+                    "live.delta",
+                    SpanBuffer.now(),
+                    None,
+                    sub=sub.sub_id,
+                    count=len(deltas),
+                )
             with sub.cond:
                 if sub.closed_reason is not None:
                     return
@@ -995,7 +1191,7 @@ class CoralServer:
                 sub.queue.clear()
                 sub.cond.notify_all()
 
-        with self._db_lock:
+        with self._db_lock, self._session_trace():
             literal = parse_query(text).literal
             view = self.session.subscribe(literal, on_deltas, on_close)
             sub.view = view
@@ -1207,6 +1403,11 @@ class CoralServer:
                         "pred": record.pred,
                         "crc": record.crc,
                     }
+                    wire_trace = self._ship_traces.get(record.seq)
+                    if wire_trace is not None:
+                        # propagate the originating write's trace context so
+                        # the replica's apply span joins the same trace
+                        header["trace"] = wire_trace
                     body = record.payload
                 self.faults.check("repl.ship")
                 write_frame(sock, header, body)
@@ -1287,7 +1488,12 @@ class CoralServer:
                 self._ack_cond.wait(remaining)
 
     def apply_replicated(
-        self, seq: int, kind: int, pred: str, payload: bytes
+        self,
+        seq: int,
+        kind: int,
+        pred: str,
+        payload: bytes,
+        trace: Optional[str] = None,
     ) -> bool:
         """Apply one shipped record on a replica, sequence-gated.
 
@@ -1299,6 +1505,12 @@ class CoralServer:
         changelog append; on a crash between the two, boot-time replay of
         the changelog (the source of truth) reconverges, and the primary
         re-ships anything unacknowledged."""
+        ctx = None
+        if trace is not None:
+            parent = TraceContext.from_wire(trace)
+            if parent is not None and parent.sampled:
+                ctx = parent.child()
+        apply_started = SpanBuffer.now() if ctx is not None else 0.0
         with self._db_lock:
             last = self.changelog.last_seq
             if seq <= last:
@@ -1322,6 +1534,15 @@ class CoralServer:
         self._refresh_replica_gauges()
         if self.tracer is not None:
             self.tracer.instant("repl.apply", "server", seq=seq)
+        if ctx is not None:
+            self.spans.record(
+                ctx,
+                "replica.apply",
+                apply_started,
+                SpanBuffer.now(),
+                seq=seq,
+                pred=pred,
+            )
         return True
 
     def _op_promote(self, header) -> Dict[str, object]:
@@ -1484,6 +1705,15 @@ class CoralServer:
             "latency": self._latency(),
             "eval": eval_stats,
             "metrics": self.metrics.collect(),
+            "trace": {
+                "process": self.process_name,
+                "sample_rate": self.trace_sampler.rate,
+                "spans_recorded": self.spans.recorded,
+                "spans_dropped": self.spans.dropped,
+                "events_dropped": (
+                    self.tracer.dropped if self.tracer is not None else 0
+                ),
+            },
         }
         if self.worker_index is not None:
             payload["worker"] = {

@@ -41,6 +41,9 @@ Request ops (client to server)::
                   teardown
     UNSUBSCRIBE   deregister a live query
     STATS         server counters: connections, cursors, requests, metrics
+    TRACE         the spans a process recorded under one distributed trace
+                  id (header ``id``); a shard router answers with the whole
+                  fleet's spans (repro.obs.disttrace; docs/OBSERVABILITY.md)
     REPL_HELLO    enter the replication stream: the sender is a replica,
                   the header carries its last applied changelog sequence
     PROMOTE       turn a read replica into a writable primary (failover)
@@ -55,6 +58,15 @@ After a successful ``REPL_HELLO`` the roles on the socket invert: the
 heartbeat each, the body carrying the record payload in the storage batch
 codec — and the *client* (a replica) answers each with ``REPL_ACK`` carrying
 its applied sequence.  See docs/REPLICATION.md.
+
+Every request header (and ``REPL_SHIP``) may additionally carry an
+**optional** ``trace`` field: a W3C-traceparent-style string
+(``00-<32 hex trace id>-<16 hex span id>-<2 hex flags>``, flag bit 0x01 =
+sampled) propagating a distributed trace context across hops — client to
+router to workers, primary to replicas (:mod:`repro.obs.disttrace`).  The
+field is fully backward compatible: old clients omit it, old servers
+ignore it, and a malformed value is treated as absent rather than failing
+the request.  The protocol version is unchanged.
 
 Error responses carry ``{"ok": false, "error": <class name>, "message":
 ...}``; the client re-raises the matching :class:`~repro.errors.CoralError`
@@ -90,6 +102,7 @@ REQUEST_OPS = (
     "DELTA",
     "UNSUBSCRIBE",
     "STATS",
+    "TRACE",
     "REPL_HELLO",
     "PROMOTE",
     "WORKER_HELLO",

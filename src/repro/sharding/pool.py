@@ -283,7 +283,12 @@ class WorkerPool:
             )
             os.makedirs(worker_dir, exist_ok=True)
             command += ["--data-dir", worker_dir]
-        command += self.worker_args
+        # "{index}" in an arg becomes the worker's index, so callers can
+        # hand each worker a distinct value (e.g. --process-name worker-N)
+        command += [
+            arg.replace("{index}", str(handle.index))
+            for arg in self.worker_args
+        ]
         proc = subprocess.Popen(
             command,
             stdout=subprocess.PIPE,

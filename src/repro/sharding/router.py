@@ -40,6 +40,7 @@ Failure semantics (the docs/SHARDING.md failure matrix):
 
 from __future__ import annotations
 
+import os
 import socket
 import socketserver
 import threading
@@ -57,6 +58,12 @@ from ..errors import (
 from ..faults import FaultInjector, SimulatedCrash
 from ..language import parse_program, parse_query
 from ..obs import MetricsRegistry, TelemetryServer
+from ..obs.disttrace import (
+    HeadSampler,
+    SpanBuffer,
+    TraceCollector,
+    TraceContext,
+)
 from ..storage.serde import decode_batch, encode_batch
 from ..terms import to_arg
 from .hashring import ShardMap, partition_key
@@ -74,7 +81,7 @@ from ..server.protocol import (  # noqa: E402  (grouped with protocol use)
 )
 
 #: ops a draining router still accepts (same contract as CoralServer)
-_DRAIN_OPS = ("HELLO", "FETCH", "CLOSE_CURSOR", "STATS", "BYE")
+_DRAIN_OPS = ("HELLO", "FETCH", "CLOSE_CURSOR", "STATS", "TRACE", "BYE")
 
 
 class _UpstreamLost(Exception):
@@ -188,6 +195,10 @@ class ShardRouter:
         io_timeout: Optional[float] = 30.0,
         idle_timeout: Optional[float] = 300.0,
         upstream_timeout: float = 30.0,
+        trace_sample: float = 0.0,
+        span_dir: Optional[str] = None,
+        process_name: Optional[str] = None,
+        span_limit: int = 20_000,
     ) -> None:
         self.pool = pool
         self.shard_map = ShardMap.load(shard_map, pool.count)
@@ -197,6 +208,24 @@ class ShardRouter:
         self.idle_timeout = idle_timeout
         self.upstream_timeout = upstream_timeout
         self.metrics = MetricsRegistry()
+        # -- distributed tracing (repro.obs.disttrace): the router parses
+        # the optional wire ``trace`` field, records its own request and
+        # per-worker forwarding-leg spans, and stamps a child context on
+        # every upstream hop so worker spans nest under the fan-out legs
+        self.trace_sampler = HeadSampler(trace_sample)
+        self.span_dir = span_dir
+        self.process_name = process_name or f"router-{os.getpid()}"
+        self.spans = SpanBuffer(
+            self.process_name,
+            limit=span_limit,
+            path=(
+                os.path.join(span_dir, f"{self.process_name}.jsonl")
+                if span_dir
+                else None
+            ),
+            on_drop=lambda: self._m_trace_dropped.inc(1, "spans"),
+        )
+        self._trace_local = threading.local()
         #: predicate/module → worker placements learned from consults; a
         #: name, once placed, stays put (first-wins) so later programs and
         #: queries find their data
@@ -241,6 +270,11 @@ class ShardRouter:
         self._m_restarts = m.counter(
             "router.worker.restarts", "worker restarts observed", ("worker",)
         )
+        self._m_trace_dropped = m.counter(
+            "obs.trace.dropped",
+            "trace events/spans dropped at bounded-buffer caps",
+            ("buffer",),
+        )
         self._restart_seen: Dict[int, int] = {}
 
         self.telemetry: Optional[TelemetryServer] = None
@@ -251,6 +285,7 @@ class ShardRouter:
                 registries=[self.metrics],
                 health=self._health,
                 snapshots=self._worker_snapshots,
+                trace_lookup=self._trace_lookup,
             )
 
     # -- lifecycle -----------------------------------------------------------
@@ -316,6 +351,7 @@ class ShardRouter:
                 except OSError:
                     pass
             self._sever_upstreams(conn)
+        self.spans.close()
 
     def __enter__(self) -> "ShardRouter":
         return self.start()
@@ -352,6 +388,77 @@ class ShardRouter:
             ):
                 out.append(({"worker": str(handle.index)}, stats["metrics"]))
         return out
+
+    # -- distributed tracing -------------------------------------------------
+
+    def _request_trace(self, header) -> Optional[TraceContext]:
+        """The trace context this request runs under: a child of the wire
+        context when the client sent one, a fresh sampled root when the
+        router's own sampler says yes, else None (untraced)."""
+        parent = TraceContext.from_wire(header.get("trace"))
+        if parent is not None:
+            return parent.child()
+        if self.trace_sampler.decide():
+            return TraceContext.mint(sampled=True)
+        return None
+
+    def _trace_lookup(self, trace_id: str) -> Optional[Dict[str, object]]:
+        """Assemble one trace for ``/debug/trace/<id>`` from the shared
+        span directory (which the workers drain into when launched by
+        ``repro.server --workers``) plus the router's own buffer."""
+        collector = TraceCollector()
+        if self.span_dir is not None and os.path.isdir(self.span_dir):
+            try:
+                collector.load_dir(self.span_dir)
+            except OSError:
+                pass
+        collector.add_spans(self.spans.snapshot())
+        if trace_id not in collector.trace_ids():
+            return None
+        return collector.assemble(trace_id)
+
+    def _op_trace(self, conn: _RouterConn, header) -> Dict[str, object]:
+        """Cluster-wide span gather for one trace id: every reachable
+        worker's TRACE answer, the shared span directory, and the router's
+        own spans, deduplicated by span id.  Unreachable workers are
+        skipped — a partial trace is the contract, not an error."""
+        trace_id = str(header.get("id", ""))
+        merged: Dict[str, Dict[str, object]] = {}
+
+        def add(spans) -> None:
+            for span in spans:
+                if isinstance(span, dict) and isinstance(span.get("id"), str):
+                    merged.setdefault(span["id"], span)
+
+        add(self.spans.spans_for(trace_id))
+        for index in range(self.pool.count):
+            try:
+                upstream = self._upstream(conn, index)
+                response, _ = self._forward(
+                    upstream, {"op": "TRACE", "id": trace_id}
+                )
+            except _UpstreamLost as exc:
+                lost = conn.links.get(exc.index)
+                if lost is not None:
+                    self._drop_upstream(conn, lost)
+                continue
+            except (WorkerRestartingError, CoralError):
+                continue
+            if response.get("ok"):
+                add(response.get("spans", []))
+        if self.span_dir is not None and os.path.isdir(self.span_dir):
+            collector = TraceCollector()
+            try:
+                collector.load_dir(self.span_dir)
+            except OSError:
+                pass
+            add(collector.spans(trace_id))
+        return {
+            "ok": True,
+            "id": trace_id,
+            "process": self.process_name,
+            "spans": list(merged.values()),
+        }
 
     # -- connection loop (mirrors CoralServer) -------------------------------
 
@@ -401,6 +508,9 @@ class ShardRouter:
     def _serve_request(self, conn, sock, header, body) -> bool:
         op = str(header.get("op", ""))
         started = time.perf_counter()
+        trace_ctx = self._request_trace(header)
+        self._trace_local.ctx = trace_ctx
+        wall = SpanBuffer.now() if trace_ctx is not None else 0.0
         keep_going = True
         try:
             response, rbody, keep_going = self._dispatch(conn, op, header, body)
@@ -424,6 +534,16 @@ class ShardRouter:
             rbody = b""
         self._m_requests.inc(1, op or "?")
         self._m_latency.observe(time.perf_counter() - started, op or "?")
+        if trace_ctx is not None and trace_ctx.sampled:
+            self.spans.record(
+                trace_ctx,
+                f"request.{op or '?'}",
+                wall,
+                SpanBuffer.now(),
+                conn=conn.conn_id,
+                ok=bool(response.get("ok")),
+            )
+        self._trace_local.ctx = None
         answers = response.get("count", 0) if op == "FETCH" else 0
         self._recent.append((time.perf_counter(), answers))
         try:
@@ -507,21 +627,59 @@ class ShardRouter:
     ) -> PyTuple[Dict[str, object], bytes]:
         """One round trip to a worker; socket failures raise
         :class:`_UpstreamLost` (never a client-visible error directly —
-        the caller decides between retriable and cursor-fatal)."""
+        the caller decides between retriable and cursor-fatal).
+
+        When the request being served is traced, every forwarding leg gets
+        its own child context stamped on the upstream header and its own
+        span — a scatter-gather fan-out shows up as one leg per worker,
+        with the worker's spans nested under its leg."""
         self._m_upstream.inc(1, str(upstream.index))
+        ctx = getattr(self._trace_local, "ctx", None)
+        leg: Optional[TraceContext] = None
+        started = 0.0
+        if ctx is not None and ctx.sampled:
+            leg = ctx.child()
+            header = dict(header)
+            header["trace"] = leg.to_wire()
+            started = SpanBuffer.now()
         try:
             write_frame(upstream.sock, header, body)
             frame = read_frame(upstream.sock)
         except FrameTimeout as exc:
+            self._record_leg(leg, header, started, upstream, lost=True)
             raise _UpstreamLost(upstream.index, exc) from exc
         except (ProtocolError, OSError) as exc:
+            self._record_leg(leg, header, started, upstream, lost=True)
             raise _UpstreamLost(upstream.index, exc) from exc
         if frame is None:
+            self._record_leg(leg, header, started, upstream, lost=True)
             raise _UpstreamLost(
                 upstream.index,
                 ProtocolError("worker closed the connection"),
             )
+        self._record_leg(leg, header, started, upstream, lost=False)
         return frame
+
+    def _record_leg(
+        self,
+        leg: Optional[TraceContext],
+        header,
+        started: float,
+        upstream: _Upstream,
+        lost: bool,
+    ) -> None:
+        if leg is None:
+            return
+        extra: Dict[str, object] = {"worker": upstream.index}
+        if lost:
+            extra["lost"] = True
+        self.spans.record(
+            leg,
+            f"router.forward.{header.get('op', '?')}",
+            started,
+            SpanBuffer.now(),
+            **extra,
+        )
 
     def _drop_upstream(self, conn: _RouterConn, upstream: _Upstream) -> None:
         try:
@@ -617,6 +775,8 @@ class ShardRouter:
             return self._op_update(conn, op, header), b"", True
         if op == "STATS":
             return {"ok": True, "stats": self.stats()}, b"", True
+        if op == "TRACE":
+            return self._op_trace(conn, header), b"", True
         if op in ("REPL_HELLO", "PROMOTE", "WORKER_HELLO"):
             raise ProtocolError(
                 f"{op} is not served by a shard router: replication and "
@@ -1137,6 +1297,12 @@ class ShardRouter:
             "latency": self._latency(),
             "sharding": sharding,
             "workers": workers,
+            "trace": {
+                "process": self.process_name,
+                "sample_rate": self.trace_sampler.rate,
+                "spans_recorded": self.spans.recorded,
+                "spans_dropped": self.spans.dropped,
+            },
             "metrics": self.metrics.collect(),
         }
 

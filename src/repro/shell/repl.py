@@ -13,7 +13,12 @@ Shell commands::
     @stats.                    evaluation statistics
     @reset_stats.              zero the statistics
     @listing module pred form. show a rewritten program (debugging aid)
-    @trace on. / @trace off.   derivation tracing
+    @trace on. / @trace off.   derivation tracing (local session)
+    @trace <trace-id>.         render a distributed trace as a hop tree
+                               (remote mode): client, router, worker and
+                               replica spans under one trace id; @trace.
+                               alone shows the last trace this shell
+                               sampled (docs/OBSERVABILITY.md)
     @why "path(1, 3)".         proof tree for a traced fact
     @profile "path(1, X)".     run a query under the profiler, print its report
     @explain "path(1, X)".     show the plan the optimizer would run;
@@ -22,7 +27,10 @@ Shell commands::
     @dump pred arity "file".   write a base relation as re-consultable facts
     @check.                    lint loaded modules for likely mistakes
     @connect host:port.        switch to remote mode: send everything to a
-                               coral-server (python -m repro.server)
+                               coral-server (python -m repro.server);
+                               @connect host:port RATE. also head-samples
+                               that fraction of requests into distributed
+                               traces (@trace. to render the last one)
     @top.                      live server dashboard (remote mode): req/s,
                                fetch latency percentiles, memo/buffer hit
                                rates, active cursors; @top N I. samples N
@@ -123,13 +131,19 @@ class Shell:
             self.done = True
             return "bye."
         if name == "connect":
-            if len(parts) != 2 or ":" not in parts[1]:
-                return "usage: @connect host:port."
+            if len(parts) not in (2, 3) or ":" not in parts[1]:
+                return "usage: @connect host:port. / @connect host:port rate."
             from ..client import RemoteSession
 
             host, _, port_text = parts[1].strip('"').rpartition(":")
             try:
-                remote = RemoteSession(host, int(port_text))
+                sample = float(parts[2]) if len(parts) == 3 else 0.0
+                remote = RemoteSession(
+                    host,
+                    int(port_text),
+                    trace_sample=sample,
+                    process_name="shell",
+                )
             except (ValueError, CoralError) as error:
                 return f"error: {error}"
             if self.remote is not None:
@@ -189,7 +203,25 @@ class Shell:
             if len(parts) == 2 and parts[1] == "off":
                 self.session.disable_tracing()
                 return "tracing off."
-            return "usage: @trace on. / @trace off."
+            # @trace <id>. / @trace. — render a distributed trace's hop
+            # tree, gathered cluster-wide over the TRACE op (remote mode)
+            if len(parts) <= 2 and self.remote is not None:
+                trace_id = parts[1].strip('"') if len(parts) == 2 else None
+                if trace_id is None and self.remote.last_trace_id is None:
+                    return (
+                        "no trace sampled yet — reconnect with "
+                        "@connect host:port rate. or pass a trace id."
+                    )
+                try:
+                    spans = self.remote.trace(trace_id)
+                except CoralError as error:
+                    return f"error: {error}"
+                from ..obs.disttrace import TraceCollector
+
+                collector = TraceCollector()
+                collector.add_spans(spans)
+                return collector.tree(trace_id or self.remote.last_trace_id)
+            return "usage: @trace on. / @trace off. / @trace <trace-id>."
         if name == "why":
             tracer = self.session.ctx.tracer
             if tracer is None:
@@ -478,6 +510,14 @@ class Shell:
                 f"   lag {live.get('queued', 0)}"
                 f"   resnapshots {live.get('resnapshots', 0)}"
                 f"   rebuilds {live.get('rebuilds', 0)}"
+            )
+        trace = stats.get("trace")
+        if trace:
+            lines.append(
+                f"  trace: sample {trace.get('sample_rate', 0.0):g}"
+                f"   spans {trace.get('spans_recorded', 0)}"
+                f"   dropped {trace.get('spans_dropped', 0)} span(s)"
+                f" / {trace.get('events_dropped', 0)} event(s)"
             )
         memo_rate = _hit_rate(stats.get("memo"))
         buffer_rate = _hit_rate(stats.get("buffer"))

@@ -1,0 +1,56 @@
+"""Golden-schema validator for assembled Chrome traces.
+
+Checked in next to the tests, like ``prom_parser.py``: imported by
+``tests/test_disttrace.py`` (which validates synthetic and in-process
+traces) *and* by the CI ``trace-smoke`` job (which validates the trace a
+real router + workers + replica cluster assembled).  It therefore checks
+structure against ``tests/golden/chrome_trace_disttrace.json`` — phases,
+categories, links, rebased timestamps — never specific span names.
+
+Deliberately dependency-free (no pytest): smoke jobs run it with nothing
+installed beyond the stdlib.
+"""
+
+import json
+import os
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "golden", "chrome_trace_disttrace.json"
+)
+
+
+def load_golden():
+    with open(GOLDEN_PATH) as handle:
+        return json.load(handle)
+
+
+def validate_chrome_trace(trace, golden=None):
+    """Check an assembled Chrome trace against the golden *schema*.
+    Raises AssertionError naming the failing property; returns True."""
+    if golden is None:
+        golden = load_golden()
+    assert sorted(trace.keys()) == golden["top_level_keys"], sorted(trace)
+    assert trace["displayTimeUnit"] == golden["displayTimeUnit"]
+    other = trace["otherData"]
+    assert sorted(other.keys()) == golden["other_data_keys"], sorted(other)
+    assert other["producer"] == golden["producer"]
+    events = trace["traceEvents"]
+    assert events, "assembled trace has no events"
+    assert {e["ph"] for e in events} <= set(golden["allowed_phases"])
+    spans = [e for e in events if e["ph"] != "M"]
+    assert spans, "assembled trace has no span events"
+    for event in spans:
+        assert event["cat"] == golden["category"], event
+        assert isinstance(event["pid"], int) and isinstance(event["tid"], int)
+        assert event["ts"] >= 0.0, "timestamps must be rebased to >= 0"
+        if golden["complete_events_have_dur"] and event["ph"] == "X":
+            assert "dur" in event and event["dur"] >= 0.0, event
+        if golden["instants_are_thread_scoped"] and event["ph"] == "i":
+            assert event.get("s") == "t", event
+        if golden["spans_carry_links"]:
+            assert {"span", "parent", "depth"} <= set(event["args"]), event
+    if golden["metadata_names_processes"]:
+        metadata = [e for e in events if e["ph"] == "M"]
+        named = {e["args"]["name"] for e in metadata}
+        assert named == set(other["processes"]), (named, other["processes"])
+    return True
